@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz fmt results check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzKernel -fuzztime=30s ./internal/equilibrate/
+
+fmt:
+	gofmt -l .
+
+# Regenerate every table and figure of the paper at full scale.
+results:
+	$(GO) run ./cmd/seabench -table all -scale 1 -bkmax 900 | tee results_full.txt
+
+check: build vet test race
+	@test -z "$$(gofmt -l .)" || (echo "gofmt needed:"; gofmt -l .; exit 1)

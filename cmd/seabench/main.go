@@ -1,0 +1,296 @@
+// Command seabench regenerates every table and figure of the paper's
+// evaluation (Tables 1–9, Figures 5 and 7, plus the operation-count model
+// validation).
+//
+// Usage:
+//
+//	seabench -table all -scale 0.1          # quick pass over everything
+//	seabench -table 7 -scale 1 -bkmax 900   # the full Table 7 comparison
+//	seabench -table 6 -csv                  # machine-readable output
+//
+// Results print as fixed-width tables (paper style); the speedup
+// experiments additionally render their figures as ASCII charts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sea/internal/experiments"
+	"sea/internal/report"
+)
+
+func main() {
+	var (
+		table = flag.String("table", "all", "which experiment: 1-9, ops, or all")
+		scale = flag.Float64("scale", 1.0, "instance-size multiplier vs the paper (0 < scale <= 1)")
+		procs = flag.Int("procs", 1, "workers for the parallel phases of the solves")
+		eps   = flag.Float64("eps", 0, "override the per-table convergence tolerance")
+		bkmax = flag.Int("bkmax", 900, "largest G order on which to run the B-K baseline (Table 7)")
+		csv   = flag.Bool("csv", false, "emit CSV instead of formatted tables")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Procs: *procs, Epsilon: *eps, MaxBKDim: *bkmax}
+	requested := strings.Split(*table, ",")
+	want := func(name string) bool {
+		for _, r := range requested {
+			if r == "all" || strings.TrimSpace(r) == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	out := os.Stdout
+	emit := func(title string, headers []string, rows [][]string) {
+		if *csv {
+			report.RenderCSV(out, headers, rows)
+		} else {
+			report.Render(out, title, headers, rows)
+		}
+		fmt.Fprintln(out)
+	}
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "seabench: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+
+	if want("1") {
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			fail("table 1", err)
+		}
+		var rr [][]string
+		for _, r := range rows {
+			rr = append(rr, []string{
+				fmt.Sprintf("%dx%d", r.Size, r.Size),
+				report.D(r.Nonzeros), report.F(r.Seconds, 4), report.D(r.Iterations),
+			})
+		}
+		emit("Table 1: SEA on large-scale diagonal quadratic constrained matrix problems",
+			[]string{"m x n", "nonzero x0 vars", "CPU time (s)", "iterations"}, rr)
+	}
+
+	if want("2") {
+		rows, err := experiments.Table2(cfg)
+		if err != nil {
+			fail("table 2", err)
+		}
+		var rr [][]string
+		for _, r := range rows {
+			rr = append(rr, []string{r.Dataset, report.D(r.Sectors), report.D(r.Nonzeros),
+				report.F(r.Seconds, 4), report.D(r.Iterations)})
+		}
+		emit("Table 2: SEA on United States input/output matrix datasets",
+			[]string{"dataset", "sectors", "nonzeros", "CPU time (s)", "iterations"}, rr)
+	}
+
+	if want("3") {
+		rows, err := experiments.Table3(cfg)
+		if err != nil {
+			fail("table 3", err)
+		}
+		var rr [][]string
+		for _, r := range rows {
+			rr = append(rr, []string{r.Dataset, report.D(r.Accounts), report.D(r.Transactions),
+				report.F(r.Seconds, 4), report.D(r.Iterations)})
+		}
+		emit("Table 3: SEA on social accounting matrix datasets",
+			[]string{"dataset", "accounts", "transactions", "CPU time (s)", "iterations"}, rr)
+	}
+
+	if want("4") {
+		rows, err := experiments.Table4(cfg)
+		if err != nil {
+			fail("table 4", err)
+		}
+		var rr [][]string
+		for _, r := range rows {
+			rr = append(rr, []string{r.Dataset, report.F(r.Seconds, 4), report.D(r.Iterations)})
+		}
+		emit("Table 4: SEA on United States migration tables",
+			[]string{"dataset", "CPU time (s)", "iterations"}, rr)
+	}
+
+	if want("5") {
+		rows, err := experiments.Table5(cfg)
+		if err != nil {
+			fail("table 5", err)
+		}
+		var rr [][]string
+		for _, r := range rows {
+			rr = append(rr, []string{
+				fmt.Sprintf("SP%dx%d", r.Markets, r.Markets),
+				report.D(r.Variables), report.F(r.Seconds, 4), report.D(r.Iterations),
+			})
+		}
+		emit("Table 5: SEA on spatial price equilibrium problems",
+			[]string{"markets", "variables", "CPU time (s)", "iterations"}, rr)
+	}
+
+	if want("6") {
+		rows, err := experiments.Table6(cfg)
+		if err != nil {
+			fail("table 6", err)
+		}
+		var rr [][]string
+		for _, r := range rows {
+			rr = append(rr, []string{r.Example, report.D(r.N),
+				report.F(r.Speedup, 2), report.Pct(r.Efficiency)})
+		}
+		emit("Table 6: parallel speedup and efficiency measurements for SEA on diagonal problems (simulated multiprocessor)",
+			[]string{"example", "N", "S_N", "E_N"}, rr)
+		if !*csv {
+			renderSpeedupFigure(rows, "Figure 5: speedups of SEA on diagonal problems")
+		}
+	}
+
+	if want("6e") {
+		rows, err := experiments.Table6Enhanced(cfg)
+		if err != nil {
+			fail("table 6e", err)
+		}
+		var rr [][]string
+		for _, r := range rows {
+			rr = append(rr, []string{r.Example, report.D(r.N),
+				report.F(r.Speedup, 2), report.Pct(r.Efficiency)})
+		}
+		emit("Table 6 (enhanced): speedups with the convergence verification parallelized (the paper's Section 4.2 suggestion)",
+			[]string{"example", "N", "S_N", "E_N"}, rr)
+	}
+
+	if want("6w") {
+		rows, err := experiments.Table6Wall(cfg)
+		if err != nil {
+			fail("table 6w", err)
+		}
+		var rr [][]string
+		for _, r := range rows {
+			rr = append(rr, []string{r.Example, report.D(r.N),
+				report.F(r.Speedup, 2), report.Pct(r.Efficiency)})
+		}
+		emit(fmt.Sprintf("Table 6 (wall-clock): goroutine-parallel speedups on this host (GOMAXPROCS-limited; see DESIGN.md substitution 1)"),
+			[]string{"example", "N", "S_N", "E_N"}, rr)
+	}
+
+	if want("7") {
+		rows, err := experiments.Table7(cfg)
+		if err != nil {
+			fail("table 7", err)
+		}
+		var rr [][]string
+		for _, r := range rows {
+			rr = append(rr, []string{
+				fmt.Sprintf("%dx%d", r.GDim, r.GDim),
+				report.D(r.Runs),
+				report.F(r.SEASeconds, 4), report.F(r.RCSeconds, 4), report.F(r.BKSeconds, 4),
+				fmt.Sprintf("%d/%d", r.SEAOuter, r.SEAInner),
+				fmt.Sprintf("%d/%d", r.RCOuter, r.RCInner),
+			})
+		}
+		emit("Table 7: computational comparisons of SEA, RC, and B-K on general problems with 100% dense G",
+			[]string{"dim of G", "runs", "SEA (s)", "RC (s)", "B-K (s)", "SEA outer/half-sweeps", "RC outer/proj"}, rr)
+	}
+
+	if want("8") {
+		rows, err := experiments.Table8(cfg)
+		if err != nil {
+			fail("table 8", err)
+		}
+		var rr [][]string
+		for _, r := range rows {
+			rr = append(rr, []string{r.Dataset, report.D(r.GDim),
+				report.F(r.Seconds, 4), report.D(r.Outer), report.D(r.Inner)})
+		}
+		emit("Table 8: SEA on general migration problems with 100% dense G (2304x2304)",
+			[]string{"dataset", "dim of G", "CPU time (s)", "outer", "half-sweeps"}, rr)
+	}
+
+	if want("9") {
+		rows, err := experiments.Table9(cfg)
+		if err != nil {
+			fail("table 9", err)
+		}
+		var rr [][]string
+		for _, r := range rows {
+			rr = append(rr, []string{r.Example, report.D(r.N),
+				report.F(r.Speedup, 2), report.Pct(r.Efficiency)})
+		}
+		emit("Table 9: parallel speedup and efficiency for SEA and RC on the general 10000x10000 problem (simulated multiprocessor)",
+			[]string{"algorithm", "N", "S_N", "E_N"}, rr)
+		if !*csv {
+			renderSpeedupFigure(rows, "Figure 7: speedups of SEA vs RC on the general problem")
+		}
+	}
+
+	if want("growth") {
+		rows, err := experiments.GrowthSweep(cfg)
+		if err != nil {
+			fail("growth sweep", err)
+		}
+		var rr [][]string
+		for _, r := range rows {
+			rr = append(rr, []string{fmt.Sprintf("%d%%", r.GrowthPct),
+				report.D(r.Iterations), report.F(r.Seconds, 4)})
+		}
+		emit("Growth-factor sensitivity (the Table 4 difficulty mechanism): same migration table, uniformly grown totals",
+			[]string{"growth", "iterations", "CPU time (s)"}, rr)
+	}
+
+	if want("relax") {
+		rows, err := experiments.RelaxationAblation(cfg)
+		if err != nil {
+			fail("relaxation ablation", err)
+		}
+		var rr [][]string
+		for _, r := range rows {
+			rr = append(rr, []string{report.F(r.Rho, 2), report.D(r.Outer),
+				report.D(r.Inner), report.F(r.Seconds, 4)})
+		}
+		emit("Projection relaxation ablation: step scaling rho on a general dense-G problem (rho = 1 is the paper's subproblem (79))",
+			[]string{"rho", "outer", "half-sweeps", "CPU time (s)"}, rr)
+	}
+
+	if want("ops") {
+		rows, err := experiments.OpsModel(cfg)
+		if err != nil {
+			fail("ops model", err)
+		}
+		var rr [][]string
+		for _, r := range rows {
+			rr = append(rr, []string{report.D(r.Size), report.D(r.Iterations),
+				report.D64(r.MeasuredOps), report.F(r.ModelOps, 0), report.F(r.Ratio, 3)})
+		}
+		emit("Complexity check: measured operations vs the paper's model N = T*n^2*(9+ln n)",
+			[]string{"n", "iterations", "measured ops", "model ops", "ratio"}, rr)
+	}
+}
+
+// renderSpeedupFigure draws the speedup-vs-N chart for a speedup table.
+func renderSpeedupFigure(rows []experiments.SpeedupRow, title string) {
+	byExample := map[string][]experiments.SpeedupRow{}
+	var order []string
+	for _, r := range rows {
+		if _, ok := byExample[r.Example]; !ok {
+			order = append(order, r.Example)
+		}
+		byExample[r.Example] = append(byExample[r.Example], r)
+	}
+	var xs []float64
+	for _, r := range byExample[order[0]] {
+		xs = append(xs, float64(r.N))
+	}
+	var series []report.Series
+	for _, name := range order {
+		ys := make([]float64, 0, len(byExample[name]))
+		for _, r := range byExample[name] {
+			ys = append(ys, r.Speedup)
+		}
+		series = append(series, report.Series{Name: name, Ys: ys})
+	}
+	report.Chart(os.Stdout, title, "CPUs", "speedup", xs, series)
+	fmt.Println()
+}

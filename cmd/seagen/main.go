@@ -1,0 +1,112 @@
+// Command seagen generates constrained matrix problem instances of the
+// paper's experiment families and writes them as problem JSON (solvable by
+// seasolve) or as a bare CSV matrix.
+//
+//	seagen -type table1 -size 100 -seed 7 -out p.json
+//	seagen -type io -size 205 -density 0.52 -variant a -out io.json
+//	seagen -type sam -size 133 -out sam.json
+//	seagen -type migration -period 6570 -variant b -out mig.json
+//	seagen -type spe -size 50 -out spe.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sea/internal/core"
+	"sea/internal/matio"
+	"sea/internal/problems"
+	"sea/internal/spe"
+)
+
+func main() {
+	var (
+		typ     = flag.String("type", "table1", "table1, io, sam, migration, spe, or interval")
+		size    = flag.Int("size", 100, "instance dimension")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		density = flag.Float64("density", 0.5, "nonzero density (io)")
+		variant = flag.String("variant", "a", "instance variant: a, b, or c (io, migration)")
+		width   = flag.Float64("width", 0.05, "relative half-width of the total intervals (interval)")
+		period  = flag.String("period", "6570", "migration period: 5560, 6570, 7580")
+		out     = flag.String("out", "", "output path (default stdout)")
+		asCSV   = flag.Bool("csv", false, "write only the prior matrix as CSV")
+	)
+	flag.Parse()
+
+	var p *core.DiagonalProblem
+	switch *typ {
+	case "table1":
+		p = problems.Table1(*size, *seed)
+	case "io":
+		p = problems.IOTable(problems.IOSpec{
+			Name:    fmt.Sprintf("IO%d%s", *size, *variant),
+			Sectors: *size, Density: *density,
+			Variant: problems.IOVariant((*variant)[0]), Seed: *seed,
+		})
+	case "sam":
+		p = problems.RandomSAM(*size, *seed)
+	case "migration":
+		p = problems.MigrationProblem(problems.MigrationSpec{
+			Name: "MIG" + *period + *variant, Period: *period,
+			Variant: problems.MigVariant((*variant)[0]), Seed: *seed,
+		})
+	case "spe":
+		sp := spe.Generate(*size, *size, *seed)
+		var err error
+		p, err = sp.ToConstrainedMatrix()
+		if err != nil {
+			fatal(err)
+		}
+	case "interval":
+		// An interval-margins variant of the I/O update: the base table's
+		// totals, each relaxed to a ±width band.
+		base := problems.IOTable(problems.IOSpec{
+			Name:    fmt.Sprintf("IOI%d", *size),
+			Sectors: *size, Density: *density,
+			Variant: problems.IOGrowth10, Seed: *seed,
+		})
+		n := base.N
+		slo := make([]float64, n)
+		shi := make([]float64, n)
+		dlo := make([]float64, n)
+		dhi := make([]float64, n)
+		for i := 0; i < n; i++ {
+			slo[i] = base.S0[i] * (1 - *width)
+			shi[i] = base.S0[i] * (1 + *width)
+			dlo[i] = base.D0[i] * (1 - *width)
+			dhi[i] = base.D0[i] * (1 + *width)
+		}
+		var err error
+		p, err = core.NewInterval(n, n, base.X0, base.Gamma, slo, shi, dlo, dhi)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown type %q", *typ))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	if *asCSV {
+		err = matio.WriteMatrixCSV(w, p.M, p.N, p.X0)
+	} else {
+		err = matio.WriteProblemJSON(w, p)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "seagen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,159 @@
+// Command seasolve solves a constrained matrix problem from a file.
+//
+// The problem arrives either as a JSON container (see internal/matio) or as
+// a bare CSV matrix plus totals derived from it:
+//
+//	seasolve -in problem.json -out solution.json
+//	seasolve -matrix x0.csv -growth 1.1 -out solution.json
+//	seasolve -in problem.json -algorithm ras     # RAS baseline
+//
+// With -matrix, the row and column targets are the prior sums scaled by
+// -growth and the weights are the chi-square defaults.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sea/internal/baseline"
+	"sea/internal/core"
+	"sea/internal/matio"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "problem JSON file (see internal/matio)")
+		matrix    = flag.String("matrix", "", "prior matrix CSV (alternative to -in)")
+		growth    = flag.Float64("growth", 1.0, "with -matrix: scale factor for the target totals")
+		out       = flag.String("out", "", "solution JSON output (default stdout)")
+		xcsv      = flag.String("xcsv", "", "also write the solved matrix as CSV to this path")
+		algorithm = flag.String("algorithm", "sea", "sea, ras, dykstra, or unsigned (Stone/Byron, no nonnegativity)")
+		eps       = flag.Float64("eps", 1e-6, "convergence tolerance")
+		criterion = flag.String("criterion", "dual-gradient", "max-abs-delta, rel-balance, or dual-gradient")
+		procs     = flag.Int("procs", 1, "parallel workers for the equilibration phases")
+		maxIter   = flag.Int("maxiter", 200000, "iteration limit")
+	)
+	flag.Parse()
+
+	p, err := loadProblem(*in, *matrix, *growth)
+	if err != nil {
+		fatal(err)
+	}
+
+	var sol *core.Solution
+	switch *algorithm {
+	case "sea":
+		o := core.DefaultOptions()
+		o.Epsilon = *eps
+		o.Procs = *procs
+		o.MaxIterations = *maxIter
+		switch *criterion {
+		case "max-abs-delta":
+			o.Criterion = core.MaxAbsDelta
+		case "rel-balance":
+			o.Criterion = core.RelBalance
+		case "dual-gradient":
+			o.Criterion = core.DualGradient
+		default:
+			fatal(fmt.Errorf("unknown criterion %q", *criterion))
+		}
+		sol, err = core.SolveDiagonal(p, o)
+	case "dykstra":
+		sol, err = baseline.SolveDykstra(p, *eps, *maxIter)
+	case "unsigned":
+		sol, err = baseline.SolveUnsigned(p)
+		if sol != nil {
+			if worst := baseline.MinEntry(sol.X); worst < 0 {
+				fmt.Fprintf(os.Stderr, "seasolve: warning: unsigned estimator produced negative entries (min %g); use -algorithm sea for a nonnegative estimate\n", worst)
+			}
+		}
+	case "ras":
+		if p.Kind != core.FixedTotals {
+			fatal(fmt.Errorf("RAS requires fixed totals"))
+		}
+		res, rerr := baseline.RAS(p.M, p.N, p.X0, p.S0, p.D0, *eps, *maxIter)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		sol = &core.Solution{
+			X: res.X, S: p.S0, D: p.D0,
+			Iterations: res.Iterations, Converged: res.Converged,
+			Residual:  res.MaxRowErr,
+			Objective: p.Objective(res.X, p.S0, p.D0),
+		}
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algorithm))
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seasolve: warning: %v\n", err)
+	}
+	if sol == nil {
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := matio.WriteSolutionJSON(w, sol); err != nil {
+		fatal(err)
+	}
+	if *xcsv != "" {
+		f, err := os.Create(*xcsv)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := matio.WriteMatrixCSV(f, p.M, p.N, sol.X); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "seasolve: %s converged=%v iterations=%d residual=%g objective=%g\n",
+		*algorithm, sol.Converged, sol.Iterations, sol.Residual, sol.Objective)
+}
+
+// loadProblem builds the problem from either a JSON file or a CSV prior.
+func loadProblem(in, matrix string, growth float64) (*core.DiagonalProblem, error) {
+	switch {
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return matio.ReadProblemJSON(f)
+	case matrix != "":
+		f, err := os.Open(matrix)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		m, n, x0, err := matio.ReadMatrixCSV(f)
+		if err != nil {
+			return nil, err
+		}
+		s0 := make([]float64, m)
+		d0 := make([]float64, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				s0[i] += growth * x0[i*n+j]
+				d0[j] += growth * x0[i*n+j]
+			}
+		}
+		j := matio.Problem{Kind: "fixed", M: m, N: n, X0: x0, S0: s0, D0: d0}
+		return j.ToCore()
+	default:
+		return nil, fmt.Errorf("one of -in or -matrix is required")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "seasolve: %v\n", err)
+	os.Exit(1)
+}

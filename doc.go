@@ -1,0 +1,12 @@
+// Package sea is a Go reproduction of the Splitting Equilibration Algorithm
+// (SEA) of Nagurney and Eydeland for large-scale constrained matrix
+// problems, together with the substrates, baselines, datasets and benchmark
+// harness needed to regenerate every table and figure of the paper's
+// evaluation.
+//
+// Start with README.md for the architecture, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-versus-measured results. The core solver lives in internal/core;
+// cmd/seabench regenerates the experiments; the examples directory holds
+// runnable application scenarios.
+package sea

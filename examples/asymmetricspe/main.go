@@ -1,0 +1,73 @@
+// Asymmetric spatial price equilibrium: supply and demand prices couple
+// markets through asymmetric cross-price effects, so no equivalent
+// optimization problem exists (the variational-inequality setting the
+// paper's Section 2 relates constrained matrix problems to). The projection
+// method computes the equilibrium by solving a sequence of diagonal elastic
+// constrained matrix problems with the splitting equilibration algorithm,
+// and the example quantifies how the asymmetric interactions shift the
+// equilibrium away from the separable model's.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"sea/internal/mat"
+	"sea/internal/spe"
+)
+
+func main() {
+	const m, n = 6, 6
+	p := spe.GenerateAsymmetric(m, n, 7)
+
+	eq, err := p.SolveAsymmetric(1e-9, 50000, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("asymmetric equilibrium in %d projection steps\n", eq.Iterations)
+	v := p.VerifyAsymmetric(eq, 1e-7)
+	fmt.Printf("equilibrium violations: complementarity %.2e, underprice %.2e, conservation %.2e\n\n",
+		v.MaxComplementarity, v.MaxUnderprice, v.MaxConservation)
+
+	fmt.Println("market   production  supply price   consumption  demand price")
+	for i := 0; i < m; i++ {
+		fmt.Printf("  %-6d %11.2f %13.2f %13.2f %13.2f\n",
+			i, eq.S[i], eq.SupplyPrice[i], eq.D[i], eq.DemandPrice[i])
+	}
+
+	// The same instance with the cross-price effects removed: how much do
+	// the asymmetric interactions matter?
+	sep := &spe.AsymmetricProblem{
+		M: m, N: n,
+		SupplyIntercept: p.SupplyIntercept,
+		DemandIntercept: p.DemandIntercept,
+		CostIntercept:   p.CostIntercept,
+		CostSlope:       p.CostSlope,
+	}
+	rd := make([]float64, m*m)
+	wd := make([]float64, n*n)
+	for i := 0; i < m; i++ {
+		rd[i*m+i] = p.SupplyMatrix.Diag(i)
+	}
+	for j := 0; j < n; j++ {
+		wd[j*n+j] = p.DemandMatrix.Diag(j)
+	}
+	sep.SupplyMatrix = mat.MustDenseGeneral(m, rd)
+	sep.DemandMatrix = mat.MustDenseGeneral(n, wd)
+	eqSep, err := sep.SolveAsymmetric(1e-9, 50000, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var maxShift, totA, totS float64
+	for k := range eq.X {
+		if d := math.Abs(eq.X[k] - eqSep.X[k]); d > maxShift {
+			maxShift = d
+		}
+		totA += eq.X[k]
+		totS += eqSep.X[k]
+	}
+	fmt.Printf("\nignoring the cross-price effects would misestimate flows by up to %.2f units\n", maxShift)
+	fmt.Printf("total trade: %.2f (asymmetric) vs %.2f (separable approximation)\n", totA, totS)
+}

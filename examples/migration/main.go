@@ -1,0 +1,75 @@
+// Migration-table projection (the Table 4 scenario): a 48×48 state-to-state
+// migration flow table is projected forward under uncertain origin and
+// destination totals — the elastic constrained matrix problem (paper
+// eq. (5)) with unit weights, exactly as the paper sets up its MIG…a
+// examples. The output highlights the largest projected interstate flows
+// and the states with the largest estimated net migration.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"sea/internal/core"
+	"sea/internal/datasets"
+	"sea/internal/problems"
+)
+
+func main() {
+	spec := problems.MigrationSpec{
+		Name: "MIG7580a", Period: "7580",
+		Variant: problems.MigGrowthSmall, Seed: 75,
+	}
+	p := problems.MigrationProblem(spec)
+	states := datasets.States()
+	n := len(states)
+
+	opts := core.DefaultOptions()
+	opts.Criterion = core.DualGradient
+	opts.Epsilon = 0.01 // the paper's Table 4 tolerance
+	opts.MaxIterations = 500000
+
+	sol, err := core.SolveDiagonal(p, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("projected %s in %d SEA iterations (residual %.3g)\n\n",
+		spec.Name, sol.Iterations, sol.Residual)
+
+	type flow struct {
+		from, to string
+		v        float64
+	}
+	var flows []flow
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				flows = append(flows, flow{states[i].Name, states[j].Name, sol.X[i*n+j]})
+			}
+		}
+	}
+	sort.Slice(flows, func(a, b int) bool { return flows[a].v > flows[b].v })
+	fmt.Println("ten largest projected interstate flows (thousands of movers):")
+	for _, f := range flows[:10] {
+		fmt.Printf("  %-15s -> %-15s %9.0f\n", f.from, f.to, f.v)
+	}
+
+	type net struct {
+		state string
+		v     float64
+	}
+	nets := make([]net, n)
+	for i := 0; i < n; i++ {
+		nets[i] = net{state: states[i].Name, v: sol.D[i] - sol.S[i]} // in − out
+	}
+	sort.Slice(nets, func(a, b int) bool { return nets[a].v > nets[b].v })
+	fmt.Println("\nlargest projected net gainers:")
+	for _, e := range nets[:5] {
+		fmt.Printf("  %-15s %+9.0f\n", e.state, e.v)
+	}
+	fmt.Println("largest projected net losers:")
+	for _, e := range nets[n-5:] {
+		fmt.Printf("  %-15s %+9.0f\n", e.state, e.v)
+	}
+}

@@ -1,0 +1,64 @@
+// Spatial price equilibrium (the Table 5 scenario): a market network with
+// linear supply price, demand price and transport cost functions is brought
+// to equilibrium via the isomorphism with the elastic constrained matrix
+// problem (paper Section 2), and the equilibrium conditions — delivered
+// supply price ≥ demand price, with equality on used routes — are verified
+// explicitly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sea/internal/core"
+	"sea/internal/spe"
+)
+
+func main() {
+	const m, n = 12, 10
+	p := spe.Generate(m, n, 2026)
+
+	opts := core.DefaultOptions()
+	opts.Criterion = core.DualGradient
+	opts.Epsilon = 1e-8
+	opts.MaxIterations = 500000
+
+	eq, err := p.Solve(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("equilibrium over %d supply and %d demand markets in %d SEA iterations\n\n",
+		m, n, eq.Iterations)
+
+	fmt.Println("supply markets:  production   price")
+	for i := 0; i < m; i++ {
+		fmt.Printf("  s%-3d %16.2f %8.2f\n", i, eq.S[i], eq.SupplyPrice[i])
+	}
+	fmt.Println("demand markets:  consumption  price")
+	for j := 0; j < n; j++ {
+		fmt.Printf("  d%-3d %16.2f %8.2f\n", j, eq.D[j], eq.DemandPrice[j])
+	}
+
+	var used, unused int
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if eq.X[i*n+j] > 1e-7 {
+				used++
+			} else {
+				unused++
+			}
+		}
+	}
+	fmt.Printf("\nroutes used: %d of %d\n", used, used+unused)
+
+	// The economics check: on every used route the delivered price equals
+	// the demand price; on every unused route it is at least as high.
+	v := p.Verify(eq, 1e-7)
+	fmt.Printf("equilibrium condition violations:\n")
+	fmt.Printf("  |π_i + c_ij − ρ_j| on used routes: %.2e\n", v.MaxComplementarity)
+	fmt.Printf("  unused-route underpricing:         %.2e\n", v.MaxUnderprice)
+	fmt.Printf("  conservation:                      %.2e\n", v.MaxConservation)
+	if v.Max() < 1e-5 {
+		fmt.Println("=> a genuine spatial price equilibrium")
+	}
+}

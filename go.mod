@@ -1,0 +1,3 @@
+module sea
+
+go 1.22

@@ -1,0 +1,394 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"sea/internal/core"
+	"sea/internal/mat"
+	"sea/internal/metrics"
+)
+
+// randFixedDiag builds a random feasible fixed-totals diagonal problem.
+func randFixedDiag(rng *rand.Rand, m, n int, factor float64) *core.DiagonalProblem {
+	x0 := make([]float64, m*n)
+	gamma := make([]float64, m*n)
+	for k := range x0 {
+		x0[k] = 0.1 + rng.Float64()*100
+		gamma[k] = 1 / x0[k]
+	}
+	s0 := make([]float64, m)
+	d0 := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s0[i] += factor * x0[i*n+j]
+			d0[j] += factor * x0[i*n+j]
+		}
+	}
+	p, err := core.NewFixed(m, n, x0, gamma, s0, d0)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func seaOpts() *core.Options {
+	o := core.DefaultOptions()
+	o.Epsilon = 1e-10
+	o.Criterion = core.DualGradient
+	o.MaxIterations = 500000
+	return o
+}
+
+// TestDykstraMatchesSEA cross-validates the two independent solvers.
+func TestDykstraMatchesSEA(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 52))
+	for trial := 0; trial < 8; trial++ {
+		m := 2 + rng.IntN(6)
+		n := 2 + rng.IntN(6)
+		p := randFixedDiag(rng, m, n, 1+rng.Float64()*2)
+		sea, err := core.SolveDiagonal(p, seaOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dyk, err := SolveDykstra(p, 1e-10, 500000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range sea.X {
+			if math.Abs(sea.X[k]-dyk.X[k]) > 1e-5*(1+math.Abs(sea.X[k])) {
+				t.Fatalf("trial %d: SEA and Dykstra disagree at %d: %g vs %g",
+					trial, k, sea.X[k], dyk.X[k])
+			}
+		}
+		if math.Abs(sea.Objective-dyk.Objective) > 1e-6*(1+sea.Objective) {
+			t.Errorf("trial %d: objectives %g vs %g", trial, sea.Objective, dyk.Objective)
+		}
+	}
+}
+
+func TestDykstraRejectsElastic(t *testing.T) {
+	p := &core.DiagonalProblem{
+		M: 2, N: 2,
+		X0: []float64{1, 1, 1, 1}, Gamma: []float64{1, 1, 1, 1},
+		S0: []float64{2, 2}, D0: []float64{2, 2},
+		Alpha: []float64{1, 1}, Beta: []float64{1, 1},
+		Kind: core.ElasticTotals,
+	}
+	if _, err := SolveDykstra(p, 1e-6, 100); err == nil {
+		t.Error("Dykstra accepted an elastic problem")
+	}
+}
+
+func TestRASBalancesFeasibleTable(t *testing.T) {
+	rng := rand.New(rand.NewPCG(53, 54))
+	m, n := 6, 8
+	x0 := make([]float64, m*n)
+	for k := range x0 {
+		x0[k] = 0.5 + rng.Float64()*10
+	}
+	// Targets from a positive matrix: RAS-feasible.
+	want := make([]float64, m*n)
+	for k := range want {
+		want[k] = 0.5 + rng.Float64()*10
+	}
+	s0 := make([]float64, m)
+	d0 := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s0[i] += want[i*n+j]
+			d0[j] += want[i*n+j]
+		}
+	}
+	res, err := RAS(m, n, x0, s0, d0, 1e-10, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("RAS did not converge: rowErr=%g colErr=%g", res.MaxRowErr, res.MaxColErr)
+	}
+	// Zero pattern preserved (none here) and totals met.
+	rowErr, colErr := rasErrors(m, n, res.X, s0, d0)
+	if rowErr > 1e-9 || colErr > 1e-9 {
+		t.Errorf("totals not met: %g, %g", rowErr, colErr)
+	}
+}
+
+func TestRASPreservesZeros(t *testing.T) {
+	x0 := []float64{
+		1, 0, 2,
+		3, 4, 0,
+	}
+	s0 := []float64{4, 6}
+	d0 := []float64{5, 3, 2}
+	res, err := RAS(2, 3, x0, s0, d0, 1e-9, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X[1] != 0 || res.X[5] != 0 {
+		t.Errorf("RAS moved mass into zero cells: %v", res.X)
+	}
+}
+
+// TestRASNonconvergence reproduces the Mohr–Crown–Polenske failure: a zero
+// pattern that makes the targets unreachable. SEA solves the same instance.
+func TestRASNonconvergence(t *testing.T) {
+	// Row 0 can only place mass in column 0, but column 0's target is
+	// smaller than row 0's: multiplicative scaling can never satisfy both.
+	x0 := []float64{
+		5, 0,
+		1, 1,
+	}
+	s0 := []float64{6, 2}
+	d0 := []float64{3, 5}
+	res, err := RAS(2, 2, x0, s0, d0, 1e-6, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatalf("RAS converged on an infeasible zero pattern: %+v", res)
+	}
+
+	// SEA, free to move mass into the zero cell, solves it.
+	gamma := []float64{1, 1, 1, 1}
+	p, err := core.NewFixed(2, 2, x0, gamma, s0, d0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.SolveDiagonal(p, seaOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Converged {
+		t.Error("SEA failed on the RAS-infeasible instance")
+	}
+	if sol.X[1] <= 0 {
+		t.Errorf("SEA should place mass in the zero cell, got %g", sol.X[1])
+	}
+}
+
+func TestRASStructuralError(t *testing.T) {
+	x0 := []float64{0, 0, 1, 1}
+	if _, err := RAS(2, 2, x0, []float64{3, 2}, []float64{2, 3}, 1e-6, 100); !errors.Is(err, ErrRASStructure) {
+		t.Errorf("zero row with positive target: err = %v", err)
+	}
+	if _, err := RAS(2, 2, []float64{1, -1, 1, 1}, []float64{1, 1}, []float64{1, 1}, 1e-6, 100); err == nil {
+		t.Error("negative prior accepted")
+	}
+	if _, err := RAS(2, 2, []float64{1}, []float64{1, 1}, []float64{1, 1}, 1e-6, 100); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+// denseDominantG mirrors the paper's dense weight generator.
+func denseDominantG(rng *rand.Rand, n int) *mat.DenseSym {
+	data := make([]float64, n*n)
+	rowAbs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := (rng.Float64()*2 - 1) * 450 / float64(n)
+			data[i*n+j] = v
+			data[j*n+i] = v
+			rowAbs[i] += math.Abs(v)
+			rowAbs[j] += math.Abs(v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		d := 500 + rng.Float64()*300
+		if d <= rowAbs[i] {
+			d = rowAbs[i] + 1
+		}
+		data[i*n+i] = d
+	}
+	return mat.MustDenseSym(n, data)
+}
+
+func randGeneralFixed(rng *rand.Rand, m, n int) *core.GeneralProblem {
+	mn := m * n
+	x0 := make([]float64, mn)
+	for k := range x0 {
+		x0[k] = rng.Float64() * 100
+	}
+	s0 := make([]float64, m)
+	d0 := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s0[i] += 1.5 * x0[i*n+j]
+			d0[j] += 1.5 * x0[i*n+j]
+		}
+	}
+	return &core.GeneralProblem{
+		M: m, N: n, X0: x0,
+		G:  denseDominantG(rng, mn),
+		S0: s0, D0: d0,
+		Kind: core.FixedTotals,
+	}
+}
+
+func generalOpts() *core.Options {
+	o := core.DefaultOptions()
+	o.Epsilon = 1e-7
+	o.InnerEpsilon = 1e-9
+	o.Criterion = core.DualGradient
+	o.MaxIterations = 5000
+	return o
+}
+
+// TestRCMatchesSEAGeneral: RC and SEA must agree on general problems.
+func TestRCMatchesSEAGeneral(t *testing.T) {
+	rng := rand.New(rand.NewPCG(55, 56))
+	for trial := 0; trial < 4; trial++ {
+		m := 3 + rng.IntN(3)
+		n := 3 + rng.IntN(3)
+		p := randGeneralFixed(rng, m, n)
+		sea, err := core.SolveGeneral(p, generalOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c metrics.Counters
+		o := generalOpts()
+		o.Counters = &c
+		rc, err := SolveRC(p, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range sea.X {
+			if math.Abs(sea.X[k]-rc.X[k]) > 1e-3*(1+math.Abs(sea.X[k])) {
+				t.Fatalf("trial %d: SEA and RC disagree at %d: %g vs %g", trial, k, sea.X[k], rc.X[k])
+			}
+		}
+		rep := core.CheckKKTGeneral(p, rc)
+		if !rep.Satisfied(0.5) {
+			t.Errorf("trial %d: RC KKT: %+v", trial, rep)
+		}
+		if c.Snapshot().OuterIterations == 0 {
+			t.Error("RC counters not populated")
+		}
+	}
+}
+
+// TestBKMatchesSEADiagonalG: B-K on a diagonal-G general problem agrees with
+// the diagonal SEA solution.
+func TestBKMatchesSEADiagonalG(t *testing.T) {
+	rng := rand.New(rand.NewPCG(57, 58))
+	for trial := 0; trial < 4; trial++ {
+		m := 3 + rng.IntN(3)
+		n := 3 + rng.IntN(3)
+		dp := randFixedDiag(rng, m, n, 1.7)
+		gp := &core.GeneralProblem{
+			M: m, N: n, X0: dp.X0,
+			G:  mat.MustDiagonal(mat.Clone(dp.Gamma)),
+			S0: dp.S0, D0: dp.D0,
+			Kind: core.FixedTotals,
+		}
+		sea, err := core.SolveDiagonal(dp, seaOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := core.DefaultOptions()
+		o.Epsilon = 1e-9
+		o.MaxIterations = 100000
+		bk, err := SolveBK(gp, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(bk.Objective-sea.Objective) > 1e-4*(1+sea.Objective) {
+			t.Errorf("trial %d: B-K objective %g vs SEA %g", trial, bk.Objective, sea.Objective)
+		}
+		for k := range sea.X {
+			if math.Abs(sea.X[k]-bk.X[k]) > 1e-2*(1+math.Abs(sea.X[k])) {
+				t.Fatalf("trial %d: B-K and SEA disagree at %d: %g vs %g", trial, k, bk.X[k], sea.X[k])
+			}
+		}
+	}
+}
+
+// TestBKMatchesSEADenseG: B-K on a dense-G problem reaches SEA's objective.
+func TestBKMatchesSEADenseG(t *testing.T) {
+	rng := rand.New(rand.NewPCG(59, 60))
+	p := randGeneralFixed(rng, 4, 4)
+	sea, err := core.SolveGeneral(p, generalOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := core.DefaultOptions()
+	o.Epsilon = 1e-8
+	o.MaxIterations = 100000
+	bk, err := SolveBK(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bk.Objective-sea.Objective) > 1e-3*(1+math.Abs(sea.Objective)) {
+		t.Errorf("B-K objective %g vs SEA %g", bk.Objective, sea.Objective)
+	}
+}
+
+// TestBKFeasibleThroughout: B-K is a primal method — every sweep maintains
+// the transportation constraints exactly.
+func TestBKFeasibleThroughout(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 62))
+	p := randGeneralFixed(rng, 4, 5)
+	o := core.DefaultOptions()
+	o.Epsilon = 1e-8
+	o.MaxIterations = 50000
+	bk, err := SolveBK(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.M; i++ {
+		if r := math.Abs(mat.Sum(bk.X[i*p.N:(i+1)*p.N]) - p.S0[i]); r > 1e-6*(1+p.S0[i]) {
+			t.Errorf("row %d total violated by %g", i, r)
+		}
+	}
+	if !mat.AllNonNegative(bk.X) {
+		t.Error("B-K produced negative entries")
+	}
+}
+
+func TestBaselinesRejectElastic(t *testing.T) {
+	p := &core.GeneralProblem{Kind: core.ElasticTotals}
+	if _, err := SolveRC(p, nil); err == nil {
+		t.Error("RC accepted elastic problem")
+	}
+	if _, err := SolveBK(p, nil); err == nil {
+		t.Error("B-K accepted elastic problem")
+	}
+}
+
+// TestProjGradMatchesSEA: projected gradient — gradient steps plus
+// Euclidean Dykstra projections, no equilibration duals — agrees with SEA on
+// general problems: a third independent cross-check.
+func TestProjGradMatchesSEA(t *testing.T) {
+	rng := rand.New(rand.NewPCG(63, 64))
+	for trial := 0; trial < 3; trial++ {
+		m := 3 + rng.IntN(2)
+		n := 3 + rng.IntN(2)
+		p := randGeneralFixed(rng, m, n)
+		sea, err := core.SolveGeneral(p, generalOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg, err := SolveProjGrad(p, 1e-6, 50000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pg.Objective-sea.Objective) > 1e-3*(1+math.Abs(sea.Objective)) {
+			t.Errorf("trial %d: projected gradient objective %g vs SEA %g",
+				trial, pg.Objective, sea.Objective)
+		}
+		for k := range sea.X {
+			if math.Abs(sea.X[k]-pg.X[k]) > 1e-2*(1+math.Abs(sea.X[k])) {
+				t.Fatalf("trial %d: disagree at %d: %g vs %g", trial, k, pg.X[k], sea.X[k])
+			}
+		}
+	}
+}
+
+func TestProjGradRejectsElastic(t *testing.T) {
+	p := &core.GeneralProblem{Kind: core.ElasticTotals}
+	if _, err := SolveProjGrad(p, 1e-6, 100); err == nil {
+		t.Error("elastic problem accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"sea/internal/core"
+	"sea/internal/mat"
+)
+
+// SolveProjGrad solves a fixed-totals general problem by projected gradient
+// descent: steepest descent on f(x) = (x−x⁰)ᵀG(x−x⁰) with a 1/L step,
+// followed by Euclidean projection onto the transportation polytope
+// (computed by Dykstra's alternating projections). It is slow but relies on
+// none of the equilibration-specific dual machinery, serving as a third
+// independent reference for SEA's general solutions.
+func SolveProjGrad(p *core.GeneralProblem, eps float64, maxIter int) (*core.Solution, error) {
+	if p.Kind != core.FixedTotals {
+		return nil, fmt.Errorf("baseline: projected gradient supports fixed totals only, got %v", p.Kind)
+	}
+	if err := p.Validate(true); err != nil {
+		return nil, err
+	}
+	if maxIter <= 0 {
+		maxIter = 10000
+	}
+	m, n := p.M, p.N
+	mn := m * n
+
+	// Lipschitz bound: L = 2·‖G‖∞ (max absolute row sum).
+	var norm float64
+	row := make([]float64, mn)
+	for k := 0; k < mn; k++ {
+		p.G.Row(k, row)
+		var s float64
+		for _, v := range row {
+			s += math.Abs(v)
+		}
+		if s > norm {
+			norm = s
+		}
+	}
+	step := 1 / (2 * norm)
+
+	// Euclidean-projection problem skeleton (unit weights).
+	ones := make([]float64, mn)
+	mat.Fill(ones, 1)
+	proj := &core.DiagonalProblem{
+		M: m, N: n,
+		X0:    make([]float64, mn),
+		Gamma: ones,
+		S0:    p.S0, D0: p.D0,
+		Upper: p.Upper,
+		Kind:  core.FixedTotals,
+	}
+
+	x, s, d := p.FeasibleStart()
+	dev := make([]float64, mn)
+	grad := make([]float64, mn)
+	sol := &core.Solution{}
+	for t := 1; t <= maxIter; t++ {
+		sol.Iterations = t
+		for k := 0; k < mn; k++ {
+			dev[k] = x[k] - p.X0[k]
+		}
+		p.G.MulVec(grad, dev)
+		for k := 0; k < mn; k++ {
+			proj.X0[k] = x[k] - step*2*grad[k]
+		}
+		pr, err := SolveDykstra(proj, eps/10, maxIter*100)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: projected gradient inner projection: %w", err)
+		}
+		delta := mat.MaxAbsDiff(pr.X, x)
+		copy(x, pr.X)
+		sol.Residual = delta
+		if delta <= eps {
+			sol.Converged = true
+			break
+		}
+	}
+	sol.X = x
+	sol.S = s
+	sol.D = d
+	sol.Objective = p.Objective(x, s, d)
+	sol.DualValue = math.NaN()
+	if !sol.Converged {
+		return sol, fmt.Errorf("%w: projected gradient after %d iterations", core.ErrNotConverged, maxIter)
+	}
+	return sol, nil
+}

@@ -1,0 +1,148 @@
+// Package baseline implements the comparison algorithms of the paper's
+// evaluation: the RC equilibration algorithm of Nagurney, Kim and Robinson
+// (1990), the Bachem–Korte (1978) algorithm for quadratic optimization over
+// transportation polytopes, the RAS / iterative-proportional-fitting method
+// of Deming and Stephan (1940), and Dykstra's alternating projections as an
+// independent reference solver for cross-validating SEA.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sea/internal/mat"
+)
+
+// ErrRASStructure is returned when RAS cannot possibly converge because the
+// zero pattern of the prior matrix makes the target totals unreachable (the
+// infeasible-RAS situation analyzed by Mohr, Crown and Polenske (1987)).
+var ErrRASStructure = errors.New("baseline: RAS structurally infeasible: a zero row/column has a positive target total")
+
+// RASResult reports the outcome of an RAS run.
+type RASResult struct {
+	// X is the final matrix (m×n row-major).
+	X []float64
+	// Iterations is the number of row+column scaling sweeps performed.
+	Iterations int
+	// Converged reports whether both relative total errors fell below the
+	// tolerance.
+	Converged bool
+	// MaxRowErr and MaxColErr are the final relative total errors.
+	MaxRowErr, MaxColErr float64
+}
+
+// RAS runs the classical biproportional scaling method: alternately scale
+// each row to meet its target total and each column to meet its target. It
+// preserves the zero pattern of x0 — the source of both its popularity
+// (multiplicative structure) and its failure modes (it cannot move mass into
+// zero cells, and it only solves a specific entropy objective rather than
+// the paper's weighted least squares).
+//
+// x0 must be elementwise nonnegative. eps is the relative tolerance on the
+// row and column totals.
+func RAS(m, n int, x0, s0, d0 []float64, eps float64, maxIter int) (*RASResult, error) {
+	if len(x0) != m*n || len(s0) != m || len(d0) != n {
+		return nil, fmt.Errorf("baseline: RAS dimension mismatch")
+	}
+	if !mat.AllNonNegative(x0) {
+		return nil, fmt.Errorf("baseline: RAS requires a nonnegative prior")
+	}
+	if !mat.AllNonNegative(s0) || !mat.AllNonNegative(d0) {
+		return nil, fmt.Errorf("baseline: RAS requires nonnegative totals")
+	}
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+
+	x := mat.Clone(x0)
+	rowSum := make([]float64, m)
+	colSum := make([]float64, n)
+
+	// Structural check: a zero row (column) with a positive target can
+	// never be fixed by scaling.
+	for i := 0; i < m; i++ {
+		rowSum[i] = mat.Sum(x[i*n : (i+1)*n])
+		if rowSum[i] == 0 && s0[i] > 0 {
+			return nil, fmt.Errorf("%w (row %d)", ErrRASStructure, i)
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			colSum[j] += x[i*n+j]
+		}
+	}
+	for j := 0; j < n; j++ {
+		if colSum[j] == 0 && d0[j] > 0 {
+			return nil, fmt.Errorf("%w (column %d)", ErrRASStructure, j)
+		}
+	}
+
+	res := &RASResult{X: x}
+	for t := 1; t <= maxIter; t++ {
+		res.Iterations = t
+		// Row scaling.
+		for i := 0; i < m; i++ {
+			rs := mat.Sum(x[i*n : (i+1)*n])
+			if rs > 0 {
+				f := s0[i] / rs
+				for j := 0; j < n; j++ {
+					x[i*n+j] *= f
+				}
+			}
+		}
+		// Column scaling.
+		mat.Fill(colSum, 0)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				colSum[j] += x[i*n+j]
+			}
+		}
+		for j := 0; j < n; j++ {
+			if colSum[j] > 0 {
+				f := d0[j] / colSum[j]
+				for i := 0; i < m; i++ {
+					x[i*n+j] *= f
+				}
+			}
+		}
+		// Residuals (columns are exact right after column scaling; rows
+		// have been perturbed by it).
+		res.MaxRowErr, res.MaxColErr = rasErrors(m, n, x, s0, d0)
+		if res.MaxRowErr <= eps && res.MaxColErr <= eps {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// rasErrors returns the maximum relative row and column total errors.
+func rasErrors(m, n int, x, s0, d0 []float64) (rowErr, colErr float64) {
+	for i := 0; i < m; i++ {
+		rs := mat.Sum(x[i*n : (i+1)*n])
+		e := math.Abs(rs - s0[i])
+		if s0[i] > 0 {
+			e /= s0[i]
+		}
+		if e > rowErr {
+			rowErr = e
+		}
+	}
+	colSum := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			colSum[j] += x[i*n+j]
+		}
+	}
+	for j := 0; j < n; j++ {
+		e := math.Abs(colSum[j] - d0[j])
+		if d0[j] > 0 {
+			e /= d0[j]
+		}
+		if e > colErr {
+			colErr = e
+		}
+	}
+	return rowErr, colErr
+}

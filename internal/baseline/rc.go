@@ -1,0 +1,307 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"sea/internal/core"
+	"sea/internal/equilibrate"
+	"sea/internal/mat"
+	"sea/internal/parallel"
+)
+
+// SolveRC implements the RC equilibration algorithm of Nagurney, Kim and
+// Robinson (1990) for general quadratic constrained matrix problems with
+// fixed row and column totals — the first baseline of the paper's Table 7.
+//
+// Where SEA nests dual alternation *inside* a single projection-method
+// diagonalization (so the dense-G linear-term update runs once per outer
+// iteration), RC nests the projection method *inside* each dual stage: the
+// row stage solves the general problem subject to only the row constraints
+// (column multipliers fixed) by iterated diagonalization and parallel row
+// equilibration, then the column stage does the same for the columns. Each
+// projection iteration needs a dense-matrix linear-term update and a serial
+// convergence verification, which is exactly why the paper finds RC both
+// slower in total work and less parallelizable than SEA (compare the paper's
+// Figures 4 and 6).
+func SolveRC(p *core.GeneralProblem, opts *core.Options) (*core.Solution, error) {
+	o := fillOpts(opts)
+	if p.Kind != core.FixedTotals {
+		return nil, fmt.Errorf("baseline: RC supports fixed totals only, got %v", p.Kind)
+	}
+	if err := p.Validate(o.SkipDominanceCheck); err != nil {
+		return nil, err
+	}
+	m, n := p.M, p.N
+	mn := m * n
+
+	x, _, _ := p.FeasibleStart()
+	lambda := make([]float64, m)
+	mu := make([]float64, n)
+
+	gammaT := make([]float64, mn) // γ̃ = diag(G)/ρ
+	rho := o.Relaxation
+	for k := 0; k < mn; k++ {
+		gammaT[k] = p.G.Diag(k) / rho
+	}
+
+	st := &rcState{
+		p: p, o: o, gammaT: gammaT,
+		x:     x,
+		z:     make([]float64, mn),
+		xdev:  make([]float64, mn),
+		gx:    make([]float64, mn),
+		xPrev: make([]float64, mn),
+	}
+	procs := o.Procs
+	st.workspaces = make([]*equilibrate.Workspace, procs)
+	st.colBufs = make([][]float64, procs)
+	maxDim := m
+	if n > maxDim {
+		maxDim = n
+	}
+	for c := range st.workspaces {
+		st.workspaces[c] = equilibrate.NewWorkspace(maxDim)
+		st.colBufs[c] = make([]float64, 2*m)
+	}
+
+	xOuter := make([]float64, mn)
+	totalInner := 0
+	for outer := 1; outer <= o.MaxIterations; outer++ {
+		copy(xOuter, st.x)
+
+		it, err := st.stage(true, lambda, mu)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: RC row stage (outer %d): %w", outer, err)
+		}
+		totalInner += it
+		it, err = st.stage(false, lambda, mu)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: RC column stage (outer %d): %w", outer, err)
+		}
+		totalInner += it
+
+		if o.Counters != nil {
+			o.Counters.OuterIterations.Add(1)
+			o.Counters.ConvChecks.Add(1)
+			o.Counters.SerialOps.Add(int64(mn))
+		}
+		delta := mat.MaxAbsDiff(st.x, xOuter)
+		if delta <= o.Epsilon {
+			return st.finish(lambda, mu, outer, totalInner, delta), nil
+		}
+	}
+	sol := st.finish(lambda, mu, o.MaxIterations, totalInner, math.NaN())
+	sol.Converged = false
+	return sol, fmt.Errorf("%w: RC after %d outer iterations", core.ErrNotConverged, o.MaxIterations)
+}
+
+type rcState struct {
+	p      *core.GeneralProblem
+	o      *core.Options
+	gammaT []float64
+
+	x, z, xdev, gx, xPrev []float64
+
+	workspaces []*equilibrate.Workspace
+	colBufs    [][]float64
+	errs       error
+}
+
+// stage runs one dual stage (rows if rowStage, else columns): the projection
+// method on the general objective subject to only that side's constraints,
+// with the other side's multipliers fixed as linear terms. It updates x and
+// the stage's multipliers in place and returns the number of projection
+// iterations used.
+func (st *rcState) stage(rowStage bool, lambda, mu []float64) (int, error) {
+	p, o := st.p, st.o
+	m, n := p.M, p.N
+	mn := m * n
+	procs := len(st.workspaces)
+
+	for proj := 1; proj <= o.InnerMaxIterations; proj++ {
+		copy(st.xPrev, st.x)
+		// Dense linear-term update z = x − ρ·[G(x−x⁰)]/diag(G), in parallel
+		// over the rows of G.
+		for k := 0; k < mn; k++ {
+			st.xdev[k] = st.x[k] - p.X0[k]
+		}
+		parallel.ForChunks(procs, mn, func(_, lo, hi int) {
+			p.G.MulVecRange(st.gx, st.xdev, lo, hi)
+		})
+		if o.Counters != nil {
+			o.Counters.Ops.Add(int64(mn) * int64(mn))
+		}
+		if o.Trace != nil {
+			o.Trace.Phases = append(o.Trace.Phases, core.PhaseCosts{Row: matvecCosts(mn)})
+		}
+		for k := 0; k < mn; k++ {
+			st.z[k] = st.x[k] - st.gx[k]/st.gammaT[k]
+		}
+
+		var ph *core.PhaseCosts
+		if o.Trace != nil {
+			pc := core.PhaseCosts{}
+			if rowStage {
+				pc.Row = make([]int64, m)
+			} else {
+				pc.Col = make([]int64, n)
+			}
+			o.Trace.Phases = append(o.Trace.Phases, pc)
+			ph = &o.Trace.Phases[len(o.Trace.Phases)-1]
+		}
+
+		if rowStage {
+			parallel.ForChunks(procs, m, func(chunk, lo, hi int) {
+				ws := st.workspaces[chunk]
+				for i := lo; i < hi; i++ {
+					c := ws.C[:n]
+					a := ws.A[:n]
+					for j := 0; j < n; j++ {
+						k := i*n + j
+						aj := 0.5 / st.gammaT[k]
+						a[j] = aj
+						c[j] = st.z[k] + aj*mu[j]
+					}
+					prob := equilibrate.Problem{C: c, A: a, R: p.S0[i]}
+					if p.Upper != nil {
+						prob.U = p.Upper[i*n : (i+1)*n]
+					}
+					res, err := prob.Solve(st.x[i*n:(i+1)*n], ws)
+					if err != nil {
+						if st.errs == nil {
+							st.errs = fmt.Errorf("row %d: %w", i, err)
+						}
+						return
+					}
+					lambda[i] = res.Lambda
+					recordTask(o, ph, true, i, res.Ops+int64(2*n))
+				}
+			})
+		} else {
+			parallel.ForChunks(procs, n, func(chunk, lo, hi int) {
+				ws := st.workspaces[chunk]
+				buf := st.colBufs[chunk]
+				c, a := buf[:m], buf[m:2*m]
+				xcol := make([]float64, m)
+				ucol := make([]float64, m)
+				for j := lo; j < hi; j++ {
+					for i := 0; i < m; i++ {
+						k := i*n + j
+						ai := 0.5 / st.gammaT[k]
+						a[i] = ai
+						c[i] = st.z[k] + ai*lambda[i]
+					}
+					prob := equilibrate.Problem{C: c, A: a, R: p.D0[j]}
+					if p.Upper != nil {
+						for i := 0; i < m; i++ {
+							ucol[i] = p.Upper[i*n+j]
+						}
+						prob.U = ucol
+					}
+					res, err := prob.Solve(xcol, ws)
+					if err != nil {
+						if st.errs == nil {
+							st.errs = fmt.Errorf("column %d: %w", j, err)
+						}
+						return
+					}
+					for i := 0; i < m; i++ {
+						st.x[i*n+j] = xcol[i]
+					}
+					mu[j] = res.Lambda
+					recordTask(o, ph, false, j, res.Ops+int64(2*m))
+				}
+			})
+		}
+		if st.errs != nil {
+			err := st.errs
+			st.errs = nil
+			return proj, err
+		}
+
+		// Serial projection-method convergence verification — the phase
+		// that separates RC's parallel stages (paper, Section 5.2).
+		if o.Counters != nil {
+			o.Counters.Iterations.Add(1)
+			o.Counters.ConvChecks.Add(1)
+			o.Counters.SerialOps.Add(int64(mn))
+		}
+		if o.Trace != nil {
+			o.Trace.Phases = append(o.Trace.Phases, core.PhaseCosts{Serial: int64(mn)})
+		}
+		if mat.MaxAbsDiff(st.x, st.xPrev) <= o.InnerEpsilon {
+			return proj, nil
+		}
+	}
+	return o.InnerMaxIterations, fmt.Errorf("%w: RC stage projection", core.ErrNotConverged)
+}
+
+func (st *rcState) finish(lambda, mu []float64, outer, inner int, residual float64) *core.Solution {
+	p := st.p
+	sol := &core.Solution{
+		X: mat.Clone(st.x), S: mat.Clone(p.S0), D: mat.Clone(p.D0),
+		Lambda: mat.Clone(lambda), Mu: mat.Clone(mu),
+		Iterations:      outer,
+		InnerIterations: inner,
+		Converged:       true,
+		Residual:        residual,
+	}
+	sol.Objective = p.Objective(sol.X, sol.S, sol.D)
+	sol.DualValue = math.NaN()
+	return sol
+}
+
+// fillOpts applies defaults for baseline solvers sharing core.Options.
+func fillOpts(o *core.Options) *core.Options {
+	if o == nil {
+		return core.DefaultOptions()
+	}
+	out := *o
+	if out.Epsilon <= 0 {
+		out.Epsilon = 1e-3
+	}
+	if out.MaxIterations <= 0 {
+		out.MaxIterations = 100000
+	}
+	if out.Procs <= 0 {
+		out.Procs = 1
+	}
+	if out.Relaxation <= 0 || out.Relaxation > 1 {
+		out.Relaxation = 1
+	}
+	if out.InnerEpsilon <= 0 {
+		out.InnerEpsilon = out.Epsilon / 10
+	}
+	if out.InnerMaxIterations <= 0 {
+		out.InnerMaxIterations = out.MaxIterations
+	}
+	if out.CheckEvery <= 0 {
+		out.CheckEvery = 1
+	}
+	return &out
+}
+
+// matvecCosts returns the per-row task costs of a dense mn×mn product.
+func matvecCosts(mn int) []int64 {
+	costs := make([]int64, mn)
+	for k := range costs {
+		costs[k] = int64(mn)
+	}
+	return costs
+}
+
+// recordTask stores one equilibration task's cost in the counters and trace.
+func recordTask(o *core.Options, ph *core.PhaseCosts, row bool, idx int, cost int64) {
+	if o.Counters != nil {
+		o.Counters.Equilibrations.Add(1)
+		o.Counters.Ops.Add(cost)
+	}
+	if ph != nil {
+		if row {
+			ph.Row[idx] = cost
+		} else {
+			ph.Col[idx] = cost
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"sea/internal/core"
+	"sea/internal/mat"
+)
+
+// SolveUnsigned solves the fixed-totals diagonal problem *without* the
+// nonnegativity constraints — the Stone (1962) / Byron (1978) /
+// Van der Ploeg (1982) class of estimators the paper's Section 2 contrasts
+// with the constrained matrix problem. Dropping x ≥ 0 makes the KKT
+// conditions a dense symmetric positive definite linear system in the
+// multipliers, solved here directly by Cholesky factorization:
+//
+//	x_ij = x⁰_ij + a_ij(λ_i + μ_j),  a_ij = 1/(2γ_ij),
+//	row and column constraints ⇒ an (m+n−1)-dimensional system
+//	(one multiplier is pinned to remove the λ+c, μ−c shift nullspace).
+//
+// Its solution coincides with SEA's whenever the signed optimum happens to
+// be nonnegative, and exhibits the classical pathology — negative estimated
+// transactions — whenever it does not; the tests demonstrate both.
+func SolveUnsigned(p *core.DiagonalProblem) (*core.Solution, error) {
+	if p.Kind != core.FixedTotals {
+		return nil, fmt.Errorf("baseline: unsigned estimator supports fixed totals only, got %v", p.Kind)
+	}
+	if p.Upper != nil {
+		return nil, fmt.Errorf("baseline: unsigned estimator does not support upper bounds")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m, n := p.M, p.N
+
+	// KKT system over (λ_0..λ_{m-1}, μ_0..μ_{n-2}); μ_{n-1} pinned to 0.
+	dim := m + n - 1
+	a := func(i, j int) float64 { return 0.5 / p.Gamma[i*n+j] }
+	sys := make([]float64, dim*dim)
+	rhs := make([]float64, dim)
+
+	rowSum0 := make([]float64, m)
+	colSum0 := make([]float64, n)
+	p.RowSums(p.X0, rowSum0)
+	p.ColSums(p.X0, colSum0)
+
+	for i := 0; i < m; i++ {
+		var diag float64
+		for j := 0; j < n; j++ {
+			diag += a(i, j)
+			if j < n-1 {
+				sys[i*dim+(m+j)] = a(i, j)
+				sys[(m+j)*dim+i] = a(i, j)
+			}
+		}
+		sys[i*dim+i] = diag
+		rhs[i] = p.S0[i] - rowSum0[i]
+	}
+	for j := 0; j < n-1; j++ {
+		var diag float64
+		for i := 0; i < m; i++ {
+			diag += a(i, j)
+		}
+		sys[(m+j)*dim+(m+j)] = diag
+		rhs[m+j] = p.D0[j] - colSum0[j]
+	}
+
+	mult, err := mat.CholeskySolve(dim, sys, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: unsigned KKT system: %w", err)
+	}
+
+	lambda := mult[:m]
+	mu := make([]float64, n)
+	copy(mu, mult[m:])
+	// mu[n-1] = 0 by the pinning.
+
+	x := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			x[i*n+j] = p.X0[i*n+j] + a(i, j)*(lambda[i]+mu[j])
+		}
+	}
+	sol := &core.Solution{
+		X: x, S: mat.Clone(p.S0), D: mat.Clone(p.D0),
+		Lambda: lambda, Mu: mu,
+		Iterations: 1,
+		Converged:  true,
+	}
+	sol.Objective = p.Objective(x, sol.S, sol.D)
+	sol.DualValue = math.NaN()
+	return sol, nil
+}
+
+// MinEntry returns the most negative entry of x (0 if none) — the unsigned
+// estimator's pathology indicator.
+func MinEntry(x []float64) float64 {
+	var worst float64
+	for _, v := range x {
+		if v < worst {
+			worst = v
+		}
+	}
+	return worst
+}

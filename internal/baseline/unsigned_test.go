@@ -1,0 +1,191 @@
+package baseline
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"sea/internal/core"
+	"sea/internal/mat"
+)
+
+// TestUnsignedMatchesSEAInterior: when the signed optimum is strictly
+// positive, dropping the nonnegativity constraints changes nothing, so the
+// Cholesky-based unsigned estimator must equal SEA exactly.
+func TestUnsignedMatchesSEAInterior(t *testing.T) {
+	rng := rand.New(rand.NewPCG(81, 82))
+	for trial := 0; trial < 8; trial++ {
+		m := 2 + rng.IntN(5)
+		n := 2 + rng.IntN(5)
+		// Mild totals adjustment keeps the optimum interior.
+		p := randFixedDiag(rng, m, n, 1.05)
+		sea, err := core.SolveDiagonal(p, seaOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		interior := true
+		for _, v := range sea.X {
+			if v < 1e-6 {
+				interior = false
+			}
+		}
+		if !interior {
+			continue
+		}
+		uns, err := SolveUnsigned(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range sea.X {
+			if math.Abs(sea.X[k]-uns.X[k]) > 1e-5*(1+math.Abs(sea.X[k])) {
+				t.Fatalf("trial %d: interior optimum differs at %d: SEA %g vs unsigned %g",
+					trial, k, sea.X[k], uns.X[k])
+			}
+		}
+	}
+}
+
+// TestUnsignedNegativePathology: a classic instance where the unsigned
+// estimator produces negative transactions while SEA stays feasible — the
+// motivation for treating (4) explicitly.
+func TestUnsignedNegativePathology(t *testing.T) {
+	// A cell with a tiny prior in a row that must shrink a lot.
+	x0 := []float64{
+		0.01, 20, 20,
+		10, 10, 10,
+	}
+	gamma := make([]float64, 6)
+	for k := range gamma {
+		gamma[k] = 1 // least squares, so the small cell is not protected
+	}
+	s0 := []float64{10, 32}
+	d0 := []float64{2, 20, 20}
+	p, err := core.NewFixed(2, 3, x0, gamma, s0, d0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uns, err := SolveUnsigned(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MinEntry(uns.X) >= 0 {
+		t.Fatalf("expected negative entries from the unsigned estimator, got min %g (X=%v)",
+			MinEntry(uns.X), uns.X)
+	}
+	sea, err := core.SolveDiagonal(p, seaOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.AllNonNegative(sea.X) {
+		t.Error("SEA produced negative entries")
+	}
+	// Relaxation bound: the unsigned optimum can only be at most as costly.
+	if uns.Objective > sea.Objective+1e-9 {
+		t.Errorf("unsigned objective %g exceeds constrained %g", uns.Objective, sea.Objective)
+	}
+	// The unsigned solution still meets the totals exactly.
+	rs := make([]float64, 2)
+	cs := make([]float64, 3)
+	p.RowSums(uns.X, rs)
+	p.ColSums(uns.X, cs)
+	for i, v := range rs {
+		if math.Abs(v-s0[i]) > 1e-8 {
+			t.Errorf("unsigned row %d total %g != %g", i, v, s0[i])
+		}
+	}
+	for j, v := range cs {
+		if math.Abs(v-d0[j]) > 1e-8 {
+			t.Errorf("unsigned column %d total %g != %g", j, v, d0[j])
+		}
+	}
+}
+
+func TestUnsignedRejects(t *testing.T) {
+	p := &core.DiagonalProblem{Kind: core.ElasticTotals}
+	if _, err := SolveUnsigned(p); err == nil {
+		t.Error("elastic accepted")
+	}
+	rng := rand.New(rand.NewPCG(83, 84))
+	pb := randFixedDiag(rng, 2, 2, 1)
+	pb.Upper = []float64{1, 1, 1, 1}
+	if _, err := SolveUnsigned(pb); err == nil {
+		t.Error("bounded accepted")
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	// 3×3 SPD system with known solution.
+	a := []float64{
+		4, 1, 0,
+		1, 3, 1,
+		0, 1, 2,
+	}
+	want := []float64{1, -2, 3}
+	b := make([]float64, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			b[i] += a[i*3+j] * want[j]
+		}
+	}
+	got, err := mat.CholeskySolve(3, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Errorf("x[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	// Non-PD rejected.
+	bad := []float64{1, 2, 2, 1}
+	if _, err := mat.CholeskySolve(2, bad, []float64{1, 1}); err == nil {
+		t.Error("indefinite matrix accepted")
+	}
+	if _, err := mat.CholeskySolve(2, bad[:3], []float64{1, 1}); err == nil {
+		t.Error("short matrix accepted")
+	}
+}
+
+func TestCholeskyRandomSPD(t *testing.T) {
+	rng := rand.New(rand.NewPCG(85, 86))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.IntN(20)
+		// A = BᵀB + I is SPD.
+		bmat := make([]float64, n*n)
+		for k := range bmat {
+			bmat[k] = rng.NormFloat64()
+		}
+		a := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k < n; k++ {
+					s += bmat[k*n+i] * bmat[k*n+j]
+				}
+				if i == j {
+					s++
+				}
+				a[i*n+j] = s
+			}
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		rhs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				rhs[i] += a[i*n+j] * want[j]
+			}
+		}
+		got, err := mat.CholeskySolve(n, a, rhs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-7*(1+math.Abs(want[i])) {
+				t.Fatalf("trial %d: x[%d] = %g, want %g", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

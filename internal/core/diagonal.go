@@ -1,0 +1,454 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sea/internal/equilibrate"
+	"sea/internal/mat"
+	"sea/internal/parallel"
+)
+
+// SolveDiagonal runs the splitting equilibration algorithm on a diagonal
+// constrained matrix problem (paper Section 3.1): alternating parallel row
+// and column exact-equilibration phases — dual block-coordinate ascent on
+// ζ_l(λ,μ) — until the convergence criterion is met.
+//
+// On iteration-limit exhaustion it returns the last iterate together with an
+// error wrapping ErrNotConverged.
+func SolveDiagonal(p *DiagonalProblem, opts *Options) (*Solution, error) {
+	o := opts.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	st := newDiagState(p, o)
+	if err := st.run(); err != nil {
+		return st.solution(), err
+	}
+	return st.solution(), nil
+}
+
+// diagState carries the working arrays of one diagonal solve.
+type diagState struct {
+	p *DiagonalProblem
+	o *Options
+
+	x        []float64 // current matrix iterate, m×n row-major
+	xPrev    []float64 // previous checked iterate (MaxAbsDelta only)
+	lambda   []float64 // row multipliers λ_i
+	mu       []float64 // column multipliers μ_j
+	rowSum   []float64 // Σ_j x_ij as returned by the latest row phase
+	colSum   []float64 // Σ_i x_ij as returned by the latest column phase
+	checkBuf []float64 // per-row scratch for the parallel convergence check
+
+	workspaces []*equilibrate.Workspace
+	colBufs    [][]float64 // per-worker strided-column scratch (c, a, u, x)
+	errs       []error
+
+	iterations int
+	converged  bool
+	residual   float64
+	havePrev   bool
+}
+
+func newDiagState(p *DiagonalProblem, o *Options) *diagState {
+	m, n := p.M, p.N
+	maxDim := m
+	if n > maxDim {
+		maxDim = n
+	}
+	st := &diagState{
+		p:        p,
+		o:        o,
+		x:        make([]float64, m*n),
+		lambda:   make([]float64, m),
+		mu:       make([]float64, n),
+		rowSum:   make([]float64, m),
+		colSum:   make([]float64, n),
+		checkBuf: make([]float64, m),
+	}
+	if o.Mu0 != nil {
+		copy(st.mu, o.Mu0)
+	}
+	if o.Criterion == MaxAbsDelta {
+		st.xPrev = make([]float64, m*n)
+	}
+	procs := o.Procs
+	if procs > maxDim {
+		procs = maxDim
+	}
+	if procs < 1 {
+		procs = 1
+	}
+	st.workspaces = make([]*equilibrate.Workspace, procs)
+	st.colBufs = make([][]float64, procs)
+	st.errs = make([]error, procs)
+	for c := range st.workspaces {
+		st.workspaces[c] = equilibrate.NewWorkspace(maxDim)
+		st.colBufs[c] = make([]float64, 5*m) // c, a, u, l, x slots for one column
+	}
+	return st
+}
+
+// run executes the alternating phases until convergence or iteration limit.
+func (st *diagState) run() error {
+	o := st.o
+	for t := 1; t <= o.MaxIterations; t++ {
+		st.iterations = t
+		var ph *PhaseCosts
+		if o.Trace != nil {
+			o.Trace.Phases = append(o.Trace.Phases, PhaseCosts{
+				Row: make([]int64, st.p.M),
+				Col: make([]int64, st.p.N),
+			})
+			ph = &o.Trace.Phases[len(o.Trace.Phases)-1]
+		}
+		if err := st.rowPhase(ph); err != nil {
+			return err
+		}
+		if err := st.colPhase(ph); err != nil {
+			return err
+		}
+		if o.BoundMultipliers && st.p.Kind != ElasticTotals {
+			st.boundMultipliers()
+		}
+		if o.Counters != nil {
+			o.Counters.Iterations.Add(1)
+		}
+		if t%o.CheckEvery == 0 && st.checkConvergence(ph) {
+			st.converged = true
+			return nil
+		}
+	}
+	return fmt.Errorf("%w after %d iterations (criterion %v, residual %g, ε %g)",
+		ErrNotConverged, o.MaxIterations, o.Criterion, st.residual, o.Epsilon)
+}
+
+// rowPhase solves the m independent row equilibrium subproblems in parallel,
+// updating x row-wise, λ, and rowSum.
+func (st *diagState) rowPhase(ph *PhaseCosts) error {
+	p, o := st.p, st.o
+	m, n := p.M, p.N
+	procs := len(st.workspaces)
+	parallel.ForChunks(procs, m, func(chunk, lo, hi int) {
+		ws := st.workspaces[chunk]
+		for i := lo; i < hi; i++ {
+			x0 := p.X0[i*n : (i+1)*n]
+			g := p.Gamma[i*n : (i+1)*n]
+			c := ws.C[:n]
+			a := ws.A[:n]
+			for j := 0; j < n; j++ {
+				aj := 0.5 / g[j]
+				a[j] = aj
+				c[j] = x0[j] + aj*st.mu[j]
+			}
+			prob := equilibrate.Problem{C: c, A: a}
+			if p.Upper != nil {
+				prob.U = p.Upper[i*n : (i+1)*n]
+			}
+			if p.Lower != nil {
+				prob.L = p.Lower[i*n : (i+1)*n]
+			}
+			switch p.Kind {
+			case FixedTotals:
+				prob.R = p.S0[i]
+			case ElasticTotals:
+				prob.E = 0.5 / p.Alpha[i]
+				prob.R = p.S0[i]
+			case Balanced:
+				e := 0.5 / p.Alpha[i]
+				prob.E = e
+				prob.R = p.S0[i] - e*st.mu[i]
+			}
+			var res equilibrate.Result
+			var err error
+			if p.Kind == IntervalTotals {
+				res, err = prob.SolveInterval(p.SLo[i], p.SHi[i], st.x[i*n:(i+1)*n], ws)
+			} else if o.Kernel == KernelBisection {
+				res, err = prob.SolveBisection(st.x[i*n:(i+1)*n], o.KernelTol)
+			} else {
+				res, err = prob.Solve(st.x[i*n:(i+1)*n], ws)
+			}
+			if err != nil {
+				if st.errs[chunk] == nil {
+					st.errs[chunk] = fmt.Errorf("row %d: %w", i, err)
+				}
+				return
+			}
+			st.lambda[i] = res.Lambda
+			st.rowSum[i] = res.Total
+			cost := res.Ops + int64(2*n)
+			if ph != nil {
+				ph.Row[i] = cost
+			}
+			if o.Counters != nil {
+				o.Counters.Equilibrations.Add(1)
+				o.Counters.Ops.Add(cost)
+			}
+		}
+	})
+	return st.takeErr()
+}
+
+// colPhase solves the n independent column equilibrium subproblems in
+// parallel, updating x column-wise, μ, and colSum.
+func (st *diagState) colPhase(ph *PhaseCosts) error {
+	p, o := st.p, st.o
+	m, n := p.M, p.N
+	procs := len(st.workspaces)
+	parallel.ForChunks(procs, n, func(chunk, lo, hi int) {
+		ws := st.workspaces[chunk]
+		buf := st.colBufs[chunk]
+		c, a, u, l, xcol := buf[:m], buf[m:2*m], buf[2*m:3*m], buf[3*m:4*m], buf[4*m:5*m]
+		for j := lo; j < hi; j++ {
+			for i := 0; i < m; i++ {
+				k := i*n + j
+				ai := 0.5 / p.Gamma[k]
+				a[i] = ai
+				c[i] = p.X0[k] + ai*st.lambda[i]
+			}
+			prob := equilibrate.Problem{C: c, A: a}
+			if p.Upper != nil {
+				for i := 0; i < m; i++ {
+					u[i] = p.Upper[i*n+j]
+				}
+				prob.U = u
+			}
+			if p.Lower != nil {
+				for i := 0; i < m; i++ {
+					l[i] = p.Lower[i*n+j]
+				}
+				prob.L = l
+			}
+			switch p.Kind {
+			case FixedTotals:
+				prob.R = p.D0[j]
+			case ElasticTotals:
+				prob.E = 0.5 / p.Beta[j]
+				prob.R = p.D0[j]
+			case Balanced:
+				e := 0.5 / p.Alpha[j]
+				prob.E = e
+				prob.R = p.S0[j] - e*st.lambda[j]
+			}
+			var res equilibrate.Result
+			var err error
+			if p.Kind == IntervalTotals {
+				res, err = prob.SolveInterval(p.DLo[j], p.DHi[j], xcol, ws)
+			} else if o.Kernel == KernelBisection {
+				res, err = prob.SolveBisection(xcol, o.KernelTol)
+			} else {
+				res, err = prob.Solve(xcol, ws)
+			}
+			if err != nil {
+				if st.errs[chunk] == nil {
+					st.errs[chunk] = fmt.Errorf("column %d: %w", j, err)
+				}
+				return
+			}
+			for i := 0; i < m; i++ {
+				st.x[i*n+j] = xcol[i]
+			}
+			st.mu[j] = res.Lambda
+			st.colSum[j] = res.Total
+			cost := res.Ops + int64(2*m)
+			if ph != nil {
+				ph.Col[j] = cost
+			}
+			if o.Counters != nil {
+				o.Counters.Equilibrations.Add(1)
+				o.Counters.Ops.Add(cost)
+			}
+		}
+	})
+	return st.takeErr()
+}
+
+// takeErr returns (and clears) the first recorded worker error.
+func (st *diagState) takeErr() error {
+	for c, err := range st.errs {
+		if err != nil {
+			st.errs[c] = nil
+			return err
+		}
+	}
+	return nil
+}
+
+// supplies writes the dual-consistent row total estimates S_i(λ,μ) into dst.
+// For interval problems the estimate is the current row sum clamped to its
+// interval, so callers must refresh st.rowSum from the current iterate
+// first (p.RowSums).
+func (st *diagState) supplies(dst []float64) {
+	p := st.p
+	switch p.Kind {
+	case FixedTotals:
+		copy(dst, p.S0)
+	case ElasticTotals:
+		for i := range dst {
+			dst[i] = p.S0[i] - st.lambda[i]/(2*p.Alpha[i])
+		}
+	case Balanced:
+		for i := range dst {
+			dst[i] = p.S0[i] - (st.lambda[i]+st.mu[i])/(2*p.Alpha[i])
+		}
+	case IntervalTotals:
+		// The dual-consistent total follows the multiplier's sign: a
+		// positive λ asserts the lower bound binds, a negative one the
+		// upper; only a zero multiplier tolerates an interior sum. This
+		// makes the residual |S_i − Σ_j x_ij| enforce complementarity, not
+		// just interval feasibility.
+		for i := range dst {
+			dst[i] = intervalTarget(st.lambda[i], st.rowSum[i], p.SLo[i], p.SHi[i])
+		}
+	}
+}
+
+// intervalTarget returns the total an interval constraint's multiplier
+// asserts: its binding bound when nonzero, the nearest interval point to
+// the current sum when zero.
+func intervalTarget(mult, sum, lo, hi float64) float64 {
+	switch {
+	case mult > 0:
+		return lo
+	case mult < 0:
+		return hi
+	default:
+		return math.Min(math.Max(sum, lo), hi)
+	}
+}
+
+// demands writes the dual-consistent column total estimates D_j(λ,μ) into
+// dst. For interval problems the column constraints hold exactly after the
+// column phase, so the kernel totals in st.colSum are current.
+func (st *diagState) demands(dst []float64) {
+	p := st.p
+	switch p.Kind {
+	case FixedTotals:
+		copy(dst, p.D0)
+	case ElasticTotals:
+		for j := range dst {
+			dst[j] = p.D0[j] - st.mu[j]/(2*p.Beta[j])
+		}
+	case Balanced:
+		st.supplies(dst)
+	case IntervalTotals:
+		for j := range dst {
+			dst[j] = intervalTarget(st.mu[j], st.colSum[j], p.DLo[j], p.DHi[j])
+		}
+	}
+}
+
+// checkConvergence runs the convergence-verification phase. It recomputes
+// the row sums (or per-row deltas) of the current iterate — the column
+// constraints hold exactly after the column phase — evaluates the selected
+// criterion, and charges the op counts the paper attributes to this phase.
+//
+// By default the whole check is the algorithm's only serial phase, exactly
+// as the paper implements it; with Options.ParallelConvCheck the O(m·n)
+// scan runs as m parallel tasks and only the O(m) reduction stays serial
+// (the enhancement the paper suggests in Section 4.2).
+func (st *diagState) checkConvergence(ph *PhaseCosts) bool {
+	p, o := st.p, st.o
+	m, n := p.M, p.N
+	var serialOps int64
+	if o.ParallelConvCheck {
+		serialOps = int64(2 * m)
+		if ph != nil {
+			ph.Check = make([]int64, m)
+			for i := range ph.Check {
+				ph.Check[i] = int64(n)
+			}
+		}
+	} else {
+		serialOps = int64(m*n + 2*m)
+	}
+	if o.Counters != nil {
+		o.Counters.ConvChecks.Add(1)
+		o.Counters.SerialOps.Add(serialOps)
+	}
+	if ph != nil {
+		ph.Serial = serialOps
+	}
+
+	// perRow applies fn to every row, in parallel when the check phase is
+	// parallelized.
+	perRow := func(fn func(i int)) {
+		if o.ParallelConvCheck {
+			parallel.ForChunks(len(st.workspaces), m, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			})
+		} else {
+			for i := 0; i < m; i++ {
+				fn(i)
+			}
+		}
+	}
+
+	switch o.Criterion {
+	case MaxAbsDelta:
+		if !st.havePrev {
+			copy(st.xPrev, st.x)
+			st.havePrev = true
+			st.residual = math.Inf(1)
+			return false
+		}
+		perRow(func(i int) {
+			row := st.x[i*n : (i+1)*n]
+			prev := st.xPrev[i*n : (i+1)*n]
+			st.checkBuf[i] = mat.MaxAbsDiff(row, prev)
+			copy(prev, row)
+		})
+		st.residual = mat.MaxAbs(st.checkBuf)
+		return st.residual <= o.Epsilon
+
+	case RelBalance, DualGradient:
+		perRow(func(i int) {
+			st.rowSum[i] = mat.Sum(st.x[i*n : (i+1)*n])
+		})
+		s := make([]float64, m)
+		st.supplies(s)
+		var worst float64
+		for i := 0; i < m; i++ {
+			r := math.Abs(s[i] - st.rowSum[i])
+			if o.Criterion == RelBalance {
+				if denom := math.Abs(s[i]); denom > 1e-12 {
+					r /= denom
+				}
+			}
+			if r > worst {
+				worst = r
+			}
+		}
+		st.residual = worst
+		return worst <= o.Epsilon
+	}
+	return false
+}
+
+// solution packages the current iterate.
+func (st *diagState) solution() *Solution {
+	p := st.p
+	s := make([]float64, p.M)
+	d := make([]float64, p.N)
+	if p.Kind == IntervalTotals {
+		p.RowSums(st.x, st.rowSum) // supplies() clamps the current sums
+	}
+	st.supplies(s)
+	st.demands(d)
+	sol := &Solution{
+		X:          st.x,
+		S:          s,
+		D:          d,
+		Lambda:     mat.Clone(st.lambda),
+		Mu:         mat.Clone(st.mu),
+		Iterations: st.iterations,
+		Converged:  st.converged,
+		Residual:   st.residual,
+	}
+	sol.Objective = p.Objective(st.x, s, d)
+	sol.DualValue = DualValue(p, st.lambda, st.mu)
+	return sol
+}

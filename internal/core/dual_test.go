@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestWeakDuality: ζ(λ,μ) ≤ Θ(x_feasible) for arbitrary multipliers and any
+// feasible primal point.
+func TestWeakDuality(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	for trial := 0; trial < 30; trial++ {
+		var p *DiagonalProblem
+		switch trial % 3 {
+		case 0:
+			p = randFixed(rng, 3+rng.IntN(4), 3+rng.IntN(4), 100, 2)
+		case 1:
+			p = randElastic(rng, 3+rng.IntN(4), 3+rng.IntN(4))
+		default:
+			p = randBalanced(rng, 3+rng.IntN(4))
+		}
+		// A feasible primal point from a converged solve.
+		sol, err := SolveDiagonal(p, tightOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		primal := sol.Objective
+		// Random multipliers must give a dual value below the optimum.
+		lambda := make([]float64, p.M)
+		mu := make([]float64, p.N)
+		for i := range lambda {
+			lambda[i] = rng.NormFloat64() * 10
+		}
+		for j := range mu {
+			mu[j] = rng.NormFloat64() * 10
+		}
+		if z := DualValue(p, lambda, mu); z > primal+1e-6*(1+math.Abs(primal)) {
+			t.Errorf("trial %d (%v): weak duality violated: ζ=%g > Θ*=%g", trial, p.Kind, z, primal)
+		}
+	}
+}
+
+// TestDualAscent: the iterates of SEA produce nondecreasing dual values —
+// the monotonicity (71) underlying the convergence proof.
+func TestDualAscent(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 24))
+	p := randElastic(rng, 8, 8)
+	o := DefaultOptions()
+	o.Criterion = DualGradient
+	o.Epsilon = 1e-9
+	o.MaxIterations = 500000
+
+	// Re-run the solve manually, one iteration at a time, via warm starts.
+	var mu []float64
+	prev := math.Inf(-1)
+	for it := 0; it < 30; it++ {
+		oo := *o
+		oo.MaxIterations = 1
+		oo.Mu0 = mu
+		sol, err := SolveDiagonal(p, &oo)
+		if sol == nil {
+			t.Fatal(err)
+		}
+		z := DualValue(p, sol.Lambda, sol.Mu)
+		if z < prev-1e-8*(1+math.Abs(prev)) {
+			t.Fatalf("iteration %d: dual decreased from %g to %g", it, prev, z)
+		}
+		prev = z
+		mu = sol.Mu
+		if sol.Converged {
+			break
+		}
+	}
+}
+
+func TestDualResidualsVanishAtOptimum(t *testing.T) {
+	rng := rand.New(rand.NewPCG(25, 26))
+	for _, mk := range []func() *DiagonalProblem{
+		func() *DiagonalProblem { return randFixed(rng, 5, 6, 100, 2) },
+		func() *DiagonalProblem { return randElastic(rng, 5, 6) },
+		func() *DiagonalProblem { return randBalanced(rng, 5) },
+	} {
+		p := mk()
+		sol, err := SolveDiagonal(p, tightOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := MaxDualResidual(p, sol.Lambda, sol.Mu); r > 1e-7 {
+			t.Errorf("%v: ‖∇ζ‖∞ = %g at optimum", p.Kind, r)
+		}
+	}
+}
+
+func TestDualPrimalMatchesSolution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(27, 28))
+	p := randElastic(rng, 6, 5)
+	sol, err := SolveDiagonal(p, tightOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, p.M*p.N)
+	s := make([]float64, p.M)
+	d := make([]float64, p.N)
+	DualPrimal(p, sol.Lambda, sol.Mu, x, s, d)
+	for k := range x {
+		if math.Abs(x[k]-sol.X[k]) > 1e-9*(1+math.Abs(sol.X[k])) {
+			t.Fatalf("DualPrimal X[%d] = %g, solver returned %g", k, x[k], sol.X[k])
+		}
+	}
+	for i := range s {
+		if math.Abs(s[i]-sol.S[i]) > 1e-9*(1+math.Abs(sol.S[i])) {
+			t.Fatalf("DualPrimal S[%d] = %g, solver returned %g", i, s[i], sol.S[i])
+		}
+	}
+	for j := range d {
+		if math.Abs(d[j]-sol.D[j]) > 1e-9*(1+math.Abs(sol.D[j])) {
+			t.Fatalf("DualPrimal D[%d] = %g, solver returned %g", j, d[j], sol.D[j])
+		}
+	}
+}
+
+// TestDualGradientIsResidual verifies (25)–(26): the components of ∇ζ are
+// exactly the constraint residuals of the dual-primal point.
+func TestDualGradientIsResidual(t *testing.T) {
+	rng := rand.New(rand.NewPCG(29, 30))
+	p := randBalanced(rng, 6)
+	lambda := make([]float64, p.M)
+	mu := make([]float64, p.N)
+	for i := range lambda {
+		lambda[i] = rng.NormFloat64()
+	}
+	for j := range mu {
+		mu[j] = rng.NormFloat64()
+	}
+	gl := make([]float64, p.M)
+	gm := make([]float64, p.N)
+	DualResiduals(p, lambda, mu, gl, gm)
+
+	// Compare against a numerical gradient of DualValue.
+	const h = 1e-6
+	for i := 0; i < p.M; i++ {
+		lp := make([]float64, p.M)
+		copy(lp, lambda)
+		lp[i] += h
+		lm := make([]float64, p.M)
+		copy(lm, lambda)
+		lm[i] -= h
+		num := (DualValue(p, lp, mu) - DualValue(p, lm, mu)) / (2 * h)
+		if math.Abs(num-gl[i]) > 1e-3*(1+math.Abs(num)) {
+			t.Errorf("∂ζ/∂λ_%d: analytic %g vs numeric %g", i, gl[i], num)
+		}
+	}
+	for j := 0; j < p.N; j++ {
+		mp := make([]float64, p.N)
+		copy(mp, mu)
+		mp[j] += h
+		mm := make([]float64, p.N)
+		copy(mm, mu)
+		mm[j] -= h
+		num := (DualValue(p, lambda, mp) - DualValue(p, lambda, mm)) / (2 * h)
+		if math.Abs(num-gm[j]) > 1e-3*(1+math.Abs(num)) {
+			t.Errorf("∂ζ/∂μ_%d: analytic %g vs numeric %g", j, gm[j], num)
+		}
+	}
+}
+
+// TestGeometricRate verifies the linear convergence of the paper's (76):
+// the dual gap δ^t = ζ* − ζ(λ^t, μ^t) contracts by a roughly constant
+// factor per iteration, so that halving the tolerance costs an additive,
+// not multiplicative, number of iterations.
+func TestGeometricRate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 42))
+	p := randElastic(rng, 8, 8)
+	// Reference optimum.
+	opt, err := SolveDiagonal(p, tightOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	zStar := DualValue(p, opt.Lambda, opt.Mu)
+
+	var mu []float64
+	var gaps []float64
+	for it := 0; it < 25; it++ {
+		oo := DefaultOptions()
+		oo.MaxIterations = 1
+		oo.Mu0 = mu
+		sol, _ := SolveDiagonal(p, oo)
+		if sol == nil {
+			t.Fatal("no iterate")
+		}
+		gap := zStar - DualValue(p, sol.Lambda, sol.Mu)
+		if gap < 1e-14*(1+math.Abs(zStar)) {
+			break // converged to machine precision
+		}
+		gaps = append(gaps, gap)
+		mu = sol.Mu
+	}
+	if len(gaps) < 5 {
+		t.Skip("converged too fast to estimate a rate")
+	}
+	// Monotone decrease and a contraction factor bounded away from 1 on
+	// average over the tail.
+	worst := 0.0
+	for i := 1; i < len(gaps); i++ {
+		ratio := gaps[i] / gaps[i-1]
+		if ratio > 1+1e-9 {
+			t.Fatalf("dual gap increased at step %d: %g -> %g", i, gaps[i-1], gaps[i])
+		}
+		if ratio > worst {
+			worst = ratio
+		}
+	}
+	if worst >= 0.999 {
+		t.Errorf("contraction factor %g not bounded away from 1: gaps %v", worst, gaps)
+	}
+}

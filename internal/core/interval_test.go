@@ -1,0 +1,316 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// randInterval builds a random feasible interval-totals problem whose
+// intervals bracket a common feasible mass.
+func randInterval(rng *rand.Rand, m, n int, width float64) *DiagonalProblem {
+	x0 := make([]float64, m*n)
+	gamma := make([]float64, m*n)
+	for k := range x0 {
+		x0[k] = 0.1 + rng.Float64()*100
+		gamma[k] = 1 / x0[k]
+	}
+	slo := make([]float64, m)
+	shi := make([]float64, m)
+	dlo := make([]float64, n)
+	dhi := make([]float64, n)
+	for i := 0; i < m; i++ {
+		var rs float64
+		for j := 0; j < n; j++ {
+			rs += x0[i*n+j]
+		}
+		c := rs * (1 + rng.Float64()) // center up to 2× the prior sum
+		slo[i] = math.Max(0, c*(1-width))
+		shi[i] = c * (1 + width)
+	}
+	// Column intervals spanning the full row mass range keep the problem
+	// feasible for any width.
+	var totLo, totHi float64
+	for i := range slo {
+		totLo += slo[i]
+		totHi += shi[i]
+	}
+	for j := 0; j < n; j++ {
+		dlo[j] = totLo / float64(n) * 0.5
+		dhi[j] = totHi / float64(n) * 1.5
+	}
+	p, err := NewInterval(m, n, x0, gamma, slo, shi, dlo, dhi)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestIntervalExactRecovery(t *testing.T) {
+	// Prior sums strictly inside every interval: the prior is optimal.
+	rng := rand.New(rand.NewPCG(91, 92))
+	m, n := 4, 5
+	x0 := make([]float64, m*n)
+	gamma := make([]float64, m*n)
+	for k := range x0 {
+		x0[k] = 1 + rng.Float64()*10
+		gamma[k] = 1
+	}
+	slo := make([]float64, m)
+	shi := make([]float64, m)
+	dlo := make([]float64, n)
+	dhi := make([]float64, n)
+	rs := make([]float64, m)
+	cs := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			rs[i] += x0[i*n+j]
+			cs[j] += x0[i*n+j]
+		}
+	}
+	for i := range rs {
+		slo[i] = rs[i] * 0.9
+		shi[i] = rs[i] * 1.1
+	}
+	for j := range cs {
+		dlo[j] = cs[j] * 0.9
+		dhi[j] = cs[j] * 1.1
+	}
+	p, err := NewInterval(m, n, x0, gamma, slo, shi, dlo, dhi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SolveDiagonal(p, tightOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective > 1e-12 {
+		t.Errorf("objective %g, want 0 (prior feasible)", sol.Objective)
+	}
+	for k := range sol.X {
+		if sol.X[k] != x0[k] {
+			t.Fatalf("X[%d] moved from a feasible prior", k)
+		}
+	}
+	if sol.Iterations != 1 {
+		t.Errorf("took %d iterations, want 1 (constraints all slack)", sol.Iterations)
+	}
+}
+
+func TestIntervalDegeneratesToFixed(t *testing.T) {
+	// Pinned intervals (lo = hi) must reproduce the fixed-totals solution.
+	rng := rand.New(rand.NewPCG(93, 94))
+	pf := randFixed(rng, 5, 6, 100, 2)
+	pi := &DiagonalProblem{
+		M: pf.M, N: pf.N, X0: pf.X0, Gamma: pf.Gamma,
+		SLo: pf.S0, SHi: pf.S0, DLo: pf.D0, DHi: pf.D0,
+		Kind: IntervalTotals,
+	}
+	if err := pi.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := SolveDiagonal(pf, tightOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	interval, err := SolveDiagonal(pi, tightOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range fixed.X {
+		if math.Abs(fixed.X[k]-interval.X[k]) > 1e-6*(1+math.Abs(fixed.X[k])) {
+			t.Fatalf("pinned interval diverges from fixed at %d: %g vs %g",
+				k, interval.X[k], fixed.X[k])
+		}
+	}
+}
+
+func TestIntervalRelaxationHelps(t *testing.T) {
+	// Widening the intervals can only decrease the optimal objective.
+	rng := rand.New(rand.NewPCG(95, 96))
+	pf := randFixed(rng, 5, 5, 100, 2)
+	makeInterval := func(width float64) *DiagonalProblem {
+		m, n := pf.M, pf.N
+		p := &DiagonalProblem{
+			M: m, N: n, X0: pf.X0, Gamma: pf.Gamma,
+			SLo: make([]float64, m), SHi: make([]float64, m),
+			DLo: make([]float64, n), DHi: make([]float64, n),
+			Kind: IntervalTotals,
+		}
+		for i := range pf.S0 {
+			p.SLo[i] = pf.S0[i] * (1 - width)
+			p.SHi[i] = pf.S0[i] * (1 + width)
+		}
+		for j := range pf.D0 {
+			p.DLo[j] = pf.D0[j] * (1 - width)
+			p.DHi[j] = pf.D0[j] * (1 + width)
+		}
+		return p
+	}
+	prev := math.Inf(1)
+	for _, width := range []float64{0, 0.05, 0.2, 0.5} {
+		p := makeInterval(width)
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		sol, err := SolveDiagonal(p, tightOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Objective > prev+1e-6*(1+prev) {
+			t.Errorf("width %.2f: objective %g exceeds tighter problem's %g", width, sol.Objective, prev)
+		}
+		prev = sol.Objective
+	}
+}
+
+func TestIntervalKKT(t *testing.T) {
+	rng := rand.New(rand.NewPCG(97, 98))
+	for trial := 0; trial < 10; trial++ {
+		m := 2 + rng.IntN(6)
+		n := 2 + rng.IntN(6)
+		p := randInterval(rng, m, n, 0.05+rng.Float64()*0.3)
+		sol, err := SolveDiagonal(p, tightOpts())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rep := CheckKKT(p, sol)
+		if !rep.Satisfied(1e-5) {
+			t.Errorf("trial %d: KKT violated: %+v", trial, rep)
+		}
+		// Interval feasibility of the final sums.
+		rs := make([]float64, m)
+		cs := make([]float64, n)
+		p.RowSums(sol.X, rs)
+		p.ColSums(sol.X, cs)
+		for i := 0; i < m; i++ {
+			if rs[i] < p.SLo[i]-1e-5 || rs[i] > p.SHi[i]+1e-5 {
+				t.Errorf("trial %d: rowsum %d = %g outside [%g,%g]", trial, i, rs[i], p.SLo[i], p.SHi[i])
+			}
+		}
+		for j := 0; j < n; j++ {
+			if cs[j] < p.DLo[j]-1e-5 || cs[j] > p.DHi[j]+1e-5 {
+				t.Errorf("trial %d: colsum %d = %g outside [%g,%g]", trial, j, cs[j], p.DLo[j], p.DHi[j])
+			}
+		}
+	}
+}
+
+func TestIntervalWeakDuality(t *testing.T) {
+	rng := rand.New(rand.NewPCG(99, 100))
+	p := randInterval(rng, 4, 5, 0.2)
+	sol, err := SolveDiagonal(p, tightOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strong duality at the optimum.
+	if math.Abs(sol.Gap()) > 1e-5*(1+math.Abs(sol.Objective)) {
+		t.Errorf("duality gap %g (obj %g, dual %g)", sol.Gap(), sol.Objective, sol.DualValue)
+	}
+	// Weak duality at random multipliers.
+	lambda := make([]float64, p.M)
+	mu := make([]float64, p.N)
+	for i := range lambda {
+		lambda[i] = rng.NormFloat64()
+	}
+	for j := range mu {
+		mu[j] = rng.NormFloat64()
+	}
+	if z := DualValue(p, lambda, mu); z > sol.Objective+1e-6*(1+sol.Objective) {
+		t.Errorf("weak duality violated: ζ = %g > %g", z, sol.Objective)
+	}
+}
+
+func TestIntervalValidation(t *testing.T) {
+	x0 := []float64{1, 1, 1, 1}
+	gamma := []float64{1, 1, 1, 1}
+	if _, err := NewInterval(2, 2, x0, gamma,
+		[]float64{1, 1}, []float64{0.5, 2}, []float64{0, 0}, []float64{5, 5}); !errors.Is(err, ErrInfeasible) {
+		t.Error("hi < lo accepted")
+	}
+	if _, err := NewInterval(2, 2, x0, gamma,
+		[]float64{-1, 1}, []float64{2, 2}, []float64{0, 0}, []float64{5, 5}); !errors.Is(err, ErrInfeasible) {
+		t.Error("negative lo accepted")
+	}
+	// Disjoint mass intervals: rows need at least 10, columns at most 4.
+	if _, err := NewInterval(2, 2, x0, gamma,
+		[]float64{5, 5}, []float64{6, 6}, []float64{1, 1}, []float64{2, 2}); !errors.Is(err, ErrInfeasible) {
+		t.Error("disjoint mass intervals accepted")
+	}
+	if _, err := NewInterval(2, 2, x0, gamma,
+		[]float64{1}, []float64{2, 2}, []float64{0, 0}, []float64{5, 5}); err == nil {
+		t.Error("short SLo accepted")
+	}
+}
+
+func TestIntervalResidualIsIntervalDistance(t *testing.T) {
+	// MaxDualResidual must measure distance-to-interval, vanishing at the
+	// optimum even when the sums sit strictly inside their intervals.
+	rng := rand.New(rand.NewPCG(101, 102))
+	p := randInterval(rng, 4, 4, 0.3)
+	sol, err := SolveDiagonal(p, tightOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := MaxDualResidual(p, sol.Lambda, sol.Mu); r > 1e-7 {
+		t.Errorf("residual %g at optimum", r)
+	}
+}
+
+// TestGeneralInterval: interval totals with a dense G via the general
+// solver.
+func TestGeneralInterval(t *testing.T) {
+	rng := rand.New(rand.NewPCG(103, 104))
+	m, n := 4, 5
+	mn := m * n
+	x0 := make([]float64, mn)
+	for k := range x0 {
+		x0[k] = rng.Float64() * 50
+	}
+	slo := make([]float64, m)
+	shi := make([]float64, m)
+	for i := 0; i < m; i++ {
+		var rs float64
+		for j := 0; j < n; j++ {
+			rs += x0[i*n+j]
+		}
+		slo[i] = rs * 1.2
+		shi[i] = rs * 1.6
+	}
+	dlo := make([]float64, n)
+	dhi := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var cs float64
+		for i := 0; i < m; i++ {
+			cs += x0[i*n+j]
+		}
+		dlo[j] = cs * 1.0
+		dhi[j] = cs * 2.0
+	}
+	gp := &GeneralProblem{
+		M: m, N: n, X0: x0,
+		G:   denseDominant(rng, mn, 10, 20),
+		SLo: slo, SHi: shi, DLo: dlo, DHi: dhi,
+		Kind: IntervalTotals,
+	}
+	o := generalOpts()
+	sol, err := SolveGeneral(gp, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := CheckKKTGeneral(gp, sol)
+	if !rep.Satisfied(1e-3) {
+		t.Errorf("general interval KKT: %+v", rep)
+	}
+	// Interval feasibility.
+	for i := 0; i < m; i++ {
+		var rs float64
+		for j := 0; j < n; j++ {
+			rs += sol.X[i*n+j]
+		}
+		if rs < slo[i]-1e-4 || rs > shi[i]+1e-4 {
+			t.Errorf("row %d sum %g outside [%g,%g]", i, rs, slo[i], shi[i])
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import "math"
+
+// KKTReport quantifies how well a candidate solution satisfies the
+// Karush–Kuhn–Tucker conditions of its problem. Since the problems are
+// convex with affine constraints, KKT satisfaction certifies global
+// optimality — this is the solver-independent check the test suite relies
+// on.
+type KKTReport struct {
+	// MaxRowViolation is max_i |Σ_j x_ij − s_i|.
+	MaxRowViolation float64
+	// MaxColViolation is max_j |Σ_i x_ij − d_j|.
+	MaxColViolation float64
+	// MinX is the largest lower-bound violation, reported as the most
+	// negative value of x_ij − l_ij (0 when every entry respects its lower
+	// bound; l = 0 for the classical problem).
+	MinX float64
+	// MaxBoundViolation is the largest amount by which an entry exceeds its
+	// upper bound (0 without bounds).
+	MaxBoundViolation float64
+	// MaxStationarity is the largest violation of the x stationarity
+	// conditions (20): for interior entries |∂L/∂x| must vanish; for
+	// entries at zero ∂L/∂x ≥ 0; for entries at an upper bound ∂L/∂x ≤ 0.
+	MaxStationarity float64
+	// MaxTotalsStationarity is the largest violation of the s and d
+	// stationarity conditions (21), (22) (zero for fixed totals).
+	MaxTotalsStationarity float64
+}
+
+// Max returns the largest violation in the report.
+func (r KKTReport) Max() float64 {
+	worst := r.MaxRowViolation
+	for _, v := range []float64{
+		r.MaxColViolation, -r.MinX, r.MaxBoundViolation,
+		r.MaxStationarity, r.MaxTotalsStationarity,
+	} {
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// Satisfied reports whether every violation is at most tol.
+func (r KKTReport) Satisfied(tol float64) bool { return r.Max() <= tol }
+
+// activeTol is the threshold below which an entry counts as at its bound for
+// the complementary-slackness classification.
+const activeTol = 1e-9
+
+// CheckKKT evaluates the KKT conditions of sol for problem p.
+func CheckKKT(p *DiagonalProblem, sol *Solution) KKTReport {
+	m, n := p.M, p.N
+	var r KKTReport
+
+	// Feasibility.
+	rowSum := make([]float64, m)
+	colSum := make([]float64, n)
+	p.RowSums(sol.X, rowSum)
+	p.ColSums(sol.X, colSum)
+	for i := 0; i < m; i++ {
+		if v := math.Abs(rowSum[i] - sol.S[i]); v > r.MaxRowViolation {
+			r.MaxRowViolation = v
+		}
+	}
+	for j := 0; j < n; j++ {
+		if v := math.Abs(colSum[j] - sol.D[j]); v > r.MaxColViolation {
+			r.MaxColViolation = v
+		}
+	}
+	lowerOf := func(k int) float64 {
+		if p.Lower != nil {
+			return p.Lower[k]
+		}
+		return 0
+	}
+	for k, v := range sol.X {
+		if under := v - lowerOf(k); under < r.MinX {
+			r.MinX = under
+		}
+		if p.Upper != nil {
+			if over := v - p.Upper[k]; over > r.MaxBoundViolation {
+				r.MaxBoundViolation = over
+			}
+		}
+	}
+
+	// Stationarity in x (20): grad = 2γ(x−x⁰) − λ_i − μ_j.
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			k := i*n + j
+			grad := 2*p.Gamma[k]*(sol.X[k]-p.X0[k]) - sol.Lambda[i] - sol.Mu[j]
+			scale := 1 + math.Abs(sol.Lambda[i]) + math.Abs(sol.Mu[j]) + 2*p.Gamma[k]*math.Abs(p.X0[k])
+			var viol float64
+			switch {
+			case sol.X[k] <= lowerOf(k)+activeTol*scale:
+				viol = math.Max(0, -grad) // at lower bound: grad ≥ 0
+			case p.Upper != nil && sol.X[k] >= p.Upper[k]-activeTol*scale:
+				viol = math.Max(0, grad) // at upper bound: grad ≤ 0
+			default:
+				viol = math.Abs(grad)
+			}
+			if viol > r.MaxStationarity {
+				r.MaxStationarity = viol
+			}
+		}
+	}
+
+	// Stationarity in the totals.
+	switch p.Kind {
+	case ElasticTotals:
+		for i := 0; i < m; i++ {
+			// (21): 2α(s−s⁰) + λ = 0.
+			if v := math.Abs(2*p.Alpha[i]*(sol.S[i]-p.S0[i]) + sol.Lambda[i]); v > r.MaxTotalsStationarity {
+				r.MaxTotalsStationarity = v
+			}
+		}
+		for j := 0; j < n; j++ {
+			// (22): 2β(d−d⁰) + μ = 0.
+			if v := math.Abs(2*p.Beta[j]*(sol.D[j]-p.D0[j]) + sol.Mu[j]); v > r.MaxTotalsStationarity {
+				r.MaxTotalsStationarity = v
+			}
+		}
+	case Balanced:
+		for j := 0; j < n; j++ {
+			// (39): 2α(s−s⁰) + λ + μ = 0.
+			if v := math.Abs(2*p.Alpha[j]*(sol.S[j]-p.S0[j]) + sol.Lambda[j] + sol.Mu[j]); v > r.MaxTotalsStationarity {
+				r.MaxTotalsStationarity = v
+			}
+		}
+	case IntervalTotals:
+		// Sign conditions of the interval multipliers: λ ≥ 0 where the
+		// lower bound binds, λ ≤ 0 at the upper bound, λ = 0 inside.
+		for i := 0; i < m; i++ {
+			if v := intervalMultViolation(rowSum[i], p.SLo[i], p.SHi[i], sol.Lambda[i]); v > r.MaxTotalsStationarity {
+				r.MaxTotalsStationarity = v
+			}
+		}
+		for j := 0; j < n; j++ {
+			if v := intervalMultViolation(colSum[j], p.DLo[j], p.DHi[j], sol.Mu[j]); v > r.MaxTotalsStationarity {
+				r.MaxTotalsStationarity = v
+			}
+		}
+	}
+	return r
+}
+
+// intervalMultViolation measures how badly a multiplier violates the sign
+// conditions of its interval constraint at the total value tot.
+func intervalMultViolation(tot, lo, hi, mult float64) float64 {
+	scale := 1 + math.Abs(lo) + math.Abs(hi)
+	atLo := tot <= lo+activeTol*scale
+	atHi := tot >= hi-activeTol*scale
+	switch {
+	case atLo && atHi: // pinned interval: any sign allowed
+		return 0
+	case atLo:
+		return math.Max(0, -mult)
+	case atHi:
+		return math.Max(0, mult)
+	default:
+		return math.Abs(mult)
+	}
+}

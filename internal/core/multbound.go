@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math"
+
+	"sea/internal/graphx"
+)
+
+// boundMultipliers implements the paper's Modified Algorithm (end of
+// Section 3.1): when a row multiplier grows past the chosen R in absolute
+// value, subtract it from every λ and add it to every μ in its support-graph
+// connected component, which leaves λ_i + μ_j invariant on every positive
+// entry and hence preserves the dual trajectory while keeping the iterates
+// in a bounded set. The paper applies this to the Balanced and FixedTotals
+// duals (l = 2, 3), whose level sets are unbounded along these shift
+// directions.
+//
+// For Balanced problems the shared total s_j couples λ_j and μ_j through
+// the term (2α_j s⁰_j − λ_j − μ_j)², so row node j and column node j are
+// treated as always connected; the shift then preserves λ_j + μ_j too.
+func (st *diagState) boundMultipliers() {
+	R := st.o.MultiplierBound
+	worst := 0.0
+	for _, l := range st.lambda {
+		if a := math.Abs(l); a > worst {
+			worst = a
+		}
+	}
+	if worst <= R {
+		return
+	}
+
+	m, n := st.p.M, st.p.N
+	uf := graphx.NewUnionFind(m + n)
+	for i := 0; i < m; i++ {
+		row := st.x[i*n : (i+1)*n]
+		for j, v := range row {
+			if v > 0 {
+				uf.Union(i, m+j)
+			}
+		}
+	}
+	if st.p.Kind == Balanced {
+		for j := 0; j < n; j++ {
+			uf.Union(j, m+j)
+		}
+	}
+
+	// For each component containing an offending row, shift by that row's
+	// multiplier (the largest offender in the component wins).
+	shift := make(map[int]float64)
+	for i, l := range st.lambda {
+		if math.Abs(l) > R {
+			root := uf.Find(i)
+			if cur, ok := shift[root]; !ok || math.Abs(l) > math.Abs(cur) {
+				shift[root] = l
+			}
+		}
+	}
+	if len(shift) == 0 {
+		return
+	}
+	for i := range st.lambda {
+		if c, ok := shift[uf.Find(i)]; ok {
+			st.lambda[i] -= c
+		}
+	}
+	for j := range st.mu {
+		if c, ok := shift[uf.Find(m+j)]; ok {
+			st.mu[j] += c
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"sea/internal/metrics"
+)
+
+// Kernel selects how each row/column equilibrium subproblem is solved.
+type Kernel int
+
+const (
+	// KernelExact is the paper's sort-and-sweep exact equilibration:
+	// machine-exact multipliers in O(n log n).
+	KernelExact Kernel = iota
+	// KernelBisection brackets and bisects the piecewise-linear KKT
+	// equation instead of sorting: O(n·log(range/tol)) with answers
+	// accurate to a small tolerance. On modern hardware the linear scans
+	// often beat the sort (see the kernel ablation benchmarks); the paper's
+	// algorithm is KernelExact.
+	KernelBisection
+)
+
+func (k Kernel) String() string {
+	switch k {
+	case KernelExact:
+		return "exact"
+	case KernelBisection:
+		return "bisection"
+	default:
+		return "unknown"
+	}
+}
+
+// Criterion selects the convergence test used by the diagonal solver.
+type Criterion int
+
+const (
+	// MaxAbsDelta terminates when |x^t_ij − x^{t−1}_ij| ≤ ε for all i,j —
+	// the test of the paper's Section 3.1.1 (Step 3).
+	MaxAbsDelta Criterion = iota
+	// RelBalance terminates when |Σ_j x_ij − s_i| / max(|s_i|, 1) ≤ ε for
+	// all rows — the test of Section 3.1.2 (Step 3). Column constraints
+	// hold exactly after each column equilibration, so only row residuals
+	// are checked.
+	RelBalance
+	// DualGradient terminates when ‖∇ζ‖∞ ≤ ε, i.e. the absolute constraint
+	// residuals are at most ε — the theoretical criterion (27)/(43)/(52).
+	DualGradient
+)
+
+func (c Criterion) String() string {
+	switch c {
+	case MaxAbsDelta:
+		return "max-abs-delta"
+	case RelBalance:
+		return "rel-balance"
+	case DualGradient:
+		return "dual-gradient"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures a solve. The zero value is not usable; call
+// DefaultOptions and override fields.
+type Options struct {
+	// Epsilon is the convergence tolerance ε.
+	Epsilon float64
+	// Criterion selects the convergence test.
+	Criterion Criterion
+	// CheckEvery verifies convergence only every k-th iteration. The paper
+	// checks every iteration for the fixed examples and every other
+	// iteration for the elastic ones, noting the check is a serial phase.
+	CheckEvery int
+	// ParallelConvCheck computes the convergence verification's row sums
+	// (or deltas) in parallel instead of serially — the enhancement the
+	// paper suggests at the end of Section 4.2. The residual reduction
+	// remains serial but is O(m) instead of O(m·n).
+	ParallelConvCheck bool
+	// Kernel selects the subproblem solver (exact equilibration or
+	// bisection). Interval-totals subproblems always use the exact kernel.
+	Kernel Kernel
+	// KernelTol is the bisection kernel's multiplier tolerance; it defaults
+	// to Epsilon·1e-4 so kernel error stays far below the outer tolerance.
+	KernelTol float64
+	// MaxIterations caps the number of row+column sweeps (diagonal solver)
+	// or projection steps (general solver).
+	MaxIterations int
+	// Procs is the number of workers for the parallel row and column
+	// phases (the paper's N CPUs). 1 means serial.
+	Procs int
+	// Mu0, if non-nil, warm-starts the column multipliers (length N).
+	// Otherwise μ¹ = 0 per the paper's initialization step.
+	Mu0 []float64
+	// Counters, if non-nil, accumulates instrumentation.
+	Counters *metrics.Counters
+	// Trace, if non-nil, records per-task operation costs for the
+	// simulated-multiprocessor speedup experiments.
+	Trace *CostTrace
+	// BoundMultipliers enables the paper's Modified Algorithm: when a
+	// multiplier exceeds MultiplierBound in absolute value, its support-
+	// graph connected component is renormalized (a constant added to its
+	// λ's and subtracted from its μ's), keeping iterates in a bounded set
+	// without changing ζ. Applies to the Balanced and FixedTotals duals.
+	BoundMultipliers bool
+	// MultiplierBound is the paper's R > 0 (used when BoundMultipliers).
+	MultiplierBound float64
+
+	// Inner options for the general solver's diagonal subproblems.
+	// InnerEpsilon defaults to Epsilon/10; InnerMaxIterations to
+	// MaxIterations.
+	InnerEpsilon       float64
+	InnerMaxIterations int
+	// Relaxation is the projection-method step scaling ρ ∈ (0,1]; the
+	// fixed diagonal of the subproblem is diag(G)/ρ. 1 reproduces the
+	// paper's subproblem (79).
+	Relaxation float64
+	// SkipDominanceCheck disables the strict-diagonal-dominance validation
+	// of general problems. Checking a dense 14400×14400 G costs a full
+	// scan; generators that construct dominant matrices by design may skip
+	// it.
+	SkipDominanceCheck bool
+}
+
+// DefaultOptions returns the options used throughout the paper's
+// experiments: ε = .001, the relative-balance criterion, convergence checked
+// every iteration, serial execution.
+func DefaultOptions() *Options {
+	return &Options{
+		Epsilon:       1e-3,
+		Criterion:     RelBalance,
+		CheckEvery:    1,
+		MaxIterations: 100000,
+		Procs:         1,
+		Relaxation:    1,
+	}
+}
+
+// withDefaults fills unset fields of o (nil o gets DefaultOptions).
+func (o *Options) withDefaults() *Options {
+	if o == nil {
+		return DefaultOptions()
+	}
+	out := *o
+	if out.Epsilon <= 0 {
+		out.Epsilon = 1e-3
+	}
+	if out.CheckEvery <= 0 {
+		out.CheckEvery = 1
+	}
+	if out.MaxIterations <= 0 {
+		out.MaxIterations = 100000
+	}
+	if out.Procs <= 0 {
+		out.Procs = 1
+	}
+	if out.Relaxation <= 0 || out.Relaxation > 1 {
+		out.Relaxation = 1
+	}
+	if out.InnerEpsilon <= 0 {
+		out.InnerEpsilon = out.Epsilon / 10
+	}
+	if out.InnerMaxIterations <= 0 {
+		out.InnerMaxIterations = out.MaxIterations
+	}
+	if out.BoundMultipliers && out.MultiplierBound <= 0 {
+		out.MultiplierBound = 1e12
+	}
+	if out.KernelTol <= 0 {
+		out.KernelTol = out.Epsilon * 1e-4
+	}
+	return &out
+}
+
+// CostTrace records, per iteration, the abstract operation cost of every
+// parallel task and of the serial convergence phase. The parsim package
+// replays a trace on a simulated N-processor machine to produce the paper's
+// speedup and efficiency tables.
+type CostTrace struct {
+	Phases []PhaseCosts
+}
+
+// PhaseCosts is the cost breakdown of one iteration (one row phase, one
+// column phase, and any serial work that follows them).
+type PhaseCosts struct {
+	// Row[i] is the op count of row subproblem i; Col[j] of column
+	// subproblem j. Each entry is one schedulable parallel task.
+	Row []int64
+	Col []int64
+	// Check holds the parallel convergence-verification tasks when the
+	// check runs in parallel (Options.ParallelConvCheck); nil otherwise.
+	Check []int64
+	// Serial is the op count of the serial phase (convergence
+	// verification, or just its reduction when the check is parallel),
+	// zero on iterations where no check runs.
+	Serial int64
+}
+
+// TotalOps sums every cost in the trace.
+func (t *CostTrace) TotalOps() int64 {
+	var s int64
+	for _, ph := range t.Phases {
+		for _, v := range ph.Row {
+			s += v
+		}
+		for _, v := range ph.Col {
+			s += v
+		}
+		for _, v := range ph.Check {
+			s += v
+		}
+		s += ph.Serial
+	}
+	return s
+}

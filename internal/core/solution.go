@@ -1,0 +1,32 @@
+package core
+
+// Solution holds the result of a solve.
+type Solution struct {
+	// X is the matrix estimate (m×n row-major).
+	X []float64
+	// S and D are the row and column total estimates. For FixedTotals they
+	// equal the given totals; for Balanced, D equals S (shared totals).
+	S, D []float64
+	// Lambda and Mu are the Lagrange multipliers of the row and column
+	// constraints — the dual variables the algorithm ascends.
+	Lambda, Mu []float64
+
+	// Iterations is the number of row+column sweeps performed (diagonal
+	// solver) or projection steps (general solver, which also reports the
+	// total inner sweeps in InnerIterations).
+	Iterations      int
+	InnerIterations int
+	// Converged reports whether the convergence criterion was met.
+	Converged bool
+	// Residual is the final value of the convergence measure.
+	Residual float64
+	// Objective is the objective value at X (and S, D).
+	Objective float64
+	// DualValue is ζ_l(λ, μ); at the optimum it equals Objective (strong
+	// duality), so Objective − DualValue is a computable optimality gap.
+	DualValue float64
+}
+
+// Gap returns the duality gap Objective − DualValue (nonnegative up to
+// rounding; near zero at the optimum).
+func (s *Solution) Gap() float64 { return s.Objective - s.DualValue }

@@ -1,0 +1,109 @@
+package datasets
+
+import "testing"
+
+func TestStates(t *testing.T) {
+	states := States()
+	if len(states) != 48 {
+		t.Fatalf("got %d states, want 48 (contiguous, per the paper)", len(states))
+	}
+	seen := map[string]bool{}
+	for _, s := range states {
+		if seen[s.Name] {
+			t.Errorf("duplicate state %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Name == "Alaska" || s.Name == "Hawaii" {
+			t.Errorf("%s should be excluded like the paper's tables", s.Name)
+		}
+		if s.Lat < 24 || s.Lat > 50 || s.Lon > -66 || s.Lon < -125 {
+			t.Errorf("%s centroid (%g,%g) outside the contiguous US", s.Name, s.Lat, s.Lon)
+		}
+		if s.Pop1955 <= 0 || s.Pop1965 <= 0 || s.Pop1975 <= 0 {
+			t.Errorf("%s has nonpositive population", s.Name)
+		}
+	}
+	// Populations should mostly grow over the periods nationally.
+	var p55, p75 float64
+	for _, s := range states {
+		p55 += s.Pop1955
+		p75 += s.Pop1975
+	}
+	if p75 <= p55 {
+		t.Errorf("national population shrank: %g -> %g", p55, p75)
+	}
+}
+
+func TestPopulationsForPeriod(t *testing.T) {
+	for _, period := range []string{"5560", "6570", "7580", "bogus"} {
+		pops := PopulationsForPeriod(period)
+		if len(pops) != 48 {
+			t.Fatalf("period %s: %d entries", period, len(pops))
+		}
+		for i, p := range pops {
+			if p <= 0 {
+				t.Errorf("period %s: state %d population %g", period, i, p)
+			}
+		}
+	}
+}
+
+func TestSAMTransactionCounts(t *testing.T) {
+	// The counts the paper's Table 3 reports.
+	want := map[string]struct{ n, tx int }{
+		"STONE": {5, 12},
+		"TURK":  {8, 19},
+		"SRI":   {6, 20},
+	}
+	for _, sam := range All() {
+		w, ok := want[sam.Name]
+		if !ok {
+			t.Fatalf("unexpected SAM %q", sam.Name)
+		}
+		if sam.N() != w.n {
+			t.Errorf("%s: %d accounts, want %d", sam.Name, sam.N(), w.n)
+		}
+		if got := sam.Transactions(); got != w.tx {
+			t.Errorf("%s: %d transactions, want %d", sam.Name, got, w.tx)
+		}
+		if len(sam.X0) != w.n*w.n || len(sam.S0) != w.n {
+			t.Errorf("%s: inconsistent array lengths", sam.Name)
+		}
+		for i, v := range sam.X0 {
+			if v < 0 {
+				t.Errorf("%s: negative transaction at %d", sam.Name, i)
+			}
+		}
+		for i, v := range sam.S0 {
+			if v <= 0 {
+				t.Errorf("%s: account %d prior total %g", sam.Name, i, v)
+			}
+		}
+		if len(sam.Accounts) != w.n {
+			t.Errorf("%s: %d account names", sam.Name, len(sam.Accounts))
+		}
+	}
+}
+
+// TestSAMInconsistency: the embedded SAMs must be *unbalanced* as given
+// (receipts ≠ expenditures for at least one account) — otherwise there would
+// be nothing to estimate.
+func TestSAMInconsistency(t *testing.T) {
+	for _, sam := range All() {
+		n := sam.N()
+		unbalanced := false
+		for i := 0; i < n; i++ {
+			var row, col float64
+			for j := 0; j < n; j++ {
+				row += sam.X0[i*n+j]
+				col += sam.X0[j*n+i]
+			}
+			if row != col {
+				unbalanced = true
+			}
+		}
+		if !unbalanced {
+			t.Errorf("%s is already balanced; estimation would be trivial", sam.Name)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package datasets
+
+// SAM is a miniature social accounting matrix: an initial, deliberately
+// inconsistent estimate of the transactions in an economy, assembled — as in
+// practice — from disparate sources, together with prior totals for each
+// account. Estimation must produce a matrix whose row i total (receipts)
+// equals its column i total (expenditures), the "definitional" balance
+// constraint of Section 2.
+type SAM struct {
+	Name     string
+	Accounts []string
+	// X0 is the initial transaction estimate (n×n row-major). Structural
+	// zeros (impossible transactions) are exactly zero.
+	X0 []float64
+	// S0 holds prior estimates of the account totals.
+	S0 []float64
+}
+
+// N returns the number of accounts.
+func (s *SAM) N() int { return len(s.Accounts) }
+
+// Transactions returns the number of nonzero entries in X0.
+func (s *SAM) Transactions() int {
+	var c int
+	for _, v := range s.X0 {
+		if v != 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// Stone returns the 5-account example in the style of Stone (1962) and
+// Byron (1978): production, households, government, capital and the rest of
+// the world, with 12 recorded transactions. The entries are stylized; the
+// dimensions and sparsity match the paper's Table 3 row "STONE".
+func Stone() *SAM {
+	// Accounts: 0 production, 1 households, 2 government, 3 capital, 4 row.
+	// Row = receipts, column = expenditures.
+	x0 := []float64{
+		//  prod   hh     gov    cap    row
+		0, 74.1, 17.2, 26.0, 13.5, // production sells to hh, gov, investment, exports
+		105.2, 0, 5.9, 0, 0, // households receive value added and transfers
+		22.4, 13.1, 0, 0, 0, // government: indirect taxes, income taxes
+		0, 24.8, 6.3, 0, 0, // capital account: savings
+		10.7, 0, 0, 1.9, 0, // rest of world: imports, capital outflow
+	}
+	s0 := []float64{131.0, 112.5, 35.8, 31.4, 12.8}
+	return &SAM{
+		Name:     "STONE",
+		Accounts: []string{"Production", "Households", "Government", "Capital", "RestOfWorld"},
+		X0:       x0,
+		S0:       s0,
+	}
+}
+
+// SriLanka returns the 6-account example in the style of the Sri Lanka 1970
+// SAM in King (1985), with 20 recorded transactions.
+func SriLanka() *SAM {
+	x0 := []float64{
+		//  agr    ind    svc    hh     gov    row
+		0, 2.2, 0, 9.8, 0.9, 2.6, // agriculture
+		1.8, 0, 2.1, 7.2, 0, 1.9, // industry
+		0, 2.4, 0, 6.1, 2.2, 0, // services
+		11.9, 6.8, 7.4, 0, 0, 0.8, // households (value added, remittances)
+		0.9, 1.6, 0, 2.3, 0, 0, // government (taxes)
+		1.1, 1.5, 0, 0, 0, 0, // rest of world (imports)
+	}
+	s0 := []float64{15.5, 13.0, 10.7, 26.9, 4.8, 2.6}
+	return &SAM{
+		Name:     "SRI",
+		Accounts: []string{"Agriculture", "Industry", "Services", "Households", "Government", "RestOfWorld"},
+		X0:       x0,
+		S0:       s0,
+	}
+}
+
+// Turkey returns the 8-account example in the style of the 1973 Turkish
+// economy SAM of Dervis, De Melo and Robinson (1982), with 19 recorded
+// transactions.
+func Turkey() *SAM {
+	x0 := []float64{
+		//  agr    ind    svc    lab    cap    hh     gov    row
+		0, 31.2, 0, 0, 0, 58.4, 0, 12.3, // agriculture
+		0, 0, 22.5, 0, 0, 96.2, 15.8, 0, // industry
+		0, 0, 0, 0, 0, 71.3, 18.2, 0, // services
+		41.5, 52.8, 38.1, 0, 0, 0, 0, 0, // labor
+		27.2, 44.6, 0, 0, 0, 0, 0, 0, // capital
+		0, 0, 0, 132.4, 72.3, 0, 12.5, 0, // households
+		14.3, 0, 0, 0, 0, 13.6, 0, 0, // government
+		7.9, 0, 0, 0, 0, 0, 0, 0, // rest of world
+	}
+	s0 := []float64{101.9, 134.5, 89.5, 132.4, 71.8, 217.2, 27.9, 8.0}
+	return &SAM{
+		Name: "TURK",
+		Accounts: []string{
+			"Agriculture", "Industry", "Services", "Labor",
+			"Capital", "Households", "Government", "RestOfWorld",
+		},
+		X0: x0,
+		S0: s0,
+	}
+}
+
+// All returns the three embedded miniature SAMs.
+func All() []*SAM {
+	return []*SAM{Stone(), Turkey(), SriLanka()}
+}

@@ -1,0 +1,97 @@
+// Package datasets embeds the small "real-like" datasets the experiment
+// generators build on: the 48 contiguous U.S. states (the paper's migration
+// tables drop Alaska, Hawaii and Washington, DC) with approximate centroids
+// and historical populations for the gravity-model flow generator, and
+// stylized miniature social accounting matrices with the transaction counts
+// of the paper's Table 3.
+//
+// The paper's original inputs (Tobler's state-to-state migration tables,
+// the Polenske input/output tables, the USDA and World Bank SAMs) are not
+// redistributable; these embedded datasets and the generators in package
+// problems reproduce their dimensions, sparsity and magnitude structure.
+// See DESIGN.md, substitution 2.
+package datasets
+
+// State describes one contiguous U.S. state.
+type State struct {
+	Name string
+	// Lat and Lon are the approximate geographic centroid in degrees.
+	Lat, Lon float64
+	// Pop1955, Pop1965, Pop1975 are approximate populations (thousands) at
+	// the starts of the paper's three migration periods.
+	Pop1955, Pop1965, Pop1975 float64
+}
+
+// States returns the 48 contiguous states in alphabetical order.
+func States() []State {
+	return []State{
+		{"Alabama", 32.8, -86.8, 3100, 3450, 3650},
+		{"Arizona", 34.3, -111.7, 1000, 1600, 2250},
+		{"Arkansas", 34.8, -92.4, 1800, 1950, 2100},
+		{"California", 37.2, -119.3, 13000, 18600, 21500},
+		{"Colorado", 39.0, -105.5, 1500, 1950, 2550},
+		{"Connecticut", 41.6, -72.7, 2200, 2850, 3100},
+		{"Delaware", 39.0, -75.5, 390, 500, 580},
+		{"Florida", 28.6, -82.4, 3600, 5900, 8400},
+		{"Georgia", 32.6, -83.4, 3700, 4400, 5000},
+		{"Idaho", 44.4, -114.6, 620, 690, 820},
+		{"Illinois", 40.0, -89.2, 9300, 10650, 11200},
+		{"Indiana", 39.9, -86.3, 4300, 4900, 5300},
+		{"Iowa", 42.0, -93.5, 2700, 2750, 2870},
+		{"Kansas", 38.5, -98.4, 2050, 2250, 2280},
+		{"Kentucky", 37.5, -85.3, 3000, 3180, 3400},
+		{"Louisiana", 31.1, -92.0, 2900, 3500, 3840},
+		{"Maine", 45.4, -69.2, 930, 990, 1060},
+		{"Maryland", 39.0, -76.8, 2700, 3500, 4100},
+		{"Massachusetts", 42.3, -71.8, 4800, 5350, 5750},
+		{"Michigan", 44.3, -85.4, 7200, 8300, 9100},
+		{"Minnesota", 46.3, -94.3, 3200, 3550, 3920},
+		{"Mississippi", 32.7, -89.7, 2150, 2250, 2350},
+		{"Missouri", 38.4, -92.5, 4100, 4450, 4770},
+		{"Montana", 47.0, -109.6, 620, 700, 750},
+		{"Nebraska", 41.5, -99.8, 1380, 1450, 1540},
+		{"Nevada", 39.3, -116.6, 230, 420, 590},
+		{"New Hampshire", 43.7, -71.6, 560, 660, 810},
+		{"New Jersey", 40.2, -74.7, 5300, 6700, 7330},
+		{"New Mexico", 34.4, -106.1, 770, 1000, 1140},
+		{"New York", 42.9, -75.5, 15700, 17900, 18100},
+		{"North Carolina", 35.5, -79.4, 4300, 4900, 5450},
+		{"North Dakota", 47.4, -100.5, 630, 650, 640},
+		{"Ohio", 40.2, -82.7, 9000, 10200, 10700},
+		{"Oklahoma", 35.6, -97.5, 2200, 2450, 2710},
+		{"Oregon", 43.9, -120.6, 1700, 1950, 2280},
+		{"Pennsylvania", 40.9, -77.8, 10900, 11500, 11800},
+		{"Rhode Island", 41.7, -71.6, 830, 890, 930},
+		{"South Carolina", 33.9, -80.9, 2250, 2500, 2850},
+		{"South Dakota", 44.4, -100.2, 670, 680, 680},
+		{"Tennessee", 35.8, -86.3, 3400, 3800, 4200},
+		{"Texas", 31.5, -99.3, 8500, 10600, 12300},
+		{"Utah", 39.3, -111.7, 780, 1000, 1230},
+		{"Vermont", 44.1, -72.7, 370, 400, 470},
+		{"Virginia", 37.5, -78.8, 3550, 4400, 5000},
+		{"Washington", 47.4, -120.4, 2550, 3000, 3560},
+		{"West Virginia", 38.6, -80.6, 1950, 1820, 1800},
+		{"Wisconsin", 44.6, -89.7, 3700, 4150, 4570},
+		{"Wyoming", 43.0, -107.5, 310, 330, 380},
+	}
+}
+
+// PopulationsForPeriod returns the state populations at the start of a
+// migration period ("5560", "6570" or "7580").
+func PopulationsForPeriod(period string) []float64 {
+	states := States()
+	pops := make([]float64, len(states))
+	for i, s := range states {
+		switch period {
+		case "5560":
+			pops[i] = s.Pop1955
+		case "6570":
+			pops[i] = s.Pop1965
+		case "7580":
+			pops[i] = s.Pop1975
+		default:
+			pops[i] = s.Pop1965
+		}
+	}
+	return pops
+}

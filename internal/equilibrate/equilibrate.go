@@ -1,0 +1,388 @@
+// Package equilibrate implements exact equilibration, the closed-form solver
+// for the single-constraint separable quadratic subproblems that the
+// splitting equilibration algorithm creates — the supply-market / demand-
+// market exact equilibration of Eydeland and Nagurney (1989), extended with
+// the elastic total of the paper's Section 3.1.1, the box bounds of the
+// Ohuchi–Kaji (1984) variant, and the interval totals of Harrigan–Buchanan
+// (1984).
+//
+// Every row (or column) subproblem of SEA has the form
+//
+//	min_{l≤x≤u, s}  Σ_j γ_j (x_j − x⁰_j)² − Σ_j μ_j x_j + α (s − s⁰)²
+//	s.t.            Σ_j x_j = s
+//
+// whose KKT conditions reduce, with a_j = 1/(2γ_j) and c_j = x⁰_j + a_j μ_j,
+// to the scalar piecewise-linear equation
+//
+//	φ(λ) = Σ_j clamp(c_j + a_j λ, l_j, u_j) + e·λ = r
+//
+// where e = 1/(2α) (0 for a fixed total), r = s⁰ (or the fixed total), the
+// box defaults to [0, ∞) — the classical nonnegativity constraint — and λ is
+// the Lagrange multiplier of the conservation constraint. φ is
+// nondecreasing, so the root is found by sorting the breakpoints of the
+// clamps and sweeping the segments once: O(n log n) total, dominated by the
+// sort — the paper's "7n + n ln n + 2n operations".
+package equilibrate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sea/internal/sortx"
+)
+
+// ErrInfeasible is returned when the subproblem has no feasible point:
+// a fixed total that is negative, or that exceeds the sum of the upper
+// bounds.
+var ErrInfeasible = errors.New("equilibrate: infeasible subproblem")
+
+// event is a slope change of φ: at position pos, the total slope changes by
+// da and the total intercept by dc. A term j activating at its lower
+// breakpoint contributes (+a_j, +c_j); a term saturating at its upper bound
+// contributes (−a_j, u_j − c_j).
+type event struct {
+	pos float64
+	da  float64
+	dc  float64
+}
+
+// Workspace holds reusable scratch buffers so that per-subproblem solves do
+// not allocate. One Workspace must not be shared between concurrent solves;
+// allocate one per worker.
+type Workspace struct {
+	events []event
+	// C and A are scratch coefficient buffers for the convenience wrappers.
+	C []float64
+	A []float64
+}
+
+// NewWorkspace returns a Workspace pre-sized for subproblems of up to n
+// variables. It grows on demand if larger subproblems appear.
+func NewWorkspace(n int) *Workspace {
+	return &Workspace{
+		events: make([]event, 0, 2*n),
+		C:      make([]float64, n),
+		A:      make([]float64, n),
+	}
+}
+
+// grow ensures the coefficient buffers can hold n entries.
+func (ws *Workspace) grow(n int) {
+	if cap(ws.C) < n {
+		ws.C = make([]float64, n)
+		ws.A = make([]float64, n)
+	}
+	ws.C = ws.C[:n]
+	ws.A = ws.A[:n]
+}
+
+// Problem is one exact-equilibration instance in kernel form. See the
+// package comment for the mapping from SEA subproblems.
+type Problem struct {
+	// C and A define the unconstrained stationary values c_j + a_j·λ of
+	// each variable. A must be strictly positive (it is 1/(2γ_j)).
+	C []float64
+	A []float64
+	// U holds optional upper bounds u_j > 0; nil means all +Inf (the
+	// classical problem). Entries may be math.Inf(1).
+	U []float64
+	// L holds optional lower bounds 0 ≤ l_j (< u_j); nil means all zero —
+	// the classical nonnegativity constraint (4). Together with U this is
+	// the full Ohuchi–Kaji box.
+	L []float64
+	// E is the elastic slope e = 1/(2α) ≥ 0; zero for a fixed total.
+	E float64
+	// R is the target: the fixed total, or s⁰ for an elastic total.
+	R float64
+}
+
+// lower returns the j-th lower bound.
+func (p *Problem) lower(j int) float64 {
+	if p.L == nil {
+		return 0
+	}
+	return p.L[j]
+}
+
+// clampVal applies the box to a stationary value.
+func (p *Problem) clampVal(j int, v float64) float64 {
+	if lo := p.lower(j); v < lo {
+		return lo
+	}
+	if p.U != nil && v > p.U[j] {
+		return p.U[j]
+	}
+	return v
+}
+
+// Result reports the solution of one subproblem.
+type Result struct {
+	// Lambda is the Lagrange multiplier of the conservation constraint.
+	Lambda float64
+	// Total is Σ_j x_j at Lambda.
+	Total float64
+	// Ops is the abstract operation count charged, following the paper's
+	// model: linear build and sweep work plus n·log₂n for the sort.
+	Ops int64
+}
+
+// Solve computes the multiplier and writes the optimal block into x, which
+// must have length len(p.C). It returns ErrInfeasible when no feasible point
+// exists. ws may be nil, in which case a temporary workspace is allocated.
+func (p *Problem) Solve(x []float64, ws *Workspace) (Result, error) {
+	n := len(p.C)
+	if len(p.A) != n || (p.U != nil && len(p.U) != n) || (p.L != nil && len(p.L) != n) || len(x) != n {
+		return Result{}, fmt.Errorf("equilibrate: inconsistent lengths (c=%d a=%d u=%d l=%d x=%d)",
+			len(p.C), len(p.A), len(p.U), len(p.L), len(x))
+	}
+	if p.E < 0 {
+		return Result{}, fmt.Errorf("equilibrate: negative elastic slope %g", p.E)
+	}
+	if ws == nil {
+		ws = NewWorkspace(n)
+	}
+
+	lambda, ops, err := p.findRoot(ws)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Recover the primal block and its total.
+	var total float64
+	for j := 0; j < n; j++ {
+		v := p.clampVal(j, p.C[j]+p.A[j]*lambda)
+		x[j] = v
+		total += v
+	}
+	ops += int64(2 * n)
+	return Result{Lambda: lambda, Total: total, Ops: ops}, nil
+}
+
+// findRoot locates λ with φ(λ) = R by the sorted-breakpoint sweep.
+func (p *Problem) findRoot(ws *Workspace) (lambda float64, ops int64, err error) {
+	n := len(p.C)
+
+	// Empty subproblem: only the elastic term remains.
+	if n == 0 {
+		if p.E > 0 {
+			return p.R / p.E, 1, nil
+		}
+		if p.R == 0 {
+			return 0, 1, nil
+		}
+		return 0, 1, ErrInfeasible
+	}
+
+	// Feasibility pre-checks for fixed totals: the reachable range of Σx is
+	// [Σl, Σu].
+	var lb float64
+	for j := 0; j < n; j++ {
+		lb += p.lower(j)
+	}
+	if p.E == 0 {
+		if p.R < lb-1e-9*(1+math.Abs(lb)) {
+			return 0, int64(n), ErrInfeasible
+		}
+		if p.U != nil {
+			var ub float64
+			for _, u := range p.U {
+				ub += u
+			}
+			if !math.IsInf(ub, 1) && p.R > ub {
+				return 0, int64(n), ErrInfeasible
+			}
+		}
+	}
+
+	// Build the event list: one activation event per term (where it leaves
+	// its lower bound), plus one saturation event per finite upper bound.
+	ev := ws.events[:0]
+	for j := 0; j < n; j++ {
+		a, c := p.A[j], p.C[j]
+		if !(a > 0) {
+			return 0, 0, fmt.Errorf("equilibrate: a[%d] = %g, want > 0", j, a)
+		}
+		l := p.lower(j)
+		ev = append(ev, event{pos: (l - c) / a, da: a, dc: c - l})
+		if p.U != nil && !math.IsInf(p.U[j], 1) {
+			u := p.U[j]
+			if u < l {
+				return 0, 0, fmt.Errorf("equilibrate: bounds [%g, %g] empty at %d", l, u, j)
+			}
+			ev = append(ev, event{pos: (u - c) / a, da: -a, dc: u - c})
+		}
+	}
+	ws.events = ev // keep grown capacity
+
+	// Sort events by position: the paper's HEAPSORT for long arrays,
+	// straight insertion sort for short ones.
+	sortx.AdaptiveFunc(ev, func(a, b event) bool { return a.pos < b.pos })
+
+	m := len(ev)
+	// Charge the paper's cost model: linear build + sort + sweep.
+	ops = int64(7*m) + int64(float64(m)*math.Log2(float64(m)+1))
+
+	// Sweep segments left to right. Before the first event every term sits
+	// at its lower bound: φ(λ) = Σl + e·λ. On each segment φ agrees with
+	// the linear function inter + slope·λ; because φ is monotone
+	// nondecreasing, the first segment whose linear root does not exceed
+	// the segment's right endpoint contains the solution, so a single
+	// `cand <= right` test suffices and is robust to rounding at segment
+	// boundaries.
+	slope := p.E
+	inter := lb // φ(λ) = inter + slope·λ on the current segment
+	prev := math.Inf(-1)
+	for k := 0; k <= m; k++ {
+		var right float64
+		if k < m {
+			right = ev[k].pos
+		} else {
+			right = math.Inf(1)
+		}
+		if slope > 0 {
+			cand := (p.R - inter) / slope
+			if cand <= right {
+				if cand < prev {
+					cand = prev // rounding pushed the root left of the segment
+				}
+				return cand, ops + int64(k), nil
+			}
+		} else if inter == p.R {
+			// Flat segment exactly at the target (e.g. fixed total 0 with
+			// no terms active yet, or all terms saturated at Σu = R): the
+			// multiplier is any point of the segment; take a finite,
+			// canonical endpoint.
+			if !math.IsInf(right, 1) {
+				return right, ops + int64(k), nil
+			}
+			if !math.IsInf(prev, -1) {
+				return prev, ops + int64(k), nil
+			}
+			return 0, ops + int64(k), nil
+		}
+		if k < m {
+			slope += ev[k].da
+			inter += ev[k].dc
+			prev = right
+		}
+	}
+
+	// No root. With E > 0 the final slope is positive so this cannot
+	// happen; with E == 0 and finite bounds the target may sit just beyond
+	// the reachable range by rounding — accept it at the last breakpoint if
+	// it is within tolerance, otherwise the subproblem is infeasible.
+	if p.E == 0 {
+		if math.Abs(inter-p.R) <= 1e-9*(1+math.Abs(p.R)) {
+			return prev, ops, nil
+		}
+		return 0, ops, ErrInfeasible
+	}
+	return 0, ops, fmt.Errorf("equilibrate: internal error: no root found (R=%g)", p.R)
+}
+
+// SolveInterval solves the subproblem with an interval total
+// lo ≤ Σ_j x_j ≤ hi instead of an equality — the Harrigan–Buchanan (1984)
+// variant for input/output estimation with uncertain margins. The elastic
+// slope must be zero (interval and elastic totals are alternative models of
+// the same uncertainty).
+//
+// The multiplier follows the concave dual of the interval constraint: if
+// the unconstrained block total lies inside [lo, hi] the constraint is
+// slack and λ = 0; a total above hi is pulled down to hi (λ < 0); one below
+// lo is pushed up to lo (λ > 0).
+func (p *Problem) SolveInterval(lo, hi float64, x []float64, ws *Workspace) (Result, error) {
+	if p.E != 0 {
+		return Result{}, fmt.Errorf("equilibrate: SolveInterval requires E = 0, got %g", p.E)
+	}
+	if !(lo <= hi) {
+		return Result{}, fmt.Errorf("equilibrate: empty interval [%g, %g]", lo, hi)
+	}
+	n := len(p.C)
+	if len(p.A) != n || (p.U != nil && len(p.U) != n) || (p.L != nil && len(p.L) != n) || len(x) != n {
+		return Result{}, fmt.Errorf("equilibrate: inconsistent lengths (c=%d a=%d u=%d l=%d x=%d)",
+			len(p.C), len(p.A), len(p.U), len(p.L), len(x))
+	}
+	// Free solution at λ = 0.
+	var total float64
+	for j := 0; j < n; j++ {
+		v := p.clampVal(j, p.C[j])
+		x[j] = v
+		total += v
+	}
+	switch {
+	case total > hi:
+		q := *p
+		q.R = hi
+		return q.Solve(x, ws)
+	case total < lo:
+		q := *p
+		q.R = lo
+		return q.Solve(x, ws)
+	default:
+		return Result{Lambda: 0, Total: total, Ops: int64(2 * n)}, nil
+	}
+}
+
+// SolveBisection solves the same subproblem by bracketing-and-bisection on
+// φ instead of the sort-and-sweep exact equilibration: O(n·log(range/tol))
+// versus O(n·log n), with an answer accurate to tol rather than exact. It
+// exists as the ablation partner for the paper's sorting-based kernel (the
+// benchmark suite compares the two) and as an in-package independent
+// reference.
+func (p *Problem) SolveBisection(x []float64, tol float64) (Result, error) {
+	n := len(p.C)
+	if len(p.A) != n || (p.U != nil && len(p.U) != n) || (p.L != nil && len(p.L) != n) || len(x) != n {
+		return Result{}, fmt.Errorf("equilibrate: inconsistent lengths (c=%d a=%d u=%d l=%d x=%d)",
+			len(p.C), len(p.A), len(p.U), len(p.L), len(x))
+	}
+	if p.E < 0 {
+		return Result{}, fmt.Errorf("equilibrate: negative elastic slope %g", p.E)
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	var ops int64
+	lo, hi := -1.0, 1.0
+	for i := 0; p.Phi(lo) > p.R; i++ {
+		lo *= 2
+		ops += int64(n)
+		if i > 300 {
+			return Result{}, ErrInfeasible
+		}
+	}
+	for i := 0; p.Phi(hi) < p.R; i++ {
+		hi *= 2
+		ops += int64(n)
+		if i > 300 {
+			return Result{}, ErrInfeasible
+		}
+	}
+	for hi-lo > tol*(1+math.Abs(lo)+math.Abs(hi)) {
+		mid := (lo + hi) / 2
+		if p.Phi(mid) < p.R {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		ops += int64(n)
+	}
+	lambda := (lo + hi) / 2
+	var total float64
+	for j := 0; j < n; j++ {
+		v := p.clampVal(j, p.C[j]+p.A[j]*lambda)
+		x[j] = v
+		total += v
+	}
+	return Result{Lambda: lambda, Total: total, Ops: ops + int64(2*n)}, nil
+}
+
+// Phi evaluates φ(λ) = Σ_j clamp(c_j + a_j λ, l_j, u_j) + e·λ. It is
+// exported for verification and tests.
+func (p *Problem) Phi(lambda float64) float64 {
+	s := p.E * lambda
+	for j := range p.C {
+		s += p.clampVal(j, p.C[j]+p.A[j]*lambda)
+	}
+	return s
+}

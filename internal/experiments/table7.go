@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"sea/internal/baseline"
+	"sea/internal/core"
+	"sea/internal/problems"
+)
+
+// Table7Row is one line of Table 7: the three-way comparison of SEA, RC and
+// B-K on general problems with 100% dense G matrices.
+type Table7Row struct {
+	GDim       int // order of G = (rows × columns of the matrix problem)
+	Runs       int // times each solver ran (times are averages), as in the paper
+	SEASeconds float64
+	RCSeconds  float64
+	BKSeconds  float64 // NaN where B-K was not run (prohibitively expensive)
+	SEAOuter   int
+	SEAInner   int
+	RCOuter    int
+	RCInner    int
+	BKSweeps   int
+}
+
+// table7Runs mirrors the paper's "# of runs" column: 10 for the two
+// smallest sizes, 2 for G = 900, 1 beyond.
+func table7Runs(gdim int) int {
+	switch {
+	case gdim <= 400:
+		return 10
+	case gdim <= 900:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Table7 reproduces Table 7: SEA vs RC vs B-K on general quadratic
+// constrained matrix problems with dense diagonally dominant G matrices from
+// 100×100 up to 14400×14400, ε′ = .001. B-K runs only up to MaxBKDim
+// (default 900, where the paper stopped).
+func Table7(cfg Config) ([]Table7Row, error) {
+	maxBK := cfg.MaxBKDim
+	if maxBK <= 0 {
+		maxBK = 900
+	}
+	var rows []Table7Row
+	for _, size := range problems.Table7Sizes() {
+		n := cfg.dim(size)
+		gdim := n * n
+		runs := table7Runs(gdim)
+		p := problems.GeneralDense(n, n, uint64(size), false)
+
+		seaOpts := core.DefaultOptions()
+		seaOpts.Epsilon = cfg.eps(0.001)
+		seaOpts.Criterion = core.MaxAbsDelta
+		seaOpts.Procs = cfg.Procs
+		seaOpts.SkipDominanceCheck = true
+		var seaSol *core.Solution
+		start := time.Now()
+		for r := 0; r < runs; r++ {
+			var err error
+			seaSol, err = core.SolveGeneral(p, seaOpts)
+			if err != nil {
+				return rows, fmt.Errorf("table 7 SEA, G %d: %w", gdim, err)
+			}
+		}
+		seaSecs := time.Since(start).Seconds() / float64(runs)
+
+		rcOpts := core.DefaultOptions()
+		rcOpts.Epsilon = cfg.eps(0.001)
+		rcOpts.Procs = cfg.Procs
+		rcOpts.SkipDominanceCheck = true
+		var rcSol *core.Solution
+		start = time.Now()
+		for r := 0; r < runs; r++ {
+			var err error
+			rcSol, err = baseline.SolveRC(p, rcOpts)
+			if err != nil {
+				return rows, fmt.Errorf("table 7 RC, G %d: %w", gdim, err)
+			}
+		}
+		rcSecs := time.Since(start).Seconds() / float64(runs)
+
+		row := Table7Row{
+			GDim: gdim, Runs: runs,
+			SEASeconds: seaSecs, RCSeconds: rcSecs, BKSeconds: math.NaN(),
+			SEAOuter: seaSol.Iterations, SEAInner: seaSol.InnerIterations,
+			RCOuter: rcSol.Iterations, RCInner: rcSol.InnerIterations,
+		}
+		if gdim <= maxBK {
+			bkOpts := core.DefaultOptions()
+			bkOpts.Epsilon = cfg.eps(0.001)
+			bkOpts.MaxIterations = 100000
+			var bkSol *core.Solution
+			start = time.Now()
+			for r := 0; r < runs; r++ {
+				var err error
+				bkSol, err = baseline.SolveBK(p, bkOpts)
+				if err != nil {
+					return rows, fmt.Errorf("table 7 B-K, G %d: %w", gdim, err)
+				}
+			}
+			row.BKSeconds = time.Since(start).Seconds() / float64(runs)
+			row.BKSweeps = bkSol.Iterations
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table8Row is one line of Table 8: SEA on general migration problems.
+type Table8Row struct {
+	Dataset string
+	GDim    int
+	Seconds float64
+	Outer   int
+	Inner   int
+}
+
+// Table8 reproduces Table 8: SEA on the six general constrained matrix
+// problems built from U.S. migration tables with 100% dense 2304×2304 G
+// matrices, ε′ = .001.
+func Table8(cfg Config) ([]Table8Row, error) {
+	var rows []Table8Row
+	for _, period := range []string{"5560", "6570", "7580"} {
+		for _, variant := range []byte{'a', 'b'} {
+			p := problems.GeneralMigration(period, variant, uint64(period[0]))
+			o := core.DefaultOptions()
+			o.Epsilon = cfg.eps(0.001)
+			o.Criterion = core.MaxAbsDelta
+			o.Procs = cfg.Procs
+			o.SkipDominanceCheck = true
+			start := time.Now()
+			sol, err := core.SolveGeneral(p, o)
+			name := fmt.Sprintf("GMIG%s%c", period, variant)
+			if err != nil {
+				return rows, fmt.Errorf("table 8, %s: %w", name, err)
+			}
+			rows = append(rows, Table8Row{
+				Dataset: name, GDim: p.G.Dim(),
+				Seconds: time.Since(start).Seconds(),
+				Outer:   sol.Iterations, Inner: sol.InnerIterations,
+			})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sea/internal/core"
+	"sea/internal/datasets"
+	"sea/internal/problems"
+	"sea/internal/spe"
+)
+
+// Table1Row is one line of Table 1: SEA on large-scale diagonal problems.
+type Table1Row struct {
+	Size       int // rows = columns
+	Nonzeros   int
+	Seconds    float64
+	Iterations int
+}
+
+// Table1 reproduces Table 1: SEA on diagonal quadratic constrained matrix
+// problems from 750×750 to 3000×3000, 100% dense, ε = .01.
+func Table1(cfg Config) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, size := range []int{750, 1000, 2000, 3000} {
+		n := cfg.dim(size)
+		p := problems.Table1(n, uint64(size))
+		o := core.DefaultOptions()
+		o.Criterion = core.MaxAbsDelta
+		o.Epsilon = cfg.eps(0.01)
+		o.Procs = cfg.Procs
+		sol, secs, err := timedSolve(p, o)
+		if err != nil {
+			return rows, fmt.Errorf("table 1, size %d: %w", n, err)
+		}
+		rows = append(rows, Table1Row{
+			Size: n, Nonzeros: n * n,
+			Seconds: secs, Iterations: sol.Iterations,
+		})
+	}
+	return rows, nil
+}
+
+// Table2Row is one line of Table 2: SEA on input/output tables.
+type Table2Row struct {
+	Dataset    string
+	Sectors    int
+	Nonzeros   int
+	Seconds    float64
+	Iterations int
+}
+
+// Table2 reproduces Table 2: SEA on the nine U.S. input/output instances
+// with known row and column totals.
+func Table2(cfg Config) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, spec := range problems.StandardIOSpecs() {
+		spec.Sectors = cfg.dim(spec.Sectors)
+		p := problems.IOTable(spec)
+		var nz int
+		for _, v := range p.X0 {
+			if v > 0 {
+				nz++
+			}
+		}
+		o := core.DefaultOptions()
+		o.Criterion = core.MaxAbsDelta
+		o.Epsilon = cfg.eps(0.01)
+		o.Procs = cfg.Procs
+		sol, secs, err := timedSolve(p, o)
+		if err != nil {
+			return rows, fmt.Errorf("table 2, %s: %w", spec.Name, err)
+		}
+		rows = append(rows, Table2Row{
+			Dataset: spec.Name, Sectors: spec.Sectors, Nonzeros: nz,
+			Seconds: secs, Iterations: sol.Iterations,
+		})
+	}
+	return rows, nil
+}
+
+// Table3Row is one line of Table 3: SEA on social accounting matrices.
+type Table3Row struct {
+	Dataset      string
+	Accounts     int
+	Transactions int
+	Seconds      float64
+	Iterations   int
+}
+
+// Table3 reproduces Table 3: SEA on SAM estimation problems whose row and
+// column totals must balance and be estimated, ε = .001.
+func Table3(cfg Config) ([]Table3Row, error) {
+	type instance struct {
+		name string
+		p    *core.DiagonalProblem
+	}
+	var instances []instance
+	for _, s := range datasets.All() {
+		instances = append(instances, instance{s.Name, problems.SAMFromDataset(s)})
+	}
+	instances = append(instances, instance{"USDA82E", problems.RandomSAM(cfg.dim(133), 1982)})
+	for _, n := range []int{500, 750, 1000} {
+		instances = append(instances,
+			instance{fmt.Sprintf("S%d", n), problems.RandomSAM(cfg.dim(n), uint64(n))})
+	}
+
+	var rows []Table3Row
+	for _, inst := range instances {
+		var nz int
+		for _, v := range inst.p.X0 {
+			if v != 0 {
+				nz++
+			}
+		}
+		o := core.DefaultOptions()
+		o.Criterion = core.RelBalance
+		o.Epsilon = cfg.eps(0.001)
+		o.Procs = cfg.Procs
+		sol, secs, err := timedSolve(inst.p, o)
+		if err != nil {
+			return rows, fmt.Errorf("table 3, %s: %w", inst.name, err)
+		}
+		rows = append(rows, Table3Row{
+			Dataset: inst.name, Accounts: inst.p.N, Transactions: nz,
+			Seconds: secs, Iterations: sol.Iterations,
+		})
+	}
+	return rows, nil
+}
+
+// Table4Row is one line of Table 4: SEA on migration tables.
+type Table4Row struct {
+	Dataset    string
+	Seconds    float64
+	Iterations int
+}
+
+// Table4 reproduces Table 4: SEA on the nine 48×48 U.S. state-to-state
+// migration instances with estimated totals and unit weights.
+func Table4(cfg Config) ([]Table4Row, error) {
+	var rows []Table4Row
+	for _, spec := range problems.StandardMigrationSpecs() {
+		p := problems.MigrationProblem(spec)
+		o := core.DefaultOptions()
+		o.Criterion = core.DualGradient
+		o.Epsilon = cfg.eps(0.01)
+		o.Procs = cfg.Procs
+		o.MaxIterations = 500000
+		sol, secs, err := timedSolve(p, o)
+		if err != nil {
+			return rows, fmt.Errorf("table 4, %s: %w", spec.Name, err)
+		}
+		rows = append(rows, Table4Row{Dataset: spec.Name, Seconds: secs, Iterations: sol.Iterations})
+	}
+	return rows, nil
+}
+
+// Table5Row is one line of Table 5: SEA on spatial price equilibrium
+// problems.
+type Table5Row struct {
+	Markets    int // supply = demand markets
+	Variables  int
+	Seconds    float64
+	Iterations int
+}
+
+// Table5 reproduces Table 5: spatial price equilibrium problems from
+// 50×50 to 750×750 markets, solved through the constrained-matrix
+// isomorphism, ε = .01.
+func Table5(cfg Config) ([]Table5Row, error) {
+	var rows []Table5Row
+	for _, size := range []int{50, 100, 250, 500, 750} {
+		n := cfg.dim(size)
+		sp := spe.Generate(n, n, uint64(size))
+		p, err := sp.ToConstrainedMatrix()
+		if err != nil {
+			return rows, err
+		}
+		o := core.DefaultOptions()
+		o.Criterion = core.DualGradient
+		o.Epsilon = cfg.eps(0.01)
+		o.Procs = cfg.Procs
+		o.CheckEvery = 2 // the paper checked every other iteration here
+		o.MaxIterations = 500000
+		sol, secs, err := timedSolve(p, o)
+		if err != nil {
+			return rows, fmt.Errorf("table 5, SP%d: %w", n, err)
+		}
+		rows = append(rows, Table5Row{
+			Markets: n, Variables: n * n,
+			Seconds: secs, Iterations: sol.Iterations,
+		})
+	}
+	return rows, nil
+}

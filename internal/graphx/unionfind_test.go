@@ -1,0 +1,89 @@
+package graphx
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestBasics(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", uf.Count())
+	}
+	if !uf.Union(0, 1) {
+		t.Error("Union(0,1) should merge")
+	}
+	if uf.Union(1, 0) {
+		t.Error("repeat Union should report already merged")
+	}
+	if !uf.Connected(0, 1) {
+		t.Error("0 and 1 should be connected")
+	}
+	if uf.Connected(0, 2) {
+		t.Error("0 and 2 should not be connected")
+	}
+	uf.Union(2, 3)
+	uf.Union(0, 3)
+	if !uf.Connected(1, 2) {
+		t.Error("transitive connection failed")
+	}
+	if uf.Count() != 2 {
+		t.Errorf("Count = %d, want 2", uf.Count())
+	}
+}
+
+func TestComponents(t *testing.T) {
+	uf := NewUnionFind(6)
+	uf.Union(0, 2)
+	uf.Union(2, 4)
+	uf.Union(1, 5)
+	comps := uf.Components()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3", len(comps))
+	}
+	sizes := map[int]int{}
+	for _, members := range comps {
+		sizes[len(members)]++
+	}
+	if sizes[3] != 1 || sizes[2] != 1 || sizes[1] != 1 {
+		t.Errorf("component sizes wrong: %v", comps)
+	}
+}
+
+func TestRandomAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	n := 50
+	uf := NewUnionFind(n)
+	// Naive labels array.
+	label := make([]int, n)
+	for i := range label {
+		label[i] = i
+	}
+	relabel := func(from, to int) {
+		for i := range label {
+			if label[i] == from {
+				label[i] = to
+			}
+		}
+	}
+	for k := 0; k < 200; k++ {
+		a, b := rng.IntN(n), rng.IntN(n)
+		uf.Union(a, b)
+		if label[a] != label[b] {
+			relabel(label[a], label[b])
+		}
+		// Spot-check a random pair.
+		x, y := rng.IntN(n), rng.IntN(n)
+		if uf.Connected(x, y) != (label[x] == label[y]) {
+			t.Fatalf("step %d: Connected(%d,%d) disagrees with naive", k, x, y)
+		}
+	}
+	// Component count agreement.
+	distinct := map[int]bool{}
+	for _, l := range label {
+		distinct[l] = true
+	}
+	if uf.Count() != len(distinct) {
+		t.Errorf("Count = %d, naive says %d", uf.Count(), len(distinct))
+	}
+}

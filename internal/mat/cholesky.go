@@ -1,0 +1,56 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// CholeskySolve solves A·x = b for a symmetric positive definite A given
+// row-major (length n²). A and b are not modified. It returns an error if A
+// is not positive definite (to within a small pivot tolerance).
+//
+// This is the little direct-solver substrate behind the Stone/Byron class
+// of unsigned estimators, whose KKT systems are dense SPD.
+func CholeskySolve(n int, a, b []float64) ([]float64, error) {
+	if len(a) != n*n || len(b) != n {
+		return nil, fmt.Errorf("mat: CholeskySolve: bad shapes (a=%d b=%d, n=%d)", len(a), len(b), n)
+	}
+	// Factor A = L·Lᵀ into a working copy (lower triangle).
+	l := make([]float64, n*n)
+	copy(l, a)
+	for j := 0; j < n; j++ {
+		d := l[j*n+j]
+		for k := 0; k < j; k++ {
+			d -= l[j*n+k] * l[j*n+k]
+		}
+		if d <= 1e-12*math.Max(1, math.Abs(a[j*n+j])) {
+			return nil, fmt.Errorf("mat: CholeskySolve: not positive definite at pivot %d (%g)", j, d)
+		}
+		d = math.Sqrt(d)
+		l[j*n+j] = d
+		for i := j + 1; i < n; i++ {
+			s := l[i*n+j]
+			for k := 0; k < j; k++ {
+				s -= l[i*n+k] * l[j*n+k]
+			}
+			l[i*n+j] = s / d
+		}
+	}
+	// Forward substitution L·y = b.
+	x := make([]float64, n)
+	copy(x, b)
+	for i := 0; i < n; i++ {
+		for k := 0; k < i; k++ {
+			x[i] -= l[i*n+k] * x[k]
+		}
+		x[i] /= l[i*n+i]
+	}
+	// Back substitution Lᵀ·x = y.
+	for i := n - 1; i >= 0; i-- {
+		for k := i + 1; k < n; k++ {
+			x[i] -= l[k*n+i] * x[k]
+		}
+		x[i] /= l[i*n+i]
+	}
+	return x, nil
+}

@@ -1,0 +1,57 @@
+package mat
+
+import "fmt"
+
+// DenseGeneral is a dense, not necessarily symmetric, square matrix stored
+// row-major. It backs the asymmetric interaction matrices of variational
+// inequality problems (e.g. asymmetric spatial price equilibrium), which
+// have no symmetric-objective equivalent.
+type DenseGeneral struct {
+	n    int
+	data []float64
+}
+
+// NewDenseGeneral wraps data (row-major, length n*n).
+func NewDenseGeneral(n int, data []float64) (*DenseGeneral, error) {
+	if len(data) != n*n {
+		return nil, fmt.Errorf("mat: NewDenseGeneral: data length %d != %d", len(data), n*n)
+	}
+	return &DenseGeneral{n: n, data: data}, nil
+}
+
+// MustDenseGeneral is NewDenseGeneral but panics on invalid input.
+func MustDenseGeneral(n int, data []float64) *DenseGeneral {
+	w, err := NewDenseGeneral(n, data)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func (w *DenseGeneral) Dim() int            { return w.n }
+func (w *DenseGeneral) Diag(i int) float64  { return w.data[i*w.n+i] }
+func (w *DenseGeneral) At(i, j int) float64 { return w.data[i*w.n+j] }
+func (w *DenseGeneral) Row(i int, dst []float64) {
+	copy(dst, w.data[i*w.n:(i+1)*w.n])
+}
+
+func (w *DenseGeneral) MulVec(dst, x []float64) {
+	w.MulVecRange(dst, x, 0, w.n)
+}
+
+func (w *DenseGeneral) MulVecRange(dst, x []float64, lo, hi int) {
+	n := w.n
+	for i := lo; i < hi; i++ {
+		row := w.data[i*n : (i+1)*n]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// Interface check: DenseGeneral provides everything a Weight does, though
+// using a non-symmetric matrix as an objective weight is the caller's
+// responsibility (the VI solvers use it as an operator Jacobian instead).
+var _ Weight = (*DenseGeneral)(nil)

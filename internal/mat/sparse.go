@@ -1,0 +1,160 @@
+package mat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SparseEntry is one (i, j, v) coordinate of a sparse matrix.
+type SparseEntry struct {
+	I, J int
+	V    float64
+}
+
+// SparseSym is a symmetric weight matrix in compressed sparse row form.
+// Real weighting matrices are often structurally sparse — banded
+// variance–covariance inverses, block-diagonal reliability classes — and a
+// dense mn×mn G is the paper's worst case, not the common one. SparseSym
+// stores both triangles explicitly so row access and mat-vec products are
+// single contiguous scans.
+type SparseSym struct {
+	n      int
+	rowPtr []int32
+	colIdx []int32
+	values []float64
+}
+
+// NewSparseSym builds an n×n symmetric matrix from coordinate entries.
+// Entries may be given for either (or both) triangles: each off-diagonal
+// entry is mirrored, and conflicting duplicates are rejected. Diagonal
+// entries must be present and positive for the matrix to be usable as a
+// weight.
+func NewSparseSym(n int, entries []SparseEntry) (*SparseSym, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mat: NewSparseSym: n = %d", n)
+	}
+	type key struct{ i, j int }
+	seen := make(map[key]float64, 2*len(entries))
+	for _, e := range entries {
+		if e.I < 0 || e.I >= n || e.J < 0 || e.J >= n {
+			return nil, fmt.Errorf("mat: NewSparseSym: entry (%d,%d) out of range", e.I, e.J)
+		}
+		for _, k := range []key{{e.I, e.J}, {e.J, e.I}} {
+			if prev, ok := seen[k]; ok {
+				if prev != e.V {
+					return nil, fmt.Errorf("mat: NewSparseSym: conflicting values %g and %g at (%d,%d)", prev, e.V, k.i, k.j)
+				}
+			} else {
+				seen[k] = e.V
+			}
+		}
+	}
+	// Bucket by row, sort by column.
+	rows := make([][]SparseEntry, n)
+	for k, v := range seen {
+		rows[k.i] = append(rows[k.i], SparseEntry{I: k.i, J: k.j, V: v})
+	}
+	s := &SparseSym{
+		n:      n,
+		rowPtr: make([]int32, n+1),
+		colIdx: make([]int32, 0, len(seen)),
+		values: make([]float64, 0, len(seen)),
+	}
+	for i := 0; i < n; i++ {
+		sort.Slice(rows[i], func(a, b int) bool { return rows[i][a].J < rows[i][b].J })
+		for _, e := range rows[i] {
+			s.colIdx = append(s.colIdx, int32(e.J))
+			s.values = append(s.values, e.V)
+		}
+		s.rowPtr[i+1] = int32(len(s.colIdx))
+	}
+	return s, nil
+}
+
+// MustSparseSym is NewSparseSym but panics on invalid input.
+func MustSparseSym(n int, entries []SparseEntry) *SparseSym {
+	s, err := NewSparseSym(n, entries)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NNZ returns the number of stored entries (both triangles).
+func (s *SparseSym) NNZ() int { return len(s.values) }
+
+func (s *SparseSym) Dim() int { return s.n }
+
+func (s *SparseSym) Diag(i int) float64 { return s.At(i, i) }
+
+// At returns the (i,j) entry, using binary search within row i.
+func (s *SparseSym) At(i, j int) float64 {
+	lo, hi := int(s.rowPtr[i]), int(s.rowPtr[i+1])
+	idx := lo + sort.Search(hi-lo, func(k int) bool { return int(s.colIdx[lo+k]) >= j })
+	if idx < hi && int(s.colIdx[idx]) == j {
+		return s.values[idx]
+	}
+	return 0
+}
+
+func (s *SparseSym) Row(i int, dst []float64) {
+	Fill(dst, 0)
+	for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+		dst[s.colIdx[k]] = s.values[k]
+	}
+}
+
+func (s *SparseSym) MulVec(dst, x []float64) {
+	s.MulVecRange(dst, x, 0, s.n)
+}
+
+func (s *SparseSym) MulVecRange(dst, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var acc float64
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			acc += s.values[k] * x[s.colIdx[k]]
+		}
+		dst[i] = acc
+	}
+}
+
+// Materialize converts to an explicit DenseSym (for tests and small n).
+func (s *SparseSym) Materialize() *DenseSym {
+	data := make([]float64, s.n*s.n)
+	for i := 0; i < s.n; i++ {
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			data[i*s.n+int(s.colIdx[k])] = s.values[k]
+		}
+	}
+	return MustDenseSym(s.n, data)
+}
+
+var _ Weight = (*SparseSym)(nil)
+
+// BandedDominant builds a banded symmetric strictly diagonally dominant
+// sparse matrix: diagonal in [diagLo, diagHi], entries within the given
+// bandwidth of either sign, scaled for dominance. It is the sparse analogue
+// of the paper's dense Section 5 generator, for experiments whose weight
+// coupling is local (e.g. adjacent sectors or time periods).
+func BandedDominant(n int, bandwidth int, seed uint64, diagLo, diagHi float64) *SparseSym {
+	if bandwidth < 0 {
+		bandwidth = 0
+	}
+	var entries []SparseEntry
+	scale := 0.0
+	if bandwidth > 0 {
+		scale = 0.9 * diagLo / float64(2*bandwidth)
+	}
+	h := seed
+	next := func() float64 {
+		h = splitmix64(h + 0x9E3779B97F4A7C15)
+		return unit(h)
+	}
+	for i := 0; i < n; i++ {
+		entries = append(entries, SparseEntry{I: i, J: i, V: diagLo + next()*(diagHi-diagLo)})
+		for b := 1; b <= bandwidth && i+b < n; b++ {
+			entries = append(entries, SparseEntry{I: i, J: i + b, V: (2*next() - 1) * scale})
+		}
+	}
+	return MustSparseSym(n, entries)
+}

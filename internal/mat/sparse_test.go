@@ -1,0 +1,147 @@
+package mat
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestSparseSymBasics(t *testing.T) {
+	s := MustSparseSym(3, []SparseEntry{
+		{0, 0, 4}, {1, 1, 5}, {2, 2, 6},
+		{0, 1, 1}, {1, 2, 2}, {0, 2, -1},
+	})
+	if s.Dim() != 3 {
+		t.Fatalf("Dim = %d", s.Dim())
+	}
+	if s.NNZ() != 9 {
+		t.Errorf("NNZ = %d, want 9 (both triangles)", s.NNZ())
+	}
+	if s.At(1, 0) != 1 || s.At(2, 1) != 2 || s.At(2, 0) != -1 {
+		t.Error("mirrored entries wrong")
+	}
+	if s.At(0, 0) != 4 || s.Diag(2) != 6 {
+		t.Error("diagonal wrong")
+	}
+	// Dense equivalence.
+	d := s.Materialize()
+	x := []float64{1, 2, 3}
+	a := make([]float64, 3)
+	b := make([]float64, 3)
+	s.MulVec(a, x)
+	d.MulVec(b, x)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Errorf("MulVec[%d] = %g vs dense %g", i, a[i], b[i])
+		}
+	}
+	row := make([]float64, 3)
+	s.Row(1, row)
+	if row[0] != 1 || row[1] != 5 || row[2] != 2 {
+		t.Errorf("Row(1) = %v", row)
+	}
+}
+
+func TestSparseSymValidation(t *testing.T) {
+	if _, err := NewSparseSym(0, nil); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewSparseSym(2, []SparseEntry{{0, 5, 1}}); err == nil {
+		t.Error("out-of-range entry accepted")
+	}
+	if _, err := NewSparseSym(2, []SparseEntry{{0, 1, 1}, {1, 0, 2}}); err == nil {
+		t.Error("conflicting mirror values accepted")
+	}
+	// Duplicate consistent entries are fine.
+	if _, err := NewSparseSym(2, []SparseEntry{{0, 0, 1}, {1, 1, 1}, {0, 1, 3}, {1, 0, 3}}); err != nil {
+		t.Errorf("consistent duplicates rejected: %v", err)
+	}
+}
+
+func TestSparseSymRandomAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 62))
+	n := 30
+	var entries []SparseEntry
+	for i := 0; i < n; i++ {
+		entries = append(entries, SparseEntry{i, i, 1 + rng.Float64()*10})
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.15 {
+				entries = append(entries, SparseEntry{i, j, rng.NormFloat64()})
+			}
+		}
+	}
+	s := MustSparseSym(n, entries)
+	d := s.Materialize()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	a := make([]float64, n)
+	b := make([]float64, n)
+	s.MulVecRange(a, x, 0, 13)
+	s.MulVecRange(a, x, 13, n)
+	d.MulVec(b, x)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-10 {
+			t.Fatalf("product differs at %d", i)
+		}
+	}
+	// At agreement on a grid.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if s.At(i, j) != d.At(i, j) {
+				t.Fatalf("At(%d,%d) differs", i, j)
+			}
+		}
+	}
+}
+
+func TestBandedDominant(t *testing.T) {
+	s := BandedDominant(50, 3, 7, 500, 800)
+	if m := DominanceMargin(s); m <= 0 {
+		t.Errorf("banded matrix not dominant: margin %g", m)
+	}
+	// Band structure: nothing beyond the bandwidth.
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 50; j++ {
+			if absInt(i-j) > 3 && s.At(i, j) != 0 {
+				t.Fatalf("entry outside band at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Deterministic.
+	s2 := BandedDominant(50, 3, 7, 500, 800)
+	if s.At(10, 12) != s2.At(10, 12) {
+		t.Error("not deterministic")
+	}
+	// NNZ ≈ n·(1+2·bw) minus edge effects.
+	if s.NNZ() > 50*7 || s.NNZ() < 50*5 {
+		t.Errorf("NNZ = %d implausible for bandwidth 3", s.NNZ())
+	}
+	// Degenerate bandwidths.
+	d0 := BandedDominant(5, 0, 1, 10, 20)
+	if d0.NNZ() != 5 {
+		t.Errorf("bandwidth 0 should be diagonal: NNZ %d", d0.NNZ())
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func BenchmarkSparseMulVecBanded(b *testing.B) {
+	n := 10000
+	s := BandedDominant(n, 5, 3, 500, 800)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	dst := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MulVec(dst, x)
+	}
+}

@@ -1,0 +1,192 @@
+// Package matio reads and writes constrained matrix problems and solutions:
+// plain CSV for matrices and a JSON container for whole problems, used by
+// cmd/seasolve and cmd/seagen.
+package matio
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"sea/internal/core"
+)
+
+// ReadMatrixCSV parses a rectangular numeric CSV into a row-major matrix.
+func ReadMatrixCSV(r io.Reader) (m, n int, data []float64, err error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("matio: %w", err)
+	}
+	if len(records) == 0 {
+		return 0, 0, nil, fmt.Errorf("matio: empty matrix")
+	}
+	m = len(records)
+	n = len(records[0])
+	data = make([]float64, 0, m*n)
+	for i, rec := range records {
+		if len(rec) != n {
+			return 0, 0, nil, fmt.Errorf("matio: row %d has %d fields, want %d", i, len(rec), n)
+		}
+		for j, cell := range rec {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return 0, 0, nil, fmt.Errorf("matio: cell (%d,%d): %w", i, j, err)
+			}
+			data = append(data, v)
+		}
+	}
+	return m, n, data, nil
+}
+
+// WriteMatrixCSV writes a row-major matrix as CSV with full precision.
+func WriteMatrixCSV(w io.Writer, m, n int, data []float64) error {
+	if len(data) != m*n {
+		return fmt.Errorf("matio: data length %d != %d×%d", len(data), m, n)
+	}
+	cw := csv.NewWriter(w)
+	rec := make([]string, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			rec[j] = strconv.FormatFloat(data[i*n+j], 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Problem is the JSON container for a diagonal constrained matrix problem.
+// Matrices are row-major flat arrays with explicit dimensions. Omitted
+// Gamma defaults to the chi-square weighting 1/max(x⁰, 0.1); omitted
+// Alpha/Beta (for elastic problems) default to 1.
+type Problem struct {
+	Kind  string    `json:"kind"` // "fixed", "elastic", "balanced" or "interval"
+	M     int       `json:"m"`
+	N     int       `json:"n"`
+	X0    []float64 `json:"x0"`
+	Gamma []float64 `json:"gamma,omitempty"`
+	S0    []float64 `json:"s0,omitempty"`
+	D0    []float64 `json:"d0,omitempty"`
+	Alpha []float64 `json:"alpha,omitempty"`
+	Beta  []float64 `json:"beta,omitempty"`
+	Upper []float64 `json:"upper,omitempty"`
+	Lower []float64 `json:"lower,omitempty"`
+	// Interval-totals bounds (kind "interval").
+	SLo []float64 `json:"slo,omitempty"`
+	SHi []float64 `json:"shi,omitempty"`
+	DLo []float64 `json:"dlo,omitempty"`
+	DHi []float64 `json:"dhi,omitempty"`
+}
+
+// FromCore converts a core problem to its JSON container.
+func FromCore(p *core.DiagonalProblem) *Problem {
+	out := &Problem{
+		Kind: p.Kind.String(),
+		M:    p.M, N: p.N,
+		X0: p.X0, Gamma: p.Gamma,
+		S0: p.S0, D0: p.D0,
+		Alpha: p.Alpha, Beta: p.Beta,
+		Upper: p.Upper, Lower: p.Lower,
+		SLo: p.SLo, SHi: p.SHi, DLo: p.DLo, DHi: p.DHi,
+	}
+	return out
+}
+
+// ToCore converts the JSON container to a validated core problem.
+func (j *Problem) ToCore() (*core.DiagonalProblem, error) {
+	p := &core.DiagonalProblem{
+		M: j.M, N: j.N,
+		X0: j.X0, Gamma: j.Gamma,
+		S0: j.S0, D0: j.D0,
+		Alpha: j.Alpha, Beta: j.Beta,
+		Upper: j.Upper, Lower: j.Lower,
+		SLo: j.SLo, SHi: j.SHi, DLo: j.DLo, DHi: j.DHi,
+	}
+	switch j.Kind {
+	case "fixed", "":
+		p.Kind = core.FixedTotals
+	case "elastic":
+		p.Kind = core.ElasticTotals
+	case "balanced":
+		p.Kind = core.Balanced
+	case "interval":
+		p.Kind = core.IntervalTotals
+	default:
+		return nil, fmt.Errorf("matio: unknown kind %q", j.Kind)
+	}
+	if p.Gamma == nil {
+		p.Gamma = make([]float64, len(p.X0))
+		for k, v := range p.X0 {
+			p.Gamma[k] = 1 / math.Max(v, 0.1)
+		}
+	}
+	if p.Kind != core.FixedTotals && p.Alpha == nil {
+		p.Alpha = ones(p.M)
+	}
+	if p.Kind == core.ElasticTotals && p.Beta == nil {
+		p.Beta = ones(p.N)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// ReadProblemJSON decodes and validates a problem.
+func ReadProblemJSON(r io.Reader) (*core.DiagonalProblem, error) {
+	var j Problem
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("matio: %w", err)
+	}
+	return j.ToCore()
+}
+
+// WriteProblemJSON encodes a problem with indentation.
+func WriteProblemJSON(w io.Writer, p *core.DiagonalProblem) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(FromCore(p))
+}
+
+// Solution is the JSON container for a solve result.
+type Solution struct {
+	X          []float64 `json:"x"`
+	S          []float64 `json:"s"`
+	D          []float64 `json:"d"`
+	Lambda     []float64 `json:"lambda,omitempty"`
+	Mu         []float64 `json:"mu,omitempty"`
+	Iterations int       `json:"iterations"`
+	Converged  bool      `json:"converged"`
+	Residual   float64   `json:"residual"`
+	Objective  float64   `json:"objective"`
+}
+
+// WriteSolutionJSON encodes a solution with indentation.
+func WriteSolutionJSON(w io.Writer, sol *core.Solution) error {
+	out := Solution{
+		X: sol.X, S: sol.S, D: sol.D,
+		Lambda: sol.Lambda, Mu: sol.Mu,
+		Iterations: sol.Iterations,
+		Converged:  sol.Converged,
+		Residual:   sol.Residual,
+		Objective:  sol.Objective,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

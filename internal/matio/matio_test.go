@@ -1,0 +1,165 @@
+package matio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"sea/internal/core"
+)
+
+func TestMatrixCSVRoundTrip(t *testing.T) {
+	data := []float64{1.5, -2, 3e-8, 4, 5.25, 6}
+	var buf bytes.Buffer
+	if err := WriteMatrixCSV(&buf, 2, 3, data); err != nil {
+		t.Fatal(err)
+	}
+	m, n, got, err := ReadMatrixCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 2 || n != 3 {
+		t.Fatalf("dims %d×%d", m, n)
+	}
+	for k := range data {
+		if got[k] != data[k] {
+			t.Errorf("entry %d: %g != %g", k, got[k], data[k])
+		}
+	}
+}
+
+func TestReadMatrixCSVErrors(t *testing.T) {
+	if _, _, _, err := ReadMatrixCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, _, _, err := ReadMatrixCSV(strings.NewReader("1,x\n2,3\n")); err == nil {
+		t.Error("non-numeric cell accepted")
+	}
+	// The csv package itself rejects ragged rows.
+	if _, _, _, err := ReadMatrixCSV(strings.NewReader("1,2\n3\n")); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+func TestWriteMatrixCSVValidation(t *testing.T) {
+	if err := WriteMatrixCSV(&bytes.Buffer{}, 2, 2, []float64{1}); err == nil {
+		t.Error("short data accepted")
+	}
+}
+
+func TestProblemJSONRoundTrip(t *testing.T) {
+	p := &core.DiagonalProblem{
+		M: 2, N: 2,
+		X0:    []float64{1, 2, 3, 4},
+		Gamma: []float64{1, 0.5, 1, 0.25},
+		S0:    []float64{3, 7},
+		D0:    []float64{4, 6},
+		Kind:  core.FixedTotals,
+	}
+	var buf bytes.Buffer
+	if err := WriteProblemJSON(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProblemJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != core.FixedTotals || got.M != 2 || got.N != 2 {
+		t.Fatalf("round trip mangled: %+v", got)
+	}
+	for k := range p.X0 {
+		if got.X0[k] != p.X0[k] || got.Gamma[k] != p.Gamma[k] {
+			t.Errorf("entry %d differs", k)
+		}
+	}
+}
+
+func TestProblemJSONDefaults(t *testing.T) {
+	in := `{"kind":"elastic","m":1,"n":2,"x0":[1,2],"s0":[3],"d0":[1,2]}`
+	p, err := ReadProblemJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != core.ElasticTotals {
+		t.Errorf("kind %v", p.Kind)
+	}
+	// Default chi-square gamma and unit alpha/beta.
+	if math.Abs(p.Gamma[0]-1) > 1e-12 || math.Abs(p.Gamma[1]-0.5) > 1e-12 {
+		t.Errorf("default gamma wrong: %v", p.Gamma)
+	}
+	if p.Alpha[0] != 1 || p.Beta[1] != 1 {
+		t.Errorf("default weights wrong: %v %v", p.Alpha, p.Beta)
+	}
+}
+
+func TestProblemJSONRejectsBad(t *testing.T) {
+	if _, err := ReadProblemJSON(strings.NewReader(`{"kind":"nope"}`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := ReadProblemJSON(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Infeasible fixed totals must be rejected through validation.
+	bad := `{"kind":"fixed","m":1,"n":1,"x0":[1],"s0":[1],"d0":[5]}`
+	if _, err := ReadProblemJSON(strings.NewReader(bad)); err == nil {
+		t.Error("infeasible problem accepted")
+	}
+}
+
+func TestSolveFromJSON(t *testing.T) {
+	in := `{"kind":"fixed","m":2,"n":2,"x0":[1,1,1,1],"s0":[4,4],"d0":[4,4]}`
+	p, err := ReadProblemJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := core.DefaultOptions()
+	o.Criterion = core.DualGradient
+	o.Epsilon = 1e-9
+	sol, err := core.SolveDiagonal(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSolutionJSON(&buf, sol); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"converged": true`) {
+		t.Errorf("solution JSON missing fields: %s", out)
+	}
+}
+
+func TestIntervalProblemJSONRoundTrip(t *testing.T) {
+	in := `{"kind":"interval","m":1,"n":2,"x0":[1,2],
+		"slo":[2.5],"shi":[3.5],"dlo":[0.5,1.5],"dhi":[1.5,2.5]}`
+	p, err := ReadProblemJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != core.IntervalTotals {
+		t.Fatalf("kind %v", p.Kind)
+	}
+	var buf bytes.Buffer
+	if err := WriteProblemJSON(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ReadProblemJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.SLo[0] != 2.5 || p2.DHi[1] != 2.5 {
+		t.Errorf("interval bounds mangled: %+v", p2)
+	}
+	// And it solves.
+	o := core.DefaultOptions()
+	o.Criterion = core.DualGradient
+	o.Epsilon = 1e-9
+	sol, err := core.SolveDiagonal(p2, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Converged {
+		t.Error("interval JSON problem did not converge")
+	}
+}

@@ -1,0 +1,104 @@
+// Package metrics collects the instrumentation the experiments need:
+// iteration counters, abstract operation counts (the paper's complexity
+// model charges each exact equilibration 7n + n·ln n + 2n operations), and
+// wall-clock phase timings. Counters are safe for concurrent increment so
+// the parallel row/column phases can record per-task costs.
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counters accumulates the quantities every experiment reports.
+type Counters struct {
+	OuterIterations atomic.Int64 // projection-method iterations (general problems)
+	Iterations      atomic.Int64 // row+column dual ascent sweeps (diagonal problems)
+	Equilibrations  atomic.Int64 // single row/column exact equilibrations performed
+	Ops             atomic.Int64 // abstract operations, per the paper's model
+	SerialOps       atomic.Int64 // operations in serial phases (convergence checks)
+	ConvChecks      atomic.Int64 // convergence verifications performed
+}
+
+// Snapshot is an immutable copy of Counters suitable for reporting.
+type Snapshot struct {
+	OuterIterations int64
+	Iterations      int64
+	Equilibrations  int64
+	Ops             int64
+	SerialOps       int64
+	ConvChecks      int64
+}
+
+// Snapshot returns a copy of the current counter values.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		OuterIterations: c.OuterIterations.Load(),
+		Iterations:      c.Iterations.Load(),
+		Equilibrations:  c.Equilibrations.Load(),
+		Ops:             c.Ops.Load(),
+		SerialOps:       c.SerialOps.Load(),
+		ConvChecks:      c.ConvChecks.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() {
+	c.OuterIterations.Store(0)
+	c.Iterations.Store(0)
+	c.Equilibrations.Store(0)
+	c.Ops.Store(0)
+	c.SerialOps.Store(0)
+	c.ConvChecks.Store(0)
+}
+
+func (s Snapshot) String() string {
+	return fmt.Sprintf("outer=%d iter=%d equil=%d ops=%d serialOps=%d checks=%d",
+		s.OuterIterations, s.Iterations, s.Equilibrations, s.Ops, s.SerialOps, s.ConvChecks)
+}
+
+// Stopwatch accumulates named wall-clock phase durations. Safe for
+// concurrent use.
+type Stopwatch struct {
+	mu     sync.Mutex
+	phases map[string]time.Duration
+}
+
+// NewStopwatch returns an empty Stopwatch.
+func NewStopwatch() *Stopwatch {
+	return &Stopwatch{phases: make(map[string]time.Duration)}
+}
+
+// Add accumulates d into the named phase.
+func (s *Stopwatch) Add(phase string, d time.Duration) {
+	s.mu.Lock()
+	s.phases[phase] += d
+	s.mu.Unlock()
+}
+
+// Time runs fn and accumulates its duration into the named phase.
+func (s *Stopwatch) Time(phase string, fn func()) {
+	start := time.Now()
+	fn()
+	s.Add(phase, time.Since(start))
+}
+
+// Get returns the accumulated duration for a phase.
+func (s *Stopwatch) Get(phase string) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.phases[phase]
+}
+
+// Phases returns a copy of all phase durations.
+func (s *Stopwatch) Phases() map[string]time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]time.Duration, len(s.phases))
+	for k, v := range s.phases {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, p := range []int{0, 1, 2, 3, 7, 16} {
+		for _, n := range []int{0, 1, 2, 5, 100} {
+			seen := make([]atomic.Int32, n)
+			For(p, n, func(i int) { seen[i].Add(1) })
+			for i := range seen {
+				if got := seen[i].Load(); got != 1 {
+					t.Errorf("p=%d n=%d: index %d visited %d times", p, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunksPartition(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 6} {
+		n := 17
+		covered := make([]bool, n)
+		ForChunks(p, n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if covered[i] {
+					t.Errorf("p=%d: index %d covered twice", p, i)
+				}
+				covered[i] = true
+			}
+		})
+		for i, c := range covered {
+			if !c {
+				t.Errorf("p=%d: index %d not covered", p, i)
+			}
+		}
+	}
+}
+
+func TestForChunksChunkIDs(t *testing.T) {
+	var ids [4]atomic.Int32
+	ForChunks(4, 100, func(c, lo, hi int) {
+		ids[c].Add(1)
+		wantLo, wantHi := ChunkBounds(c, 4, 100)
+		if lo != wantLo || hi != wantHi {
+			t.Errorf("chunk %d: got [%d,%d), want [%d,%d)", c, lo, hi, wantLo, wantHi)
+		}
+	})
+	for c := range ids {
+		if ids[c].Load() != 1 {
+			t.Errorf("chunk %d ran %d times", c, ids[c].Load())
+		}
+	}
+}
+
+func TestChunkBoundsClamp(t *testing.T) {
+	// More workers than items: each worker gets at most one item, extras get
+	// an empty range.
+	lo, hi := ChunkBounds(5, 10, 3)
+	if lo != hi {
+		t.Errorf("out-of-range chunk got non-empty range [%d,%d)", lo, hi)
+	}
+	lo, hi = ChunkBounds(0, 0, 5)
+	if lo != 0 || hi != 5 {
+		t.Errorf("p=0 should behave as p=1: [%d,%d)", lo, hi)
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	n := 1000
+	ref := make([]float64, n)
+	For(1, n, func(i int) { ref[i] = float64(i * i) })
+	for _, p := range []int{2, 4, 8} {
+		out := make([]float64, n)
+		For(p, n, func(i int) { out[i] = float64(i * i) })
+		for i := range out {
+			if out[i] != ref[i] {
+				t.Fatalf("p=%d: result differs at %d", p, i)
+			}
+		}
+	}
+}
+
+func TestZeroItems(t *testing.T) {
+	called := false
+	ForChunks(4, 0, func(_, _, _ int) { called = true })
+	if called {
+		t.Error("callback invoked for n=0")
+	}
+}

@@ -1,0 +1,139 @@
+package problems
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"sea/internal/core"
+	"sea/internal/datasets"
+	"sea/internal/mat"
+)
+
+// MigrationTable synthesizes a 48×48 state-to-state migration flow table
+// for one of the paper's periods ("5560", "6570", "7580") using a gravity
+// model on the embedded state populations and centroids: flows grow with
+// both populations and decay with distance, with a lognormal disturbance.
+// The diagonal (non-movers) is zero, as in state-to-state migration tables.
+func MigrationTable(period string, seed uint64) []float64 {
+	states := datasets.States()
+	pops := datasets.PopulationsForPeriod(period)
+	n := len(states)
+	rng := rand.New(rand.NewPCG(seed, 4))
+	x := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d := centroidDistance(states[i], states[j])
+			// Gravity flow in persons: k·P_i^0.8·P_j^0.7/d^1.4, populations
+			// in thousands, distance in great-circle degrees.
+			flow := 0.08 * math.Pow(pops[i], 0.8) * math.Pow(pops[j], 0.7) / math.Pow(d+1, 1.4)
+			flow *= math.Exp(rng.NormFloat64() * 0.4) // source heterogeneity
+			x[i*n+j] = math.Round(flow)
+		}
+	}
+	return x
+}
+
+// centroidDistance is the great-circle angle (degrees) between two state
+// centroids — adequate as the gravity model's distance term.
+func centroidDistance(a, b datasets.State) float64 {
+	la, lb := a.Lat*math.Pi/180, b.Lat*math.Pi/180
+	dl := (a.Lon - b.Lon) * math.Pi / 180
+	c := math.Sin(la)*math.Sin(lb) + math.Cos(la)*math.Cos(lb)*math.Cos(dl)
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return math.Acos(c) * 180 / math.Pi
+}
+
+// MigVariant selects the construction of a Table 4 migration example.
+type MigVariant byte
+
+const (
+	// MigGrowthSmall: each row and column total receives a distinct random
+	// growth factor in [0,10%] (…a examples).
+	MigGrowthSmall MigVariant = 'a'
+	// MigGrowthLarge: growth factors in [0,100%] (…b examples).
+	MigGrowthLarge MigVariant = 'b'
+	// MigPerturbed: totals are the original sums; each entry of X⁰ is
+	// perturbed by a random 0–10% factor (…c examples).
+	MigPerturbed MigVariant = 'c'
+)
+
+// MigrationSpec names one Table 4 instance.
+type MigrationSpec struct {
+	Name    string
+	Period  string
+	Variant MigVariant
+	Seed    uint64
+}
+
+// StandardMigrationSpecs returns the nine Table 4 instances.
+func StandardMigrationSpecs() []MigrationSpec {
+	var specs []MigrationSpec
+	for _, period := range []string{"5560", "6570", "7580"} {
+		for _, v := range []MigVariant{MigGrowthSmall, MigGrowthLarge, MigPerturbed} {
+			specs = append(specs, MigrationSpec{
+				Name:    "MIG" + period + string(v),
+				Period:  period,
+				Variant: v,
+				Seed:    uint64(period[0])<<8 | uint64(period[2]),
+			})
+		}
+	}
+	return specs
+}
+
+// MigrationProblem builds the elastic-totals constrained matrix problem of
+// one Table 4 instance: all weights equal to one (the paper's choice), with
+// the totals estimated around their grown or original priors.
+func MigrationProblem(spec MigrationSpec) *core.DiagonalProblem {
+	x0 := MigrationTable(spec.Period, spec.Seed)
+	n := 48
+	rng := rand.New(rand.NewPCG(spec.Seed, uint64(spec.Variant)))
+
+	s0 := make([]float64, n)
+	d0 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s0[i] += x0[i*n+j]
+			d0[j] += x0[i*n+j]
+		}
+	}
+	switch spec.Variant {
+	case MigGrowthSmall, MigGrowthLarge:
+		hi := 0.10
+		if spec.Variant == MigGrowthLarge {
+			hi = 1.0
+		}
+		for i := range s0 {
+			s0[i] *= 1 + rng.Float64()*hi
+		}
+		for j := range d0 {
+			d0[j] *= 1 + rng.Float64()*hi
+		}
+	case MigPerturbed:
+		// Keep the total priors; perturb the matrix entries 0–10%.
+		for k := range x0 {
+			x0[k] *= 1 + rng.Float64()*0.10
+		}
+	default:
+		panic(fmt.Sprintf("problems: unknown migration variant %q", spec.Variant))
+	}
+
+	ones := func(k int) []float64 {
+		v := make([]float64, k)
+		mat.Fill(v, 1)
+		return v
+	}
+	p, err := core.NewElastic(n, n, x0, ones(n*n), s0, ones(n), d0, ones(n))
+	if err != nil {
+		panic(fmt.Sprintf("problems: MigrationProblem(%s): %v", spec.Name, err))
+	}
+	return p
+}

@@ -1,0 +1,259 @@
+// Package problems generates the experiment instances of the paper's
+// Sections 4 and 5, reproducing each table's documented construction: sizes,
+// densities, value ranges, weighting schemes and growth factors. Where the
+// paper used proprietary economic datasets, the generators reproduce their
+// dimensions and structure (see DESIGN.md, substitution 2).
+package problems
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"sea/internal/core"
+	"sea/internal/datasets"
+	"sea/internal/mat"
+)
+
+// gammaFloor keeps the reciprocal weights finite on structural zeros: a zero
+// prior cell receives weight 1/gammaFloor, a strong (but not infinite) pull
+// toward zero.
+const gammaFloor = 0.1
+
+// reciprocalWeights returns γ_ij = 1/max(x⁰_ij, gammaFloor) — the chi-square
+// weighting the paper uses throughout Section 4.
+func reciprocalWeights(x0 []float64) []float64 {
+	g := make([]float64, len(x0))
+	for k, v := range x0 {
+		g[k] = 1 / math.Max(v, gammaFloor)
+	}
+	return g
+}
+
+// Table1 builds one of the large-scale diagonal problems of Table 1: an n×n
+// matrix with 100% positive entries generated uniformly in [.1, 10000],
+// γ = 1/x⁰, and each row/column total set to twice the corresponding prior
+// sum.
+func Table1(n int, seed uint64) *core.DiagonalProblem {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	x0 := make([]float64, n*n)
+	for k := range x0 {
+		x0[k] = 0.1 + rng.Float64()*9999.9
+	}
+	gamma := make([]float64, n*n)
+	for k := range gamma {
+		gamma[k] = 1 / x0[k]
+	}
+	s0 := make([]float64, n)
+	d0 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s0[i] += 2 * x0[i*n+j]
+			d0[j] += 2 * x0[i*n+j]
+		}
+	}
+	p, err := core.NewFixed(n, n, x0, gamma, s0, d0)
+	if err != nil {
+		panic(fmt.Sprintf("problems: Table1(%d): %v", n, err))
+	}
+	return p
+}
+
+// IOVariant selects how an input/output instance is derived from its base
+// table, matching the three examples in each of Table 2's series.
+type IOVariant byte
+
+const (
+	// IOGrowth10 applies a 10% growth factor to the totals (…a examples).
+	IOGrowth10 IOVariant = 'a'
+	// IOGrowth100 applies a 100% growth factor (…b examples).
+	IOGrowth100 IOVariant = 'b'
+	// IOPerturbed keeps the original totals but perturbs each nonzero
+	// entry by an additive term in [1,10] (…c examples).
+	IOPerturbed IOVariant = 'c'
+)
+
+// IOSpec describes one input/output experiment instance.
+type IOSpec struct {
+	Name    string
+	Sectors int
+	// Density is the fraction of nonzero entries in the base table.
+	Density float64
+	Variant IOVariant
+	Seed    uint64
+}
+
+// StandardIOSpecs returns the nine Table 2 instances: the aggregated 1972
+// and 1977 U.S. construction-activity tables (205 sectors, 52% and 58%
+// dense) and the disaggregated 1972 U.S. table (485 sectors, 16% dense).
+func StandardIOSpecs() []IOSpec {
+	specs := []IOSpec{}
+	series := []struct {
+		prefix  string
+		sectors int
+		density float64
+		seed    uint64
+	}{
+		{"IOC72", 205, 0.52, 1972},
+		{"IOC77", 205, 0.58, 1977},
+		{"IO72", 485, 0.16, 72},
+	}
+	for _, s := range series {
+		for _, v := range []IOVariant{IOGrowth10, IOGrowth100, IOPerturbed} {
+			specs = append(specs, IOSpec{
+				Name:    s.prefix + string(v),
+				Sectors: s.sectors,
+				Density: s.density,
+				Variant: v,
+				Seed:    s.seed,
+			})
+		}
+	}
+	return specs
+}
+
+// baseIOTable generates a synthetic inter-industry flow table with the given
+// density: a core of large intra-sector and supplier flows with the long
+// right tail characteristic of I/O data.
+func baseIOTable(n int, density float64, seed uint64) []float64 {
+	rng := rand.New(rand.NewPCG(seed, 2))
+	x := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < density {
+				// Log-uniform magnitudes: many small flows, few large.
+				x[i*n+j] = math.Exp(rng.Float64()*7) * 0.5 // ~[0.5, 550]
+			}
+		}
+	}
+	return x
+}
+
+// IOTable builds the fixed-totals constrained matrix problem of one Table 2
+// instance.
+func IOTable(spec IOSpec) *core.DiagonalProblem {
+	n := spec.Sectors
+	base := baseIOTable(n, spec.Density, spec.Seed)
+	rng := rand.New(rand.NewPCG(spec.Seed, uint64(spec.Variant)))
+
+	x0 := mat.Clone(base)
+	s0 := make([]float64, n)
+	d0 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s0[i] += base[i*n+j]
+			d0[j] += base[i*n+j]
+		}
+	}
+	switch spec.Variant {
+	case IOGrowth10, IOGrowth100:
+		growth := 1.10
+		if spec.Variant == IOGrowth100 {
+			growth = 2.0
+		}
+		for i := range s0 {
+			s0[i] *= growth
+		}
+		for j := range d0 {
+			d0[j] *= growth
+		}
+	case IOPerturbed:
+		// Perturb nonzero entries by an additive term in [1,10]; the totals
+		// remain those of the unperturbed table, which the estimate must
+		// recover. Rebalance the target totals so Σs⁰ = Σd⁰ holds exactly.
+		for k := range x0 {
+			if x0[k] > 0 {
+				x0[k] += 1 + rng.Float64()*9
+			}
+		}
+	default:
+		panic(fmt.Sprintf("problems: unknown IO variant %q", spec.Variant))
+	}
+	p, err := core.NewFixed(n, n, x0, reciprocalWeights(x0), s0, d0)
+	if err != nil {
+		panic(fmt.Sprintf("problems: IOTable(%s): %v", spec.Name, err))
+	}
+	return p
+}
+
+// SAMFromDataset turns an embedded miniature SAM into its Balanced
+// estimation problem, with the chi-square weighting γ = 1/x⁰ (floored on
+// structural zeros) and α = 1/s⁰.
+func SAMFromDataset(s *datasets.SAM) *core.DiagonalProblem {
+	n := s.N()
+	alpha := make([]float64, n)
+	for i, v := range s.S0 {
+		alpha[i] = 1 / math.Max(v, gammaFloor)
+	}
+	p, err := core.NewBalanced(n, mat.Clone(s.X0), reciprocalWeights(s.X0), mat.Clone(s.S0), alpha)
+	if err != nil {
+		panic(fmt.Sprintf("problems: SAMFromDataset(%s): %v", s.Name, err))
+	}
+	return p
+}
+
+// RandomSAM builds a dense n-account SAM estimation problem, the
+// construction behind USDA82E (n = 133, perturbed to full density) and the
+// large-scale S500, S750, S1000 examples of Table 3.
+func RandomSAM(n int, seed uint64) *core.DiagonalProblem {
+	rng := rand.New(rand.NewPCG(seed, 3))
+	x0 := make([]float64, n*n)
+	for k := range x0 {
+		x0[k] = 0.1 + rng.Float64()*999.9
+	}
+	s0 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var row, col float64
+		for j := 0; j < n; j++ {
+			row += x0[i*n+j]
+			col += x0[j*n+i]
+		}
+		// Prior totals near, but not at, the (inconsistent) row/column
+		// sums, perturbed ±10%.
+		s0[i] = (row + col) / 2 * (0.9 + 0.2*rng.Float64())
+	}
+	alpha := make([]float64, n)
+	for i := range alpha {
+		alpha[i] = 1 / s0[i]
+	}
+	p, err := core.NewBalanced(n, x0, reciprocalWeights(x0), s0, alpha)
+	if err != nil {
+		panic(fmt.Sprintf("problems: RandomSAM(%d): %v", n, err))
+	}
+	return p
+}
+
+// USDA82E builds the 133-account fully dense SAM instance of Table 3.
+func USDA82E() *core.DiagonalProblem { return RandomSAM(133, 1982) }
+
+// WeightScheme selects one of the weighting conventions the paper's
+// Section 2 discusses for the diagonal objective (5)/(13).
+type WeightScheme int
+
+const (
+	// WeightChiSquare: γ = 1/x⁰ — the Deming–Stephan chi-square, the
+	// paper's default throughout Section 4.
+	WeightChiSquare WeightScheme = iota
+	// WeightUnit: γ = 1 — Friedlander's constrained least squares.
+	WeightUnit
+	// WeightInverseSqrt: γ = 1/√x⁰ — the intermediate scheme the paper
+	// mentions alongside mixed weightings.
+	WeightInverseSqrt
+)
+
+// Weights materializes a weighting scheme for a prior matrix, flooring the
+// reciprocal schemes on structural zeros as reciprocalWeights does.
+func Weights(scheme WeightScheme, x0 []float64) []float64 {
+	g := make([]float64, len(x0))
+	for k, v := range x0 {
+		switch scheme {
+		case WeightUnit:
+			g[k] = 1
+		case WeightInverseSqrt:
+			g[k] = 1 / math.Sqrt(math.Max(v, gammaFloor))
+		default:
+			g[k] = 1 / math.Max(v, gammaFloor)
+		}
+	}
+	return g
+}

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Series is one line of an ASCII chart: y values indexed like the shared xs.
+type Series struct {
+	Name string
+	Ys   []float64
+}
+
+// Chart renders a simple ASCII scatter/line chart — enough to reproduce the
+// shape of the paper's speedup figures (Figures 5 and 7) in a terminal.
+// xs are shared x coordinates; each series must have len(xs) points.
+func Chart(w io.Writer, title, xLabel, yLabel string, xs []float64, series []Series) {
+	const width, height = 60, 16
+	if len(xs) == 0 || len(series) == 0 {
+		return
+	}
+	minX, maxX := xs[0], xs[0]
+	for _, x := range xs {
+		if x < minX {
+			minX = x
+		}
+		if x > maxX {
+			maxX = x
+		}
+	}
+	minY, maxY := series[0].Ys[0], series[0].Ys[0]
+	for _, s := range series {
+		for _, y := range s.Ys {
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	// Pad the y range slightly.
+	pad := (maxY - minY) * 0.05
+	minY -= pad
+	maxY += pad
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte{'*', 'o', '+', 'x', '#', '@'}
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i, y := range s.Ys {
+			col := int(float64(width-1) * (xs[i] - minX) / (maxX - minX))
+			row := height - 1 - int(float64(height-1)*(y-minY)/(maxY-minY))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = mark
+			}
+		}
+	}
+
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%s\n", yLabel)
+	for r, line := range grid {
+		yVal := maxY - (maxY-minY)*float64(r)/float64(height-1)
+		fmt.Fprintf(w, "%8.2f |%s\n", yVal, string(line))
+	}
+	fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", 9), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s%-8.2f%s%8.2f  (%s)\n", strings.Repeat(" ", 10), minX, strings.Repeat(" ", width-16), maxX, xLabel)
+	// Legend, stable order.
+	names := make([]string, len(series))
+	for i, s := range series {
+		names[i] = fmt.Sprintf("%c = %s", marks[i%len(marks)], s.Name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "  legend: %s\n", strings.Join(names, "   "))
+}

@@ -1,0 +1,79 @@
+// Package report renders experiment results as fixed-width text tables in
+// the style of the paper, and as CSV for further processing.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Render writes a fixed-width table with a title, header row and rule lines.
+func Render(w io.Writer, title string, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var total int
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	rule := strings.Repeat("-", total)
+	fmt.Fprintln(w, rule)
+	for i, h := range headers {
+		fmt.Fprintf(w, "%-*s  ", widths[i], h)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, rule)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) {
+				fmt.Fprintf(w, "%-*s  ", widths[i], cell)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, rule)
+}
+
+// RenderCSV writes headers and rows as CSV. Cells are assumed not to contain
+// commas or quotes (all our cells are numbers and identifiers).
+func RenderCSV(w io.Writer, headers []string, rows [][]string) {
+	fmt.Fprintln(w, strings.Join(headers, ","))
+	for _, row := range rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// F formats a float with the given number of decimals; NaN renders as "-".
+func F(v float64, prec int) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// D formats an integer.
+func D(v int) string { return fmt.Sprintf("%d", v) }
+
+// D64 formats an int64.
+func D64(v int64) string { return fmt.Sprintf("%d", v) }
+
+// Pct formats a ratio as a percentage with two decimals.
+func Pct(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f%%", 100*v)
+}

@@ -1,0 +1,108 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRender(t *testing.T) {
+	var buf bytes.Buffer
+	Render(&buf, "Title", []string{"a", "longheader"}, [][]string{
+		{"1", "2"},
+		{"333333", "4"},
+	})
+	out := buf.String()
+	if !strings.Contains(out, "Title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "longheader") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "333333") {
+		t.Error("missing cell")
+	}
+	// Columns align: the header line and data lines have the same prefix
+	// width for column 2.
+	lines := strings.Split(out, "\n")
+	var headerLine, dataLine string
+	for _, l := range lines {
+		if strings.Contains(l, "longheader") {
+			headerLine = l
+		}
+		if strings.Contains(l, "333333") {
+			dataLine = l
+		}
+	}
+	if strings.Index(headerLine, "longheader") != strings.Index(dataLine, "4") {
+		t.Errorf("columns misaligned:\n%q\n%q", headerLine, dataLine)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	var buf bytes.Buffer
+	RenderCSV(&buf, []string{"x", "y"}, [][]string{{"1", "2"}, {"3", "4"}})
+	want := "x,y\n1,2\n3,4\n"
+	if buf.String() != want {
+		t.Errorf("got %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Errorf("F = %q", F(1.23456, 2))
+	}
+	if F(math.NaN(), 2) != "-" {
+		t.Errorf("F(NaN) = %q", F(math.NaN(), 2))
+	}
+	if D(42) != "42" || D64(43) != "43" {
+		t.Error("D/D64 wrong")
+	}
+	if Pct(0.965) != "96.50%" {
+		t.Errorf("Pct = %q", Pct(0.965))
+	}
+	if Pct(math.NaN()) != "-" {
+		t.Errorf("Pct(NaN) = %q", Pct(math.NaN()))
+	}
+}
+
+func TestChart(t *testing.T) {
+	var buf bytes.Buffer
+	Chart(&buf, "Figure", "CPUs", "speedup",
+		[]float64{2, 4, 6},
+		[]Series{
+			{Name: "SEA", Ys: []float64{1.9, 3.5, 4.7}},
+			{Name: "RC", Ys: []float64{1.7, 2.2, 2.4}},
+		})
+	out := buf.String()
+	for _, want := range []string{"Figure", "speedup", "CPUs", "legend", "SEA", "RC", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The largest value maps near the top row, smallest near the bottom.
+	lines := strings.Split(out, "\n")
+	var topMark, bottomMark int = -1, -1
+	for i, l := range lines {
+		if strings.ContainsAny(l, "*o") {
+			if topMark == -1 {
+				topMark = i
+			}
+			bottomMark = i
+		}
+	}
+	if topMark == -1 || topMark == bottomMark {
+		t.Fatal("marks not spread vertically")
+	}
+}
+
+func TestChartDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	// Single point, flat series — must not panic or divide by zero.
+	Chart(&buf, "t", "x", "y", []float64{3}, []Series{{Name: "s", Ys: []float64{5}}})
+	if buf.Len() == 0 {
+		t.Error("no output for single point")
+	}
+	Chart(&buf, "t", "x", "y", nil, nil) // empty input: silently nothing
+}

@@ -1,0 +1,53 @@
+package sortx
+
+// InsertionFunc sorts xs ascending under less using straight insertion sort.
+func InsertionFunc[T any](xs []T, less func(a, b T) bool) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && less(v, xs[j]) {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}
+
+// HeapFunc sorts xs ascending under less using heapsort.
+func HeapFunc[T any](xs []T, less func(a, b T) bool) {
+	n := len(xs)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownFunc(xs, i, n, less)
+	}
+	for end := n - 1; end > 0; end-- {
+		xs[0], xs[end] = xs[end], xs[0]
+		siftDownFunc(xs, 0, end, less)
+	}
+}
+
+func siftDownFunc[T any](xs []T, i, n int, less func(a, b T) bool) {
+	for {
+		child := 2*i + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && less(xs[child], xs[child+1]) {
+			child++
+		}
+		if !less(xs[i], xs[child]) {
+			return
+		}
+		xs[i], xs[child] = xs[child], xs[i]
+		i = child
+	}
+}
+
+// AdaptiveFunc sorts xs ascending under less, using insertion sort for short
+// slices and heapsort otherwise, mirroring the paper's implementation choice.
+func AdaptiveFunc[T any](xs []T, less func(a, b T) bool) {
+	if len(xs) <= InsertionThreshold {
+		InsertionFunc(xs, less)
+	} else {
+		HeapFunc(xs, less)
+	}
+}

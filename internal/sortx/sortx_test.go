@@ -1,0 +1,150 @@
+package sortx
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func randomSlice(rng *rand.Rand, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 1e4
+	}
+	return xs
+}
+
+func testSorter(t *testing.T, name string, sort func([]float64)) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(1, 2))
+	sizes := []int{0, 1, 2, 3, 7, 10, 100, 127, 128, 129, 500, 4096}
+	for _, n := range sizes {
+		xs := randomSlice(rng, n)
+		want := slices.Clone(xs)
+		slices.Sort(want)
+		sort(xs)
+		if !slices.Equal(xs, want) {
+			t.Errorf("%s: size %d: not sorted correctly", name, n)
+		}
+	}
+}
+
+func TestInsertion(t *testing.T) { testSorter(t, "Insertion", Insertion) }
+func TestHeap(t *testing.T)      { testSorter(t, "Heap", Heap) }
+func TestAdaptive(t *testing.T)  { testSorter(t, "Adaptive", Adaptive) }
+
+func TestAlreadySorted(t *testing.T) {
+	xs := []float64{-3, -1, 0, 0, 2, 5, 9}
+	for _, sort := range []func([]float64){Insertion, Heap, Adaptive} {
+		ys := slices.Clone(xs)
+		sort(ys)
+		if !slices.Equal(xs, ys) {
+			t.Errorf("sorted input permuted: %v", ys)
+		}
+	}
+}
+
+func TestReverseSorted(t *testing.T) {
+	xs := []float64{9, 5, 2, 0, 0, -1, -3}
+	want := []float64{-3, -1, 0, 0, 2, 5, 9}
+	for _, sort := range []func([]float64){Insertion, Heap, Adaptive} {
+		ys := slices.Clone(xs)
+		sort(ys)
+		if !slices.Equal(want, ys) {
+			t.Errorf("reverse input not sorted: %v", ys)
+		}
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	xs := make([]float64, 300)
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := range xs {
+		xs[i] = float64(rng.IntN(5))
+	}
+	want := slices.Clone(xs)
+	slices.Sort(want)
+	Heap(xs)
+	if !slices.Equal(xs, want) {
+		t.Errorf("duplicates mishandled")
+	}
+}
+
+// TestHeapSortsProperty is a property-based test: Heap always produces an
+// ascending permutation of its input.
+func TestHeapSortsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		orig := slices.Clone(xs)
+		Heap(xs)
+		if !IsSorted(xs) {
+			return false
+		}
+		slices.Sort(orig)
+		// NaNs compare unequal to themselves; skip inputs containing them
+		// since the kernel never produces NaN breakpoints.
+		for _, v := range orig {
+			if v != v {
+				return true
+			}
+		}
+		return slices.Equal(xs, orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInsertionSortsProperty mirrors TestHeapSortsProperty for insertion sort.
+func TestInsertionSortsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, v := range xs {
+			if v != v {
+				return true
+			}
+		}
+		orig := slices.Clone(xs)
+		Insertion(xs)
+		slices.Sort(orig)
+		return slices.Equal(xs, orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want bool
+	}{
+		{nil, true},
+		{[]float64{1}, true},
+		{[]float64{1, 1}, true},
+		{[]float64{1, 2, 3}, true},
+		{[]float64{3, 2}, false},
+		{[]float64{1, 2, 1}, false},
+	}
+	for _, c := range cases {
+		if got := IsSorted(c.xs); got != c.want {
+			t.Errorf("IsSorted(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func benchSorter(b *testing.B, n int, sort func([]float64)) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	src := randomSlice(rng, n)
+	buf := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		sort(buf)
+	}
+}
+
+func BenchmarkHeap1000(b *testing.B)     { benchSorter(b, 1000, Heap) }
+func BenchmarkInsertion100(b *testing.B) { benchSorter(b, 100, Insertion) }
+func BenchmarkAdaptive100(b *testing.B)  { benchSorter(b, 100, Adaptive) }
+func BenchmarkAdaptive1000(b *testing.B) { benchSorter(b, 1000, Adaptive) }
+func BenchmarkStdSort1000(b *testing.B)  { benchSorter(b, 1000, slices.Sort[[]float64]) }

@@ -1,0 +1,263 @@
+package spe
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"sea/internal/core"
+	"sea/internal/mat"
+)
+
+// AsymmetricProblem is a spatial price equilibrium whose supply and demand
+// price functions couple markets through possibly *asymmetric* interaction
+// matrices:
+//
+//	π_i(s) = P_i + Σ_k R_ik s_k,   ρ_j(d) = Q_j − Σ_l W_jl d_l,
+//	c_ij(x) = C_ij + H_ij x_ij.
+//
+// With R or W asymmetric there is no equivalent optimization formulation —
+// the situation the paper's Section 2 points to when it relates constrained
+// matrix problems to variational inequality theory. The equilibrium is the
+// solution of the VI
+//
+//	⟨F(z*), z − z*⟩ ≥ 0  for all z = (x, s, d) in the conservation set
+//	                      {Σ_j x_ij = s_i, Σ_i x_ij = d_j, x ≥ 0},
+//
+// with F(x, s, d) = (c_ij(x_ij), π_i(s), −ρ_j(d)), and is computed by the
+// Dafermos projection method: each iteration solves a diagonal *elastic*
+// constrained matrix problem (by the splitting equilibration algorithm)
+// whose quadratic terms are the diagonals of H, R, W and whose linear terms
+// are updated from F at the current iterate — exactly the structure of the
+// paper's Section 3.2 applied to a non-symmetric operator.
+type AsymmetricProblem struct {
+	M, N int
+	// SupplyIntercept P and SupplyMatrix R (m×m, positive diagonal,
+	// strictly diagonally dominant for convergence).
+	SupplyIntercept []float64
+	SupplyMatrix    *mat.DenseGeneral
+	// DemandIntercept Q and DemandMatrix W (n×n, same conditions).
+	DemandIntercept []float64
+	DemandMatrix    *mat.DenseGeneral
+	// CostIntercept and CostSlope define the separable transport costs.
+	CostIntercept, CostSlope []float64
+}
+
+// Validate checks dimensions, slope positivity, and strict diagonal
+// dominance of the interaction matrices (the projection method's
+// convergence condition for the VI).
+func (p *AsymmetricProblem) Validate() error {
+	if p.M <= 0 || p.N <= 0 {
+		return fmt.Errorf("spe: invalid dimensions %d×%d", p.M, p.N)
+	}
+	if len(p.SupplyIntercept) != p.M || p.SupplyMatrix == nil || p.SupplyMatrix.Dim() != p.M {
+		return fmt.Errorf("spe: supply side mis-sized")
+	}
+	if len(p.DemandIntercept) != p.N || p.DemandMatrix == nil || p.DemandMatrix.Dim() != p.N {
+		return fmt.Errorf("spe: demand side mis-sized")
+	}
+	mn := p.M * p.N
+	if len(p.CostIntercept) != mn || len(p.CostSlope) != mn {
+		return fmt.Errorf("spe: cost functions mis-sized")
+	}
+	for k, v := range p.CostSlope {
+		if !(v > 0) {
+			return fmt.Errorf("spe: CostSlope[%d] = %g, want > 0", k, v)
+		}
+	}
+	for name, w := range map[string]*mat.DenseGeneral{"R": p.SupplyMatrix, "W": p.DemandMatrix} {
+		if margin := mat.DominanceMargin(w); margin <= 0 {
+			return fmt.Errorf("spe: interaction matrix %s not strictly diagonally dominant (margin %g)", name, margin)
+		}
+	}
+	return nil
+}
+
+// SolveAsymmetric computes the equilibrium by the projection method with
+// diagonal SEA subproblems. eps is the outer tolerance on |Δx|∞; opts
+// configures the inner diagonal solves (tolerance, workers).
+func (p *AsymmetricProblem) SolveAsymmetric(eps float64, maxIter int, opts *core.Options) (*Equilibrium, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if maxIter <= 0 {
+		maxIter = 10000
+	}
+	m, n := p.M, p.N
+	mn := m * n
+
+	inner := core.DefaultOptions()
+	if opts != nil {
+		*inner = *opts
+	}
+	if inner.Epsilon <= 0 || inner.Epsilon > eps/10 {
+		inner.Epsilon = eps / 10
+	}
+	inner.Criterion = core.DualGradient
+
+	// Diagonal elastic subproblem skeleton: quadratic terms from the
+	// operator Jacobian's diagonal.
+	dp := &core.DiagonalProblem{
+		M: m, N: n,
+		X0:    make([]float64, mn),
+		Gamma: make([]float64, mn),
+		S0:    make([]float64, m),
+		Alpha: make([]float64, m),
+		D0:    make([]float64, n),
+		Beta:  make([]float64, n),
+		Kind:  core.ElasticTotals,
+	}
+	for k := 0; k < mn; k++ {
+		dp.Gamma[k] = p.CostSlope[k] / 2
+	}
+	for i := 0; i < m; i++ {
+		dp.Alpha[i] = p.SupplyMatrix.Diag(i) / 2
+	}
+	for j := 0; j < n; j++ {
+		dp.Beta[j] = p.DemandMatrix.Diag(j) / 2
+	}
+
+	// Start at autarky (no trade), which satisfies the conservation set.
+	x := make([]float64, mn)
+	s := make([]float64, m)
+	d := make([]float64, n)
+	pi := make([]float64, m)
+	rho := make([]float64, n)
+	var mu0 []float64
+
+	eq := &Equilibrium{}
+	for t := 1; t <= maxIter; t++ {
+		eq.Iterations = t
+		// F at the current iterate.
+		p.SupplyMatrix.MulVec(pi, s)
+		for i := 0; i < m; i++ {
+			pi[i] += p.SupplyIntercept[i]
+		}
+		p.DemandMatrix.MulVec(rho, d)
+		for j := 0; j < n; j++ {
+			rho[j] = p.DemandIntercept[j] - rho[j]
+		}
+		// Equivalent priors of the projection subproblem:
+		// z = current − F/(2·quadratic term).
+		for k := 0; k < mn; k++ {
+			fx := p.CostIntercept[k] + p.CostSlope[k]*x[k]
+			dp.X0[k] = x[k] - fx/(2*dp.Gamma[k])
+		}
+		for i := 0; i < m; i++ {
+			dp.S0[i] = s[i] - pi[i]/(2*dp.Alpha[i])
+		}
+		for j := 0; j < n; j++ {
+			// F_d = −ρ_j(d).
+			dp.D0[j] = d[j] + rho[j]/(2*dp.Beta[j])
+		}
+
+		inner.Mu0 = mu0
+		sol, err := core.SolveDiagonal(dp, inner)
+		if err != nil {
+			return nil, fmt.Errorf("spe: asymmetric projection step %d: %w", t, err)
+		}
+		mu0 = sol.Mu
+		delta := mat.MaxAbsDiff(sol.X, x)
+		copy(x, sol.X)
+		copy(s, sol.S)
+		copy(d, sol.D)
+		if delta <= eps {
+			eq.Converged = true
+			break
+		}
+	}
+
+	eq.X, eq.S, eq.D = x, s, d
+	eq.SupplyPrice = make([]float64, m)
+	eq.DemandPrice = make([]float64, n)
+	p.SupplyMatrix.MulVec(eq.SupplyPrice, s)
+	for i := 0; i < m; i++ {
+		eq.SupplyPrice[i] += p.SupplyIntercept[i]
+	}
+	p.DemandMatrix.MulVec(eq.DemandPrice, d)
+	for j := 0; j < n; j++ {
+		eq.DemandPrice[j] = p.DemandIntercept[j] - eq.DemandPrice[j]
+	}
+	if !eq.Converged {
+		return eq, fmt.Errorf("%w: asymmetric SPE after %d projection steps", core.ErrNotConverged, maxIter)
+	}
+	return eq, nil
+}
+
+// VerifyAsymmetric checks the equilibrium conditions of eq against the
+// asymmetric model: delivered price π_i + c_ij versus ρ_j with the usual
+// complementarity, plus conservation of the induced totals.
+func (p *AsymmetricProblem) VerifyAsymmetric(eq *Equilibrium, flowTol float64) Violations {
+	m, n := p.M, p.N
+	var v Violations
+	rowSum := make([]float64, m)
+	colSum := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			x := eq.X[i*n+j]
+			if x < v.MinFlow {
+				v.MinFlow = x
+			}
+			rowSum[i] += x
+			colSum[j] += x
+			delivered := eq.SupplyPrice[i] + p.CostIntercept[i*n+j] + p.CostSlope[i*n+j]*x
+			gap := delivered - eq.DemandPrice[j]
+			if x > flowTol {
+				if a := math.Abs(gap); a > v.MaxComplementarity {
+					v.MaxComplementarity = a
+				}
+			}
+			if -gap > v.MaxUnderprice {
+				v.MaxUnderprice = -gap
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		if a := math.Abs(rowSum[i] - eq.S[i]); a > v.MaxConservation {
+			v.MaxConservation = a
+		}
+	}
+	for j := 0; j < n; j++ {
+		if a := math.Abs(colSum[j] - eq.D[j]); a > v.MaxConservation {
+			v.MaxConservation = a
+		}
+	}
+	return v
+}
+
+// GenerateAsymmetric builds a random asymmetric instance: diagonally
+// dominant interaction matrices with genuinely asymmetric off-diagonal
+// cross-price effects, scaled like Generate's separable instances.
+func GenerateAsymmetric(m, n int, seed uint64) *AsymmetricProblem {
+	rng := rand.New(rand.NewPCG(seed, 0xA5E))
+	base := Generate(m, n, seed)
+	p := &AsymmetricProblem{
+		M: m, N: n,
+		SupplyIntercept: base.SupplyIntercept,
+		DemandIntercept: base.DemandIntercept,
+		CostIntercept:   base.CostIntercept,
+		CostSlope:       base.CostSlope,
+	}
+	p.SupplyMatrix = asymDominant(rng, m, base.SupplySlope)
+	p.DemandMatrix = asymDominant(rng, n, base.DemandSlope)
+	return p
+}
+
+// asymDominant builds a strictly diagonally dominant matrix with the given
+// diagonal and asymmetric off-diagonal entries of either sign.
+func asymDominant(rng *rand.Rand, n int, diag []float64) *mat.DenseGeneral {
+	data := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		data[i*n+i] = diag[i]
+		if n == 1 {
+			continue
+		}
+		budget := 0.8 * diag[i] / float64(n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				data[i*n+j] = (rng.Float64()*2 - 1) * budget
+			}
+		}
+	}
+	return mat.MustDenseGeneral(n, data)
+}

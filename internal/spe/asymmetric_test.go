@@ -1,0 +1,146 @@
+package spe
+
+import (
+	"math"
+	"testing"
+
+	"sea/internal/mat"
+)
+
+// TestAsymmetricReducesToSeparable: with diagonal interaction matrices the
+// asymmetric solver must reproduce the separable solver's equilibrium.
+func TestAsymmetricReducesToSeparable(t *testing.T) {
+	m, n := 4, 5
+	base := Generate(m, n, 31)
+	ap := &AsymmetricProblem{
+		M: m, N: n,
+		SupplyIntercept: base.SupplyIntercept,
+		DemandIntercept: base.DemandIntercept,
+		CostIntercept:   base.CostIntercept,
+		CostSlope:       base.CostSlope,
+	}
+	rdata := make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		rdata[i*m+i] = base.SupplySlope[i]
+	}
+	wdata := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		wdata[j*n+j] = base.DemandSlope[j]
+	}
+	ap.SupplyMatrix = mat.MustDenseGeneral(m, rdata)
+	ap.DemandMatrix = mat.MustDenseGeneral(n, wdata)
+
+	want, err := base.Solve(speOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ap.SolveAsymmetric(1e-8, 10000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range want.X {
+		if math.Abs(want.X[k]-got.X[k]) > 1e-4*(1+math.Abs(want.X[k])) {
+			t.Fatalf("diagonal-interaction asymmetric solve differs at %d: %g vs %g",
+				k, got.X[k], want.X[k])
+		}
+	}
+}
+
+// TestAsymmetricEquilibriumConditions: genuinely asymmetric instances
+// converge to points satisfying the equilibrium conditions.
+func TestAsymmetricEquilibriumConditions(t *testing.T) {
+	for _, size := range []struct{ m, n int }{{3, 3}, {8, 6}, {15, 15}} {
+		p := GenerateAsymmetric(size.m, size.n, 33)
+		eq, err := p.SolveAsymmetric(1e-8, 20000, nil)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", size.m, size.n, err)
+		}
+		v := p.VerifyAsymmetric(eq, 1e-6)
+		if v.Max() > 1e-4 {
+			t.Errorf("%dx%d: equilibrium violated: %+v", size.m, size.n, v)
+		}
+		var traded int
+		for _, x := range eq.X {
+			if x > 1e-6 {
+				traded++
+			}
+		}
+		if traded == 0 {
+			t.Errorf("%dx%d: no trade at equilibrium", size.m, size.n)
+		}
+	}
+}
+
+// TestAsymmetryMatters: an asymmetric cross-price effect must change the
+// equilibrium relative to the purely separable model.
+func TestAsymmetryMatters(t *testing.T) {
+	m, n := 4, 4
+	p := GenerateAsymmetric(m, n, 35)
+	eqA, err := p.SolveAsymmetric(1e-8, 20000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the off-diagonal interactions.
+	sep := &AsymmetricProblem{
+		M: m, N: n,
+		SupplyIntercept: p.SupplyIntercept,
+		DemandIntercept: p.DemandIntercept,
+		CostIntercept:   p.CostIntercept,
+		CostSlope:       p.CostSlope,
+	}
+	rdata := make([]float64, m*m)
+	wdata := make([]float64, n*n)
+	for i := 0; i < m; i++ {
+		rdata[i*m+i] = p.SupplyMatrix.Diag(i)
+	}
+	for j := 0; j < n; j++ {
+		wdata[j*n+j] = p.DemandMatrix.Diag(j)
+	}
+	sep.SupplyMatrix = mat.MustDenseGeneral(m, rdata)
+	sep.DemandMatrix = mat.MustDenseGeneral(n, wdata)
+	eqS, err := sep.SolveAsymmetric(1e-8, 20000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.MaxAbsDiff(eqA.X, eqS.X) < 1e-3 {
+		t.Error("asymmetric interactions had no effect; generator degenerate")
+	}
+}
+
+func TestAsymmetricValidation(t *testing.T) {
+	p := GenerateAsymmetric(3, 3, 37)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Non-dominant supply matrix rejected.
+	bad := GenerateAsymmetric(2, 2, 37)
+	bad.SupplyMatrix = mat.MustDenseGeneral(2, []float64{1, 5, 5, 1})
+	if err := bad.Validate(); err == nil {
+		t.Error("non-dominant interaction matrix accepted")
+	}
+	bad2 := GenerateAsymmetric(2, 2, 37)
+	bad2.CostSlope[0] = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("zero cost slope accepted")
+	}
+}
+
+func TestDenseGeneralOps(t *testing.T) {
+	w := mat.MustDenseGeneral(2, []float64{1, 2, 3, 4})
+	if w.At(0, 1) != 2 || w.At(1, 0) != 3 || w.Diag(1) != 4 {
+		t.Error("At/Diag wrong")
+	}
+	dst := make([]float64, 2)
+	w.MulVec(dst, []float64{1, 1})
+	if dst[0] != 3 || dst[1] != 7 {
+		t.Errorf("MulVec = %v", dst)
+	}
+	row := make([]float64, 2)
+	w.Row(1, row)
+	if row[0] != 3 || row[1] != 4 {
+		t.Errorf("Row = %v", row)
+	}
+	if _, err := mat.NewDenseGeneral(2, []float64{1}); err == nil {
+		t.Error("short data accepted")
+	}
+}

@@ -1,0 +1,30 @@
+package spe_test
+
+import (
+	"fmt"
+
+	"sea/internal/core"
+	"sea/internal/spe"
+)
+
+// ExampleProblem_Solve computes a one-pair spatial price equilibrium:
+// π(s) = 10 + s, ρ(d) = 100 − d, c(x) = 2 + x ⇒ trade 88/3.
+func ExampleProblem_Solve() {
+	p := &spe.Problem{
+		M: 1, N: 1,
+		SupplyIntercept: []float64{10}, SupplySlope: []float64{1},
+		DemandIntercept: []float64{100}, DemandSlope: []float64{1},
+		CostIntercept: []float64{2}, CostSlope: []float64{1},
+	}
+	opts := core.DefaultOptions()
+	opts.Criterion = core.DualGradient
+	opts.Epsilon = 1e-10
+	eq, err := p.Solve(opts)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("flow %.4f, supply price %.4f, demand price %.4f\n",
+		eq.X[0], eq.SupplyPrice[0], eq.DemandPrice[0])
+	// Output:
+	// flow 29.3333, supply price 39.3333, demand price 70.6667
+}

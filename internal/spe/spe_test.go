@@ -1,0 +1,183 @@
+package spe
+
+import (
+	"math"
+	"testing"
+
+	"sea/internal/core"
+)
+
+func speOpts() *core.Options {
+	o := core.DefaultOptions()
+	o.Criterion = core.DualGradient
+	o.Epsilon = 1e-9
+	o.MaxIterations = 500000
+	return o
+}
+
+// TestTwoMarketAnalytic solves the classic single-pair equilibrium by hand:
+// one supply market, one demand market.
+//
+//	π(s) = 10 + s, ρ(d) = 100 − d, c(x) = 2 + x.
+//	Trade: 10 + x + 2 + x = 100 − x → 3x = 88 → x = 88/3.
+func TestTwoMarketAnalytic(t *testing.T) {
+	p := &Problem{
+		M: 1, N: 1,
+		SupplyIntercept: []float64{10}, SupplySlope: []float64{1},
+		DemandIntercept: []float64{100}, DemandSlope: []float64{1},
+		CostIntercept: []float64{2}, CostSlope: []float64{1},
+	}
+	eq, err := p.Solve(speOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 88.0 / 3
+	if math.Abs(eq.X[0]-want) > 1e-6 {
+		t.Errorf("flow = %g, want %g", eq.X[0], want)
+	}
+	// Delivered price equals demand price at equilibrium.
+	if math.Abs(eq.SupplyPrice[0]+2+eq.X[0]-eq.DemandPrice[0]) > 1e-6 {
+		t.Errorf("price gap at equilibrium: π=%g ρ=%g", eq.SupplyPrice[0], eq.DemandPrice[0])
+	}
+}
+
+// TestNoTradeWhenCostProhibitive: if delivered cost exceeds the maximum
+// demand price, no trade occurs.
+func TestNoTradeWhenCostProhibitive(t *testing.T) {
+	p := &Problem{
+		M: 1, N: 1,
+		SupplyIntercept: []float64{50}, SupplySlope: []float64{1},
+		DemandIntercept: []float64{40}, DemandSlope: []float64{1},
+		CostIntercept: []float64{20}, CostSlope: []float64{1},
+	}
+	eq, err := p.Solve(speOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq.X[0] > 1e-9 {
+		t.Errorf("flow = %g, want 0 (autarky)", eq.X[0])
+	}
+	// With zero flow, supply and demand are zero.
+	if math.Abs(eq.S[0]) > 1e-9 || math.Abs(eq.D[0]) > 1e-9 {
+		t.Errorf("s = %g, d = %g, want 0", eq.S[0], eq.D[0])
+	}
+}
+
+func TestGeneratedEquilibriumConditions(t *testing.T) {
+	for _, size := range []struct{ m, n int }{{3, 4}, {10, 10}, {25, 20}} {
+		p := Generate(size.m, size.n, 42)
+		eq, err := p.Solve(speOpts())
+		if err != nil {
+			t.Fatalf("%dx%d: %v", size.m, size.n, err)
+		}
+		if !eq.Converged {
+			t.Fatalf("%dx%d: not converged", size.m, size.n)
+		}
+		v := p.Verify(eq, 1e-7)
+		if v.Max() > 1e-5 {
+			t.Errorf("%dx%d: equilibrium conditions violated: %+v", size.m, size.n, v)
+		}
+		// A healthy instance should actually trade.
+		var traded int
+		for _, x := range eq.X {
+			if x > 1e-6 {
+				traded++
+			}
+		}
+		if traded == 0 {
+			t.Errorf("%dx%d: no pair trades; generator ranges degenerate", size.m, size.n)
+		}
+	}
+}
+
+func TestIsomorphismRoundTrip(t *testing.T) {
+	p := Generate(5, 6, 7)
+	cmp, err := p.ToConstrainedMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Kind != core.ElasticTotals {
+		t.Fatalf("Kind = %v, want elastic", cmp.Kind)
+	}
+	// Spot-check the coefficient mapping.
+	if math.Abs(cmp.Alpha[0]-p.SupplySlope[0]/2) > 1e-15 {
+		t.Error("alpha mapping wrong")
+	}
+	if math.Abs(cmp.S0[0]+p.SupplyIntercept[0]/p.SupplySlope[0]) > 1e-12 {
+		t.Error("s0 mapping wrong")
+	}
+	if math.Abs(cmp.D0[0]-p.DemandIntercept[0]/p.DemandSlope[0]) > 1e-12 {
+		t.Error("d0 mapping wrong")
+	}
+	k := 7 // arbitrary entry
+	if math.Abs(cmp.Gamma[k]-p.CostSlope[k]/2) > 1e-15 {
+		t.Error("gamma mapping wrong")
+	}
+	if math.Abs(cmp.X0[k]+p.CostIntercept[k]/p.CostSlope[k]) > 1e-12 {
+		t.Error("x0 mapping wrong")
+	}
+}
+
+// TestEquilibriumPricesConsistent: multipliers of the constrained matrix
+// problem reproduce the market prices: at equilibrium λ_i = −π_i and
+// μ_j = ρ_j.
+func TestEquilibriumPricesConsistent(t *testing.T) {
+	p := Generate(4, 4, 9)
+	cmp, err := p.ToConstrainedMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.SolveDiagonal(cmp, speOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.M; i++ {
+		pi := p.SupplyIntercept[i] + p.SupplySlope[i]*sol.S[i]
+		// From (21): λ_i = 2α_i(s⁰_i − s_i) = R_i(−P_i/R_i − s_i) = −π_i.
+		if math.Abs(sol.Lambda[i]+pi) > 1e-6*(1+math.Abs(pi)) {
+			t.Errorf("λ_%d = %g, want −π = %g", i, sol.Lambda[i], -pi)
+		}
+	}
+	for j := 0; j < p.N; j++ {
+		rho := p.DemandIntercept[j] - p.DemandSlope[j]*sol.D[j]
+		if math.Abs(sol.Mu[j]-rho) > 1e-6*(1+math.Abs(rho)) {
+			t.Errorf("μ_%d = %g, want ρ = %g", j, sol.Mu[j], rho)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := Generate(2, 2, 1)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Generate(2, 2, 1)
+	bad.SupplySlope[0] = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero supply slope accepted")
+	}
+	bad2 := Generate(2, 2, 1)
+	bad2.CostSlope[3] = -1
+	if err := bad2.Validate(); err == nil {
+		t.Error("negative cost slope accepted")
+	}
+	short := Generate(2, 2, 1)
+	short.DemandIntercept = short.DemandIntercept[:1]
+	if err := short.Validate(); err == nil {
+		t.Error("short demand intercepts accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(3, 3, 5)
+	b := Generate(3, 3, 5)
+	for k := range a.CostIntercept {
+		if a.CostIntercept[k] != b.CostIntercept[k] {
+			t.Fatal("Generate not deterministic")
+		}
+	}
+	c := Generate(3, 3, 6)
+	if a.CostIntercept[0] == c.CostIntercept[0] {
+		t.Error("different seeds gave identical instance")
+	}
+}
