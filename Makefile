@@ -15,8 +15,11 @@ vet:
 test:
 	$(GO) test ./...
 
+# Race-check the scheduling substrate and the solvers built on it, plus a
+# vet pass (the rest of ./internal is race-covered by `make bench` usage).
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./internal/parallel/... ./internal/core/...
+	$(GO) vet ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -6,6 +6,7 @@ package sea
 
 import (
 	"math/rand/v2"
+	"runtime"
 	"testing"
 
 	"sea/internal/baseline"
@@ -22,6 +23,7 @@ import (
 // solver error.
 func solveDiag(b *testing.B, p *core.DiagonalProblem, o *core.Options) {
 	b.Helper()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.SolveDiagonal(p, o); err != nil {
@@ -49,6 +51,15 @@ func BenchmarkTable1_Diagonal250(b *testing.B) {
 
 func BenchmarkTable1_Diagonal500(b *testing.B) {
 	solveDiag(b, problems.Table1(500, 1), fixedOpts(0.01))
+}
+
+// The same instance with the phases spread over NumCPU pool workers (on a
+// single-core host this measures pure scheduling overhead; docs/PERFORMANCE.md
+// records the multi-core numbers).
+func BenchmarkTable1_Diagonal500_Parallel(b *testing.B) {
+	o := fixedOpts(0.01)
+	o.Procs = runtime.NumCPU()
+	solveDiag(b, problems.Table1(500, 1), o)
 }
 
 // --- Table 2: input/output tables ----------------------------------------

@@ -7,33 +7,91 @@
 //	seabench -table all -scale 0.1          # quick pass over everything
 //	seabench -table 7 -scale 1 -bkmax 900   # the full Table 7 comparison
 //	seabench -table 6 -csv                  # machine-readable output
+//	seabench -table none -benchjson BENCH_sea.json   # hot-path perf records
+//	seabench -table 1 -cpuprofile cpu.out   # profile a hot table
 //
 // Results print as fixed-width tables (paper style); the speedup
 // experiments additionally render their figures as ASCII charts.
+// -benchjson runs the hot-path perf suite (ns/op, allocs/op, and
+// speedup-vs-procs per instance) and writes it as JSON, the perf trajectory
+// documented in docs/PERFORMANCE.md.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"sea/internal/experiments"
+	"sea/internal/parallel"
 	"sea/internal/report"
 )
 
 func main() {
 	var (
-		table = flag.String("table", "all", "which experiment: 1-9, ops, or all")
-		scale = flag.Float64("scale", 1.0, "instance-size multiplier vs the paper (0 < scale <= 1)")
-		procs = flag.Int("procs", 1, "workers for the parallel phases of the solves")
-		eps   = flag.Float64("eps", 0, "override the per-table convergence tolerance")
-		bkmax = flag.Int("bkmax", 900, "largest G order on which to run the B-K baseline (Table 7)")
-		csv   = flag.Bool("csv", false, "emit CSV instead of formatted tables")
+		table      = flag.String("table", "all", "which experiment: 1-9, ops, all, or none")
+		scale      = flag.Float64("scale", 1.0, "instance-size multiplier vs the paper (0 < scale <= 1)")
+		procs      = flag.Int("procs", 1, "workers for the parallel phases of the solves")
+		eps        = flag.Float64("eps", 0, "override the per-table convergence tolerance")
+		bkmax      = flag.Int("bkmax", 900, "largest G order on which to run the B-K baseline (Table 7)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of formatted tables")
+		benchjson  = flag.String("benchjson", "", "also run the hot-path perf suite and write its records to this JSON file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile, taken at exit, to this file")
 	)
 	flag.Parse()
 
+	// cleanup flushes the pprof outputs; it runs both on the normal exit
+	// path and before the error-path os.Exit, and is idempotent.
+	cleanup := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seabench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "seabench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		cleanup = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if *memprofile != "" {
+		stopCPU := cleanup
+		cleanup = func() {
+			stopCPU()
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "seabench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live set before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "seabench: -memprofile: %v\n", err)
+			}
+		}
+	}
+	done := cleanup
+	cleanup = func() {
+		done()
+		cleanup = func() {}
+	}
+
 	cfg := experiments.Config{Scale: *scale, Procs: *procs, Epsilon: *eps, MaxBKDim: *bkmax}
+	// One persistent pool serves every solve of the run; the perf suite
+	// manages its own pools because it varies the worker count.
+	pool := parallel.NewPool(*procs)
+	defer pool.Close()
+	cfg.Runner = pool
+
 	requested := strings.Split(*table, ",")
 	want := func(name string) bool {
 		for _, r := range requested {
@@ -54,8 +112,27 @@ func main() {
 		fmt.Fprintln(out)
 	}
 	fail := func(name string, err error) {
+		cleanup()
 		fmt.Fprintf(os.Stderr, "seabench: %s: %v\n", name, err)
 		os.Exit(1)
+	}
+	defer cleanup()
+
+	if *benchjson != "" {
+		perfCfg := cfg
+		perfCfg.Runner = nil
+		rep, err := experiments.PerfSuite(perfCfg)
+		if err != nil {
+			fail("perf suite", err)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail("perf suite", err)
+		}
+		if err := os.WriteFile(*benchjson, append(data, '\n'), 0o644); err != nil {
+			fail("perf suite", err)
+		}
+		fmt.Fprintf(os.Stderr, "seabench: wrote %d perf records to %s\n", len(rep.Records), *benchjson)
 	}
 
 	if want("1") {

@@ -53,13 +53,22 @@ func SolveRC(p *core.GeneralProblem, opts *core.Options) (*core.Solution, error)
 		gx:    make([]float64, mn),
 		xPrev: make([]float64, mn),
 	}
-	procs := o.Procs
-	st.workspaces = make([]*equilibrate.Workspace, procs)
-	st.colBufs = make([][]float64, procs)
+	st.runner = o.Runner
+	if st.runner == nil {
+		pool := parallel.NewPool(o.Procs)
+		defer pool.Close()
+		st.runner = pool
+	}
+	procs := st.runner.Workers()
 	maxDim := m
 	if n > maxDim {
 		maxDim = n
 	}
+	if procs > maxDim {
+		procs = maxDim
+	}
+	st.workspaces = make([]*equilibrate.Workspace, procs)
+	st.colBufs = make([][]float64, procs)
 	for c := range st.workspaces {
 		st.workspaces[c] = equilibrate.NewWorkspace(maxDim)
 		st.colBufs[c] = make([]float64, 2*m)
@@ -103,6 +112,7 @@ type rcState struct {
 
 	x, z, xdev, gx, xPrev []float64
 
+	runner     parallel.Runner
 	workspaces []*equilibrate.Workspace
 	colBufs    [][]float64
 	errs       error
@@ -117,7 +127,6 @@ func (st *rcState) stage(rowStage bool, lambda, mu []float64) (int, error) {
 	p, o := st.p, st.o
 	m, n := p.M, p.N
 	mn := m * n
-	procs := len(st.workspaces)
 
 	for proj := 1; proj <= o.InnerMaxIterations; proj++ {
 		copy(st.xPrev, st.x)
@@ -126,7 +135,7 @@ func (st *rcState) stage(rowStage bool, lambda, mu []float64) (int, error) {
 		for k := 0; k < mn; k++ {
 			st.xdev[k] = st.x[k] - p.X0[k]
 		}
-		parallel.ForChunks(procs, mn, func(_, lo, hi int) {
+		st.runner.ForChunks(mn, func(_, lo, hi int) {
 			p.G.MulVecRange(st.gx, st.xdev, lo, hi)
 		})
 		if o.Counters != nil {
@@ -152,7 +161,7 @@ func (st *rcState) stage(rowStage bool, lambda, mu []float64) (int, error) {
 		}
 
 		if rowStage {
-			parallel.ForChunks(procs, m, func(chunk, lo, hi int) {
+			st.runner.ForChunks(m, func(chunk, lo, hi int) {
 				ws := st.workspaces[chunk]
 				for i := lo; i < hi; i++ {
 					c := ws.C[:n]
@@ -179,7 +188,7 @@ func (st *rcState) stage(rowStage bool, lambda, mu []float64) (int, error) {
 				}
 			})
 		} else {
-			parallel.ForChunks(procs, n, func(chunk, lo, hi int) {
+			st.runner.ForChunks(n, func(chunk, lo, hi int) {
 				ws := st.workspaces[chunk]
 				buf := st.colBufs[chunk]
 				c, a := buf[:m], buf[m:2*m]

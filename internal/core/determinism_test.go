@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"sea/internal/parallel"
+)
+
+// determinismProblem builds a fixed-seed 100×150 bounded fixed-totals
+// instance that exercises both phases, the box bounds, and the transposed-
+// constant column path.
+func determinismProblem(t *testing.T) *DiagonalProblem {
+	t.Helper()
+	m, n := 100, 150
+	rng := rand.New(rand.NewPCG(42, 7))
+	x0 := make([]float64, m*n)
+	gamma := make([]float64, m*n)
+	upper := make([]float64, m*n)
+	for k := range x0 {
+		x0[k] = rng.Float64() * 10
+		gamma[k] = 0.5 + rng.Float64()
+		upper[k] = 25 + rng.Float64()*10
+	}
+	s0 := make([]float64, m)
+	d0 := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			v := 1.2 * x0[i*n+j]
+			s0[i] += v
+			d0[j] += v
+		}
+	}
+	p, err := NewFixed(m, n, x0, gamma, s0, d0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Upper = upper
+	return p
+}
+
+// TestSolveDeterministicAcrossProcs asserts the full solution — X down to
+// the last bit, plus both multiplier vectors — is identical for every worker
+// count, on both scheduling substrates: the persistent pool (the default)
+// and the goroutine-per-phase Spawner (the pre-pool path). This is the
+// paper's determinism property: workers own disjoint subproblem ranges, so
+// parallelism changes timing and nothing else.
+func TestSolveDeterministicAcrossProcs(t *testing.T) {
+	p := determinismProblem(t)
+	opts := func() *Options {
+		o := DefaultOptions()
+		o.Criterion = MaxAbsDelta
+		o.Epsilon = 1e-6
+		o.ParallelConvCheck = true
+		return o
+	}
+
+	ref, err := SolveDiagonal(p, opts())
+	if err != nil {
+		t.Fatalf("serial reference solve: %v", err)
+	}
+	if !ref.Converged {
+		t.Fatal("serial reference did not converge")
+	}
+
+	check := func(name string, sol *Solution) {
+		t.Helper()
+		for k := range ref.X {
+			if sol.X[k] != ref.X[k] {
+				t.Fatalf("%s: X[%d] = %v, want %v (bit-exact)", name, k, sol.X[k], ref.X[k])
+			}
+		}
+		for i := range ref.Lambda {
+			if sol.Lambda[i] != ref.Lambda[i] {
+				t.Fatalf("%s: Lambda[%d] = %v, want %v", name, i, sol.Lambda[i], ref.Lambda[i])
+			}
+		}
+		for j := range ref.Mu {
+			if sol.Mu[j] != ref.Mu[j] {
+				t.Fatalf("%s: Mu[%d] = %v, want %v", name, j, sol.Mu[j], ref.Mu[j])
+			}
+		}
+		if sol.Iterations != ref.Iterations {
+			t.Fatalf("%s: %d iterations, want %d", name, sol.Iterations, ref.Iterations)
+		}
+	}
+
+	for _, procs := range []int{1, 2, 7, 16} {
+		// The default substrate: a solver-owned persistent pool.
+		o := opts()
+		o.Procs = procs
+		sol, err := SolveDiagonal(p, o)
+		if err != nil {
+			t.Fatalf("pool procs=%d: %v", procs, err)
+		}
+		check("pool", sol)
+
+		// A caller-owned shared pool via Options.Runner.
+		pool := parallel.NewPool(procs)
+		o = opts()
+		o.Runner = pool
+		sol, err = SolveDiagonal(p, o)
+		pool.Close()
+		if err != nil {
+			t.Fatalf("shared pool procs=%d: %v", procs, err)
+		}
+		check("shared pool", sol)
+
+		// The pre-pool goroutine-per-phase path.
+		o = opts()
+		o.Runner = parallel.Spawner{P: procs}
+		sol, err = SolveDiagonal(p, o)
+		if err != nil {
+			t.Fatalf("spawner procs=%d: %v", procs, err)
+		}
+		check("spawner", sol)
+	}
+}

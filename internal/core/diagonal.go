@@ -22,6 +22,7 @@ func SolveDiagonal(p *DiagonalProblem, opts *Options) (*Solution, error) {
 		return nil, err
 	}
 	st := newDiagState(p, o)
+	defer st.close()
 	if err := st.run(); err != nil {
 		return st.solution(), err
 	}
@@ -29,11 +30,19 @@ func SolveDiagonal(p *DiagonalProblem, opts *Options) (*Solution, error) {
 }
 
 // diagState carries the working arrays of one diagonal solve.
+//
+// The iterate is kept in two layouts: x row-major for the row phase and the
+// convergence check, and the mirror xT column-major so the column phase
+// reads and writes contiguous memory instead of stride-n gathers. The
+// problem constants the column phase needs (priors, slopes, bounds) are
+// transposed once up front for the same reason; a blocked transpose
+// reconciles xT back into x after each column phase.
 type diagState struct {
 	p *DiagonalProblem
 	o *Options
 
 	x        []float64 // current matrix iterate, m×n row-major
+	xT       []float64 // column-major mirror, n×m: xT[j*m+i] = x[i*n+j]
 	xPrev    []float64 // previous checked iterate (MaxAbsDelta only)
 	lambda   []float64 // row multipliers λ_i
 	mu       []float64 // column multipliers μ_j
@@ -41,8 +50,18 @@ type diagState struct {
 	colSum   []float64 // Σ_i x_ij as returned by the latest column phase
 	checkBuf []float64 // per-row scratch for the parallel convergence check
 
+	aRow       []float64 // slopes a_ij = 1/(2γ_ij), m×n row-major
+	aT         []float64 // aRow transposed, n×m
+	x0T        []float64 // p.X0 transposed; refreshX0T re-syncs it when X0 mutates
+	upperT     []float64 // p.Upper transposed, nil when unbounded
+	lowerT     []float64 // p.Lower transposed, nil when absent
+	supplyBuf  []float64 // supplies scratch for checkConvergence, hoisted off the hot loop
+	checkTasks []int64   // shared parallel-check trace costs (every entry is n)
+
+	runner  parallel.Runner
+	ownPool *parallel.Pool // set when the state created (and must close) its runner
+
 	workspaces []*equilibrate.Workspace
-	colBufs    [][]float64 // per-worker strided-column scratch (c, a, u, x)
 	errs       []error
 
 	iterations int
@@ -58,14 +77,19 @@ func newDiagState(p *DiagonalProblem, o *Options) *diagState {
 		maxDim = n
 	}
 	st := &diagState{
-		p:        p,
-		o:        o,
-		x:        make([]float64, m*n),
-		lambda:   make([]float64, m),
-		mu:       make([]float64, n),
-		rowSum:   make([]float64, m),
-		colSum:   make([]float64, n),
-		checkBuf: make([]float64, m),
+		p:         p,
+		o:         o,
+		x:         make([]float64, m*n),
+		xT:        make([]float64, m*n),
+		lambda:    make([]float64, m),
+		mu:        make([]float64, n),
+		rowSum:    make([]float64, m),
+		colSum:    make([]float64, n),
+		checkBuf:  make([]float64, m),
+		aRow:      make([]float64, m*n),
+		aT:        make([]float64, m*n),
+		x0T:       make([]float64, m*n),
+		supplyBuf: make([]float64, m),
 	}
 	if o.Mu0 != nil {
 		copy(st.mu, o.Mu0)
@@ -73,7 +97,17 @@ func newDiagState(p *DiagonalProblem, o *Options) *diagState {
 	if o.Criterion == MaxAbsDelta {
 		st.xPrev = make([]float64, m*n)
 	}
-	procs := o.Procs
+
+	st.runner = o.Runner
+	if st.runner == nil {
+		procs := o.Procs
+		if procs > maxDim {
+			procs = maxDim
+		}
+		st.ownPool = parallel.NewPool(procs)
+		st.runner = st.ownPool
+	}
+	procs := st.runner.Workers()
 	if procs > maxDim {
 		procs = maxDim
 	}
@@ -81,13 +115,48 @@ func newDiagState(p *DiagonalProblem, o *Options) *diagState {
 		procs = 1
 	}
 	st.workspaces = make([]*equilibrate.Workspace, procs)
-	st.colBufs = make([][]float64, procs)
 	st.errs = make([]error, procs)
 	for c := range st.workspaces {
 		st.workspaces[c] = equilibrate.NewWorkspace(maxDim)
-		st.colBufs[c] = make([]float64, 5*m) // c, a, u, l, x slots for one column
+	}
+
+	for k, g := range p.Gamma {
+		st.aRow[k] = 0.5 / g
+	}
+	st.runner.ForChunks(m, func(_, lo, hi int) {
+		mat.TransposeRange(st.aT, st.aRow, m, n, lo, hi)
+	})
+	st.refreshX0T()
+	if p.Upper != nil {
+		st.upperT = make([]float64, m*n)
+		mat.Transpose(st.upperT, p.Upper, m, n)
+	}
+	if p.Lower != nil {
+		st.lowerT = make([]float64, m*n)
+		mat.Transpose(st.lowerT, p.Lower, m, n)
 	}
 	return st
+}
+
+// close releases the state's own worker pool, if it created one. Runners
+// supplied through Options stay open — their lifecycle belongs to the
+// caller.
+func (st *diagState) close() {
+	if st.ownPool != nil {
+		st.ownPool.Close()
+		st.ownPool = nil
+	}
+}
+
+// refreshX0T re-syncs the transposed prior with p.X0. The diagonal solver
+// calls it once (X0 is constant); the general solver calls it after each
+// linear-term update, whose diagonalization rewrites X0 before every column
+// phase.
+func (st *diagState) refreshX0T() {
+	m, n := st.p.M, st.p.N
+	st.runner.ForChunks(m, func(_, lo, hi int) {
+		mat.TransposeRange(st.x0T, st.p.X0, m, n, lo, hi)
+	})
 }
 
 // run executes the alternating phases until convergence or iteration limit.
@@ -129,18 +198,14 @@ func (st *diagState) run() error {
 func (st *diagState) rowPhase(ph *PhaseCosts) error {
 	p, o := st.p, st.o
 	m, n := p.M, p.N
-	procs := len(st.workspaces)
-	parallel.ForChunks(procs, m, func(chunk, lo, hi int) {
+	st.runner.ForChunks(m, func(chunk, lo, hi int) {
 		ws := st.workspaces[chunk]
 		for i := lo; i < hi; i++ {
 			x0 := p.X0[i*n : (i+1)*n]
-			g := p.Gamma[i*n : (i+1)*n]
+			a := st.aRow[i*n : (i+1)*n]
 			c := ws.C[:n]
-			a := ws.A[:n]
 			for j := 0; j < n; j++ {
-				aj := 0.5 / g[j]
-				a[j] = aj
-				c[j] = x0[j] + aj*st.mu[j]
+				c[j] = x0[j] + a[j]*st.mu[j]
 			}
 			prob := equilibrate.Problem{C: c, A: a}
 			if p.Upper != nil {
@@ -191,34 +256,28 @@ func (st *diagState) rowPhase(ph *PhaseCosts) error {
 }
 
 // colPhase solves the n independent column equilibrium subproblems in
-// parallel, updating x column-wise, μ, and colSum.
+// parallel, updating x column-wise, μ, and colSum. Every array it touches
+// per column — the transposed prior, slopes and bounds, and the column-major
+// mirror the kernel writes into — is contiguous; a blocked transpose then
+// folds the mirror back into the row-major iterate.
 func (st *diagState) colPhase(ph *PhaseCosts) error {
 	p, o := st.p, st.o
 	m, n := p.M, p.N
-	procs := len(st.workspaces)
-	parallel.ForChunks(procs, n, func(chunk, lo, hi int) {
+	st.runner.ForChunks(n, func(chunk, lo, hi int) {
 		ws := st.workspaces[chunk]
-		buf := st.colBufs[chunk]
-		c, a, u, l, xcol := buf[:m], buf[m:2*m], buf[2*m:3*m], buf[3*m:4*m], buf[4*m:5*m]
 		for j := lo; j < hi; j++ {
+			x0c := st.x0T[j*m : (j+1)*m]
+			a := st.aT[j*m : (j+1)*m]
+			c := ws.C[:m]
 			for i := 0; i < m; i++ {
-				k := i*n + j
-				ai := 0.5 / p.Gamma[k]
-				a[i] = ai
-				c[i] = p.X0[k] + ai*st.lambda[i]
+				c[i] = x0c[i] + a[i]*st.lambda[i]
 			}
 			prob := equilibrate.Problem{C: c, A: a}
-			if p.Upper != nil {
-				for i := 0; i < m; i++ {
-					u[i] = p.Upper[i*n+j]
-				}
-				prob.U = u
+			if st.upperT != nil {
+				prob.U = st.upperT[j*m : (j+1)*m]
 			}
-			if p.Lower != nil {
-				for i := 0; i < m; i++ {
-					l[i] = p.Lower[i*n+j]
-				}
-				prob.L = l
+			if st.lowerT != nil {
+				prob.L = st.lowerT[j*m : (j+1)*m]
 			}
 			switch p.Kind {
 			case FixedTotals:
@@ -231,6 +290,7 @@ func (st *diagState) colPhase(ph *PhaseCosts) error {
 				prob.E = e
 				prob.R = p.S0[j] - e*st.lambda[j]
 			}
+			xcol := st.xT[j*m : (j+1)*m]
 			var res equilibrate.Result
 			var err error
 			if p.Kind == IntervalTotals {
@@ -246,9 +306,6 @@ func (st *diagState) colPhase(ph *PhaseCosts) error {
 				}
 				return
 			}
-			for i := 0; i < m; i++ {
-				st.x[i*n+j] = xcol[i]
-			}
 			st.mu[j] = res.Lambda
 			st.colSum[j] = res.Total
 			cost := res.Ops + int64(2*m)
@@ -261,7 +318,16 @@ func (st *diagState) colPhase(ph *PhaseCosts) error {
 			}
 		}
 	})
-	return st.takeErr()
+	if err := st.takeErr(); err != nil {
+		return err
+	}
+	// Reconcile the column-major mirror into the row-major iterate, banded
+	// over the workers. Each band writes a disjoint set of x entries, so the
+	// result is partition-independent.
+	st.runner.ForChunks(n, func(_, lo, hi int) {
+		mat.TransposeRange(st.x, st.xT, n, m, lo, hi)
+	})
+	return nil
 }
 
 // takeErr returns (and clears) the first recorded worker error.
@@ -355,10 +421,16 @@ func (st *diagState) checkConvergence(ph *PhaseCosts) bool {
 	if o.ParallelConvCheck {
 		serialOps = int64(2 * m)
 		if ph != nil {
-			ph.Check = make([]int64, m)
-			for i := range ph.Check {
-				ph.Check[i] = int64(n)
+			// Every check task costs exactly n ops, every iteration, so all
+			// traced phases share one read-only cost slice instead of
+			// allocating a fresh one per check.
+			if st.checkTasks == nil {
+				st.checkTasks = make([]int64, m)
+				for i := range st.checkTasks {
+					st.checkTasks[i] = int64(n)
+				}
 			}
+			ph.Check = st.checkTasks
 		}
 	} else {
 		serialOps = int64(m*n + 2*m)
@@ -375,7 +447,7 @@ func (st *diagState) checkConvergence(ph *PhaseCosts) bool {
 	// parallelized.
 	perRow := func(fn func(i int)) {
 		if o.ParallelConvCheck {
-			parallel.ForChunks(len(st.workspaces), m, func(_, lo, hi int) {
+			st.runner.ForChunks(m, func(_, lo, hi int) {
 				for i := lo; i < hi; i++ {
 					fn(i)
 				}
@@ -408,7 +480,7 @@ func (st *diagState) checkConvergence(ph *PhaseCosts) bool {
 		perRow(func(i int) {
 			st.rowSum[i] = mat.Sum(st.x[i*n : (i+1)*n])
 		})
-		s := make([]float64, m)
+		s := st.supplyBuf
 		st.supplies(s)
 		var worst float64
 		for i := 0; i < m; i++ {

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"sea/internal/mat"
-	"sea/internal/parallel"
 )
 
 // GeneralProblem is the general quadratic constrained matrix problem
@@ -295,6 +294,7 @@ func SolveGeneral(p *GeneralProblem, opts *Options) (*Solution, error) {
 	}
 
 	st := newDiagState(dp, o)
+	defer st.close()
 	x, s, d := p.FeasibleStart()
 	copy(st.x, x)
 
@@ -319,7 +319,7 @@ func SolveGeneral(p *GeneralProblem, opts *Options) (*Solution, error) {
 		for k := 0; k < mn; k++ {
 			xdev[k] = st.x[k] - p.X0[k]
 		}
-		parallel.ForChunks(o.Procs, mn, func(_, lo, hi int) {
+		st.runner.ForChunks(mn, func(_, lo, hi int) {
 			p.G.MulVecRange(gx, xdev, lo, hi)
 		})
 		for k := 0; k < mn; k++ {
@@ -377,6 +377,7 @@ func SolveGeneral(p *GeneralProblem, opts *Options) (*Solution, error) {
 		st.supplies(s)
 
 		updateLinear()
+		st.refreshX0T() // the column phase reads the rewritten prior transposed
 		if err := st.colPhase(ph); err != nil {
 			return nil, fmt.Errorf("core: general iteration %d: %w", t, err)
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sea/internal/metrics"
+	"sea/internal/parallel"
 )
 
 // Kernel selects how each row/column equilibrium subproblem is solved.
@@ -88,6 +89,14 @@ type Options struct {
 	// Procs is the number of workers for the parallel row and column
 	// phases (the paper's N CPUs). 1 means serial.
 	Procs int
+	// Runner, if non-nil, supplies the scheduling substrate for the
+	// parallel phases — typically a shared *parallel.Pool reused across
+	// many solves, whose lifecycle the caller owns. When nil the solver
+	// creates a persistent pool of Procs workers for the duration of the
+	// solve and tears it down on return. Every Runner honors the same
+	// disjoint-partition contract, so results never depend on this choice
+	// (see docs/PERFORMANCE.md).
+	Runner parallel.Runner
 	// Mu0, if non-nil, warm-starts the column multipliers (length N).
 	// Otherwise μ¹ = 0 per the paper's initialization step.
 	Mu0 []float64

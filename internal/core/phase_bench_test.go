@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"testing"
+)
+
+// benchDiagProblem builds a dense fixed-totals instance sized for the phase
+// microbenchmarks.
+func benchDiagProblem(b *testing.B, m, n int) *DiagonalProblem {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(1, uint64(m)))
+	x0 := make([]float64, m*n)
+	gamma := make([]float64, m*n)
+	for k := range x0 {
+		x0[k] = rng.Float64() * 100
+		gamma[k] = 0.5 + rng.Float64()
+	}
+	s0 := make([]float64, m)
+	d0 := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			v := 1.3 * x0[i*n+j]
+			s0[i] += v
+			d0[j] += v
+		}
+	}
+	p, err := NewFixed(m, n, x0, gamma, s0, d0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// benchPhaseState prepares a diagState mid-solve: one full iteration seeds
+// the multipliers so the benchmarked phase sees steady-state inputs.
+func benchPhaseState(b *testing.B, procs int) *diagState {
+	b.Helper()
+	p := benchDiagProblem(b, 500, 500)
+	o := DefaultOptions()
+	o.Procs = procs
+	st := newDiagState(p, o.withDefaults())
+	b.Cleanup(st.close)
+	if err := st.rowPhase(nil); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.colPhase(nil); err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// The row/column phase pair isolates the tiling win: the column phase used
+// to gather and scatter with stride n, and should now sit within a small
+// factor of the row phase instead of far behind it. ReportAllocs guards the
+// steady-state zero-allocation property.
+
+func BenchmarkRowPhase(b *testing.B)         { benchRowPhase(b, 1) }
+func BenchmarkRowPhaseParallel(b *testing.B) { benchRowPhase(b, runtime.NumCPU()) }
+
+func benchRowPhase(b *testing.B, procs int) {
+	st := benchPhaseState(b, procs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.rowPhase(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColumnPhase(b *testing.B)         { benchColPhase(b, 1) }
+func BenchmarkColumnPhaseParallel(b *testing.B) { benchColPhase(b, runtime.NumCPU()) }
+
+func benchColPhase(b *testing.B, procs int) {
+	st := benchPhaseState(b, procs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.colPhase(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

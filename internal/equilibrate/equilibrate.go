@@ -148,12 +148,24 @@ func (p *Problem) Solve(x []float64, ws *Workspace) (Result, error) {
 		return Result{}, err
 	}
 
-	// Recover the primal block and its total.
+	// Recover the primal block and its total (branch-free clamp in the
+	// classical unbounded case).
 	var total float64
-	for j := 0; j < n; j++ {
-		v := p.clampVal(j, p.C[j]+p.A[j]*lambda)
-		x[j] = v
-		total += v
+	if p.L == nil && p.U == nil {
+		for j := 0; j < n; j++ {
+			v := p.C[j] + p.A[j]*lambda
+			if v < 0 {
+				v = 0
+			}
+			x[j] = v
+			total += v
+		}
+	} else {
+		for j := 0; j < n; j++ {
+			v := p.clampVal(j, p.C[j]+p.A[j]*lambda)
+			x[j] = v
+			total += v
+		}
 	}
 	ops += int64(2 * n)
 	return Result{Lambda: lambda, Total: total, Ops: ops}, nil
@@ -175,10 +187,12 @@ func (p *Problem) findRoot(ws *Workspace) (lambda float64, ops int64, err error)
 	}
 
 	// Feasibility pre-checks for fixed totals: the reachable range of Σx is
-	// [Σl, Σu].
+	// [Σl, Σu]. With no explicit lower bounds Σl is identically zero.
 	var lb float64
-	for j := 0; j < n; j++ {
-		lb += p.lower(j)
+	if p.L != nil {
+		for _, l := range p.L {
+			lb += l
+		}
 	}
 	if p.E == 0 {
 		if p.R < lb-1e-9*(1+math.Abs(lb)) {
@@ -197,27 +211,49 @@ func (p *Problem) findRoot(ws *Workspace) (lambda float64, ops int64, err error)
 
 	// Build the event list: one activation event per term (where it leaves
 	// its lower bound), plus one saturation event per finite upper bound.
+	// The classical unbounded case (L = U = nil, by far the hottest) gets a
+	// branch-free build loop.
 	ev := ws.events[:0]
-	for j := 0; j < n; j++ {
-		a, c := p.A[j], p.C[j]
-		if !(a > 0) {
-			return 0, 0, fmt.Errorf("equilibrate: a[%d] = %g, want > 0", j, a)
-		}
-		l := p.lower(j)
-		ev = append(ev, event{pos: (l - c) / a, da: a, dc: c - l})
-		if p.U != nil && !math.IsInf(p.U[j], 1) {
-			u := p.U[j]
-			if u < l {
-				return 0, 0, fmt.Errorf("equilibrate: bounds [%g, %g] empty at %d", l, u, j)
+	if p.L == nil && p.U == nil {
+		for j := 0; j < n; j++ {
+			a, c := p.A[j], p.C[j]
+			if !(a > 0) {
+				return 0, 0, fmt.Errorf("equilibrate: a[%d] = %g, want > 0", j, a)
 			}
-			ev = append(ev, event{pos: (u - c) / a, da: -a, dc: u - c})
+			ev = append(ev, event{pos: -c / a, da: a, dc: c})
+		}
+	} else {
+		for j := 0; j < n; j++ {
+			a, c := p.A[j], p.C[j]
+			if !(a > 0) {
+				return 0, 0, fmt.Errorf("equilibrate: a[%d] = %g, want > 0", j, a)
+			}
+			l := p.lower(j)
+			ev = append(ev, event{pos: (l - c) / a, da: a, dc: c - l})
+			if p.U != nil && !math.IsInf(p.U[j], 1) {
+				u := p.U[j]
+				if u < l {
+					return 0, 0, fmt.Errorf("equilibrate: bounds [%g, %g] empty at %d", l, u, j)
+				}
+				ev = append(ev, event{pos: (u - c) / a, da: -a, dc: u - c})
+			}
 		}
 	}
 	ws.events = ev // keep grown capacity
 
-	// Sort events by position: the paper's HEAPSORT for long arrays,
-	// straight insertion sort for short ones.
-	sortx.AdaptiveFunc(ev, func(a, b event) bool { return a.pos < b.pos })
+	// Sort events by position: straight insertion sort for short arrays (the
+	// paper's choice), pdqsort for long ones (the paper used HEAPSORT there;
+	// see sortx.AdaptiveCmp on the substitution).
+	sortx.AdaptiveCmp(ev, func(a, b event) int {
+		switch {
+		case a.pos < b.pos:
+			return -1
+		case a.pos > b.pos:
+			return 1
+		default:
+			return 0
+		}
+	})
 
 	m := len(ev)
 	// Charge the paper's cost model: linear build + sort + sweep.

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"sea/internal/core"
+	"sea/internal/parallel"
 )
 
 // Config controls experiment sizing and execution.
@@ -22,12 +23,24 @@ type Config struct {
 	// themselves (results are identical for any value; only wall time
 	// changes).
 	Procs int
+	// Runner, if non-nil, is a shared scheduling substrate (typically one
+	// persistent parallel.Pool) reused across every solve of the run, so
+	// repeated experiments pay no per-solve worker startup. The caller owns
+	// its lifecycle. When nil each solve manages its own pool of Procs
+	// workers.
+	Runner parallel.Runner
 	// Epsilon overrides the paper's per-table tolerance when positive.
 	Epsilon float64
 	// MaxBKDim caps the G order on which the Bachem–Korte baseline runs
 	// (the paper stopped at 900×900 because B-K became prohibitively
 	// expensive). Zero means the paper's cap.
 	MaxBKDim int
+}
+
+// apply copies the execution-related Config fields into o.
+func (c Config) apply(o *core.Options) {
+	o.Procs = c.Procs
+	o.Runner = c.Runner
 }
 
 // DefaultConfig returns the paper-scale configuration.

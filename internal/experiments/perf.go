@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"sea/internal/core"
+	"sea/internal/parallel"
+	"sea/internal/problems"
+	"sea/internal/spe"
+)
+
+// PerfRecord is one machine-readable hot-path measurement: a named instance
+// solved end-to-end at a fixed worker count. Subsequent PRs regress against
+// these numbers (see docs/PERFORMANCE.md).
+type PerfRecord struct {
+	// Name identifies the instance family (matching the benchmark names in
+	// bench_test.go where one exists).
+	Name string `json:"name"`
+	// Procs is the worker count of the persistent pool used for the solve.
+	Procs int `json:"procs"`
+	// NsPerOp is the mean wall time of one full solve, in nanoseconds.
+	NsPerOp int64 `json:"ns_per_op"`
+	// AllocsPerOp is the mean heap-allocation count of one full solve
+	// (dominated by state setup; the iteration loop itself is
+	// allocation-free in steady state).
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	// Iterations is the solver iteration count (identical across Procs —
+	// the determinism contract).
+	Iterations int `json:"iterations"`
+	// SpeedupVsSerial is serial ns/op divided by this record's ns/op; 1.0
+	// for the Procs = 1 rows.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// PerfReport is the top-level BENCH_sea.json document.
+type PerfReport struct {
+	GeneratedUnix int64        `json:"generated_unix"`
+	GoMaxProcs    int          `json:"go_max_procs"`
+	NumCPU        int          `json:"num_cpu"`
+	Scale         float64      `json:"scale"`
+	Records       []PerfRecord `json:"records"`
+}
+
+// perfReps is how many timed solves each record averages over (after one
+// untimed warm-up).
+const perfReps = 3
+
+// PerfSuite measures the SEA hot path on representative diagonal instances
+// at 1 and NumCPU workers, reusing one persistent pool per worker count
+// across all reps. It is the data source for seabench's -benchjson output.
+func PerfSuite(cfg Config) (PerfReport, error) {
+	type instance struct {
+		name  string
+		build func() (*core.DiagonalProblem, error)
+		crit  core.Criterion
+		eps   float64
+	}
+	instances := []instance{
+		{"table1/diagonal500", func() (*core.DiagonalProblem, error) {
+			return problems.Table1(cfg.dim(500), 1), nil
+		}, core.MaxAbsDelta, 0.01},
+		{"table1/diagonal1000", func() (*core.DiagonalProblem, error) {
+			return problems.Table1(cfg.dim(1000), 1000), nil
+		}, core.MaxAbsDelta, 0.01},
+		{"table3/sam300", func() (*core.DiagonalProblem, error) {
+			return problems.RandomSAM(cfg.dim(300), 4), nil
+		}, core.RelBalance, 0.001},
+		{"table5/spe250", func() (*core.DiagonalProblem, error) {
+			return spe.Generate(cfg.dim(250), cfg.dim(250), 6).ToConstrainedMatrix()
+		}, core.DualGradient, 0.01},
+	}
+
+	procsList := []int{1}
+	if ncpu := runtime.NumCPU(); ncpu > 1 {
+		procsList = append(procsList, ncpu)
+	}
+
+	report := PerfReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Scale:         cfg.Scale,
+	}
+	for _, inst := range instances {
+		p, err := inst.build()
+		if err != nil {
+			return report, fmt.Errorf("perf %s: %w", inst.name, err)
+		}
+		var serialNs int64
+		for _, procs := range procsList {
+			pool := parallel.NewPool(procs)
+			opts := func() *core.Options {
+				o := core.DefaultOptions()
+				o.Criterion = inst.crit
+				o.Epsilon = cfg.eps(inst.eps)
+				o.MaxIterations = 500000
+				o.Runner = pool
+				return o
+			}
+
+			// Warm-up solve, untimed: faults pages in and validates.
+			sol, err := core.SolveDiagonal(p, opts())
+			if err != nil {
+				pool.Close()
+				return report, fmt.Errorf("perf %s procs=%d: %w", inst.name, procs, err)
+			}
+
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
+			for rep := 0; rep < perfReps; rep++ {
+				if _, err := core.SolveDiagonal(p, opts()); err != nil {
+					pool.Close()
+					return report, fmt.Errorf("perf %s procs=%d rep %d: %w", inst.name, procs, rep, err)
+				}
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&ms1)
+			pool.Close()
+
+			nsPerOp := elapsed.Nanoseconds() / perfReps
+			if procs == 1 {
+				serialNs = nsPerOp
+			}
+			speedup := 1.0
+			if serialNs > 0 {
+				speedup = float64(serialNs) / float64(nsPerOp)
+			}
+			report.Records = append(report.Records, PerfRecord{
+				Name:            inst.name,
+				Procs:           procs,
+				NsPerOp:         nsPerOp,
+				AllocsPerOp:     (ms1.Mallocs - ms0.Mallocs) / perfReps,
+				Iterations:      sol.Iterations,
+				SpeedupVsSerial: speedup,
+			})
+		}
+	}
+	return report, nil
+}

@@ -80,7 +80,7 @@ func appendSpeedups(rows *[]SpeedupRow, name string, p *core.DiagonalProblem, cf
 	o.Criterion = crit
 	o.Epsilon = eps
 	o.CheckEvery = checkEvery
-	o.Procs = cfg.Procs
+	cfg.apply(o)
 	o.MaxIterations = 500000
 	o.ParallelConvCheck = parallelCheck
 	tr := &core.CostTrace{}
@@ -109,7 +109,7 @@ func Table9(cfg Config) ([]SpeedupRow, error) {
 	seaOpts := core.DefaultOptions()
 	seaOpts.Epsilon = cfg.eps(0.001)
 	seaOpts.Criterion = core.MaxAbsDelta
-	seaOpts.Procs = cfg.Procs
+	cfg.apply(seaOpts)
 	seaOpts.SkipDominanceCheck = true
 	seaTr := &core.CostTrace{}
 	seaOpts.Trace = seaTr
@@ -122,7 +122,7 @@ func Table9(cfg Config) ([]SpeedupRow, error) {
 
 	rcOpts := core.DefaultOptions()
 	rcOpts.Epsilon = cfg.eps(0.001)
-	rcOpts.Procs = cfg.Procs
+	cfg.apply(rcOpts)
 	rcOpts.SkipDominanceCheck = true
 	rcTr := &core.CostTrace{}
 	rcOpts.Trace = rcTr

@@ -57,7 +57,7 @@ func Table7(cfg Config) ([]Table7Row, error) {
 		seaOpts := core.DefaultOptions()
 		seaOpts.Epsilon = cfg.eps(0.001)
 		seaOpts.Criterion = core.MaxAbsDelta
-		seaOpts.Procs = cfg.Procs
+		cfg.apply(seaOpts)
 		seaOpts.SkipDominanceCheck = true
 		var seaSol *core.Solution
 		start := time.Now()
@@ -72,7 +72,7 @@ func Table7(cfg Config) ([]Table7Row, error) {
 
 		rcOpts := core.DefaultOptions()
 		rcOpts.Epsilon = cfg.eps(0.001)
-		rcOpts.Procs = cfg.Procs
+		cfg.apply(rcOpts)
 		rcOpts.SkipDominanceCheck = true
 		var rcSol *core.Solution
 		start = time.Now()
@@ -132,7 +132,7 @@ func Table8(cfg Config) ([]Table8Row, error) {
 			o := core.DefaultOptions()
 			o.Epsilon = cfg.eps(0.001)
 			o.Criterion = core.MaxAbsDelta
-			o.Procs = cfg.Procs
+			cfg.apply(o)
 			o.SkipDominanceCheck = true
 			start := time.Now()
 			sol, err := core.SolveGeneral(p, o)

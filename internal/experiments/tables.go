@@ -27,7 +27,7 @@ func Table1(cfg Config) ([]Table1Row, error) {
 		o := core.DefaultOptions()
 		o.Criterion = core.MaxAbsDelta
 		o.Epsilon = cfg.eps(0.01)
-		o.Procs = cfg.Procs
+		cfg.apply(o)
 		sol, secs, err := timedSolve(p, o)
 		if err != nil {
 			return rows, fmt.Errorf("table 1, size %d: %w", n, err)
@@ -65,7 +65,7 @@ func Table2(cfg Config) ([]Table2Row, error) {
 		o := core.DefaultOptions()
 		o.Criterion = core.MaxAbsDelta
 		o.Epsilon = cfg.eps(0.01)
-		o.Procs = cfg.Procs
+		cfg.apply(o)
 		sol, secs, err := timedSolve(p, o)
 		if err != nil {
 			return rows, fmt.Errorf("table 2, %s: %w", spec.Name, err)
@@ -115,7 +115,7 @@ func Table3(cfg Config) ([]Table3Row, error) {
 		o := core.DefaultOptions()
 		o.Criterion = core.RelBalance
 		o.Epsilon = cfg.eps(0.001)
-		o.Procs = cfg.Procs
+		cfg.apply(o)
 		sol, secs, err := timedSolve(inst.p, o)
 		if err != nil {
 			return rows, fmt.Errorf("table 3, %s: %w", inst.name, err)
@@ -144,7 +144,7 @@ func Table4(cfg Config) ([]Table4Row, error) {
 		o := core.DefaultOptions()
 		o.Criterion = core.DualGradient
 		o.Epsilon = cfg.eps(0.01)
-		o.Procs = cfg.Procs
+		cfg.apply(o)
 		o.MaxIterations = 500000
 		sol, secs, err := timedSolve(p, o)
 		if err != nil {
@@ -179,7 +179,7 @@ func Table5(cfg Config) ([]Table5Row, error) {
 		o := core.DefaultOptions()
 		o.Criterion = core.DualGradient
 		o.Epsilon = cfg.eps(0.01)
-		o.Procs = cfg.Procs
+		cfg.apply(o)
 		o.CheckEvery = 2 // the paper checked every other iteration here
 		o.MaxIterations = 500000
 		sol, secs, err := timedSolve(p, o)

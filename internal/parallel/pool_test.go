@@ -1,0 +1,131 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolCoversAllIndices(t *testing.T) {
+	for _, p := range []int{0, 1, 2, 3, 7, 16} {
+		pool := NewPool(p)
+		for _, n := range []int{0, 1, 2, 5, 100} {
+			seen := make([]atomic.Int32, n)
+			pool.For(n, func(i int) { seen[i].Add(1) })
+			for i := range seen {
+				if got := seen[i].Load(); got != 1 {
+					t.Errorf("p=%d n=%d: index %d visited %d times", p, n, i, got)
+				}
+			}
+		}
+		pool.Close()
+	}
+}
+
+func TestPoolMatchesChunkBounds(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	for _, n := range []int{1, 3, 4, 17, 100} {
+		var calls atomic.Int32
+		pool.ForChunks(n, func(c, lo, hi int) {
+			calls.Add(1)
+			wantLo, wantHi := ChunkBounds(c, 4, n)
+			if lo != wantLo || hi != wantHi {
+				t.Errorf("n=%d chunk %d: got [%d,%d), want [%d,%d)", n, c, lo, hi, wantLo, wantHi)
+			}
+		})
+		wantCalls := 4
+		if n < 4 {
+			wantCalls = n
+		}
+		if int(calls.Load()) != wantCalls {
+			t.Errorf("n=%d: %d chunks ran, want %d", n, calls.Load(), wantCalls)
+		}
+	}
+}
+
+// TestPoolReuse drives many dispatches through one pool — the steady-state
+// pattern of the solver's alternating phases.
+func TestPoolReuse(t *testing.T) {
+	pool := NewPool(3)
+	defer pool.Close()
+	n := 50
+	acc := make([]int, n)
+	for round := 0; round < 200; round++ {
+		pool.For(n, func(i int) { acc[i]++ })
+	}
+	for i, v := range acc {
+		if v != 200 {
+			t.Fatalf("index %d accumulated %d, want 200", i, v)
+		}
+	}
+}
+
+// TestPoolMatchesSpawner asserts the pool and the goroutine-per-call path
+// produce bit-identical outputs for every worker count — the scheduling-
+// substrate half of the determinism contract (the solver-level half lives in
+// internal/core).
+func TestPoolMatchesSpawner(t *testing.T) {
+	n := 512
+	ref := make([]float64, n)
+	Spawner{P: 1}.ForChunks(n, fill(ref))
+	for _, p := range []int{1, 2, 7, 16} {
+		spawned := make([]float64, n)
+		Spawner{P: p}.ForChunks(n, fill(spawned))
+		pooled := make([]float64, n)
+		pool := NewPool(p)
+		pool.ForChunks(n, fill(pooled))
+		pool.Close()
+		for i := range ref {
+			if spawned[i] != ref[i] || pooled[i] != ref[i] {
+				t.Fatalf("p=%d: results differ at %d", p, i)
+			}
+		}
+	}
+}
+
+func fill(dst []float64) func(chunk, lo, hi int) {
+	return func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = float64(i)*1.5 + 1
+		}
+	}
+}
+
+func TestPoolCloseDegradesToSerial(t *testing.T) {
+	pool := NewPool(4)
+	pool.Close()
+	count := 0
+	pool.ForChunks(10, func(c, lo, hi int) {
+		if c != 0 || lo != 0 || hi != 10 {
+			t.Errorf("closed pool chunk (%d, %d, %d), want (0, 0, 10)", c, lo, hi)
+		}
+		count++
+	})
+	if count != 1 {
+		t.Errorf("closed pool ran %d chunks, want 1 serial chunk", count)
+	}
+}
+
+// The dispatch-overhead pair: a tiny body makes scheduling cost dominate, so
+// the gap between these two is the per-phase goroutine-creation tax the pool
+// removes.
+func BenchmarkDispatchSpawn(b *testing.B) {
+	benchDispatch(b, Spawner{P: 8})
+}
+
+func BenchmarkDispatchPool(b *testing.B) {
+	pool := NewPool(8)
+	defer pool.Close()
+	benchDispatch(b, pool)
+}
+
+func benchDispatch(b *testing.B, r Runner) {
+	var sink atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ForChunks(64, func(_, lo, hi int) {
+			sink.Add(int64(hi - lo))
+		})
+	}
+}
