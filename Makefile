@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz fmt results check
+.PHONY: all build vet test race bench fuzz fmt results check cmds cancel
 
 all: check
 
@@ -15,11 +15,21 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-check the scheduling substrate and the solvers built on it, plus a
-# vet pass (the rest of ./internal is race-covered by `make bench` usage).
+# Race-check the scheduling substrate and everything built on it: the core
+# solvers, the baselines, and the public facade (whose cancellation suite
+# exercises pool teardown under contention).
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/core/...
+	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/baseline/... ./pkg/...
 	$(GO) vet ./...
+
+# Build the three commands explicitly (CI smoke for the CLI layer).
+cmds:
+	$(GO) build ./cmd/seasolve ./cmd/seabench ./cmd/seagen
+
+# The context-cancellation suite under the race detector: mid-solve cancels,
+# deadline expiry, and worker-pool leak checks.
+cancel:
+	$(GO) test -race -count=1 -run 'TestCancel|TestDeadline' ./pkg/sea/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -34,5 +44,5 @@ fmt:
 results:
 	$(GO) run ./cmd/seabench -table all -scale 1 -bkmax 900 | tee results_full.txt
 
-check: build vet test race
+check: build vet test race cmds cancel
 	@test -z "$$(gofmt -l .)" || (echo "gofmt needed:"; gofmt -l .; exit 1)

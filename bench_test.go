@@ -5,6 +5,7 @@
 package sea
 
 import (
+	"context"
 	"math/rand/v2"
 	"runtime"
 	"testing"
@@ -26,7 +27,7 @@ func solveDiag(b *testing.B, p *core.DiagonalProblem, o *core.Options) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.SolveDiagonal(p, o); err != nil {
+		if _, err := core.SolveDiagonal(context.Background(), p, o); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -118,8 +119,8 @@ func BenchmarkTable6_SpeedupPipeline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		o := fixedOpts(0.01)
 		tr := &core.CostTrace{}
-		o.Trace = tr
-		if _, err := core.SolveDiagonal(p, o); err != nil {
+		o.CostTrace = tr
+		if _, err := core.SolveDiagonal(context.Background(), p, o); err != nil {
 			b.Fatal(err)
 		}
 		parsim.Speedups(tr, []int{2, 4, 6})
@@ -128,7 +129,7 @@ func BenchmarkTable6_SpeedupPipeline(b *testing.B) {
 
 // --- Table 7: SEA vs RC vs B-K on general dense-G problems ---------------
 
-func benchGeneral(b *testing.B, solve func(*core.GeneralProblem, *core.Options) (*core.Solution, error), size int) {
+func benchGeneral(b *testing.B, solve func(context.Context, *core.GeneralProblem, *core.Options) (*core.Solution, error), size int) {
 	b.Helper()
 	p := problems.GeneralDense(size, size, 8, false)
 	o := core.DefaultOptions()
@@ -137,7 +138,7 @@ func benchGeneral(b *testing.B, solve func(*core.GeneralProblem, *core.Options) 
 	o.SkipDominanceCheck = true
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := solve(p, o); err != nil {
+		if _, err := solve(context.Background(), p, o); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -155,7 +156,7 @@ func BenchmarkTable7_BK_G100(b *testing.B) {
 	o.MaxIterations = 100000
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := baseline.SolveBK(p, o); err != nil {
+		if _, err := baseline.SolveBK(context.Background(), p, o); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -171,7 +172,7 @@ func BenchmarkTable8_GeneralMigration(b *testing.B) {
 	o.SkipDominanceCheck = true
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.SolveGeneral(p, o); err != nil {
+		if _, err := core.SolveGeneral(context.Background(), p, o); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -187,8 +188,8 @@ func BenchmarkTable9_SpeedupPipeline(b *testing.B) {
 		o.Criterion = core.MaxAbsDelta
 		o.SkipDominanceCheck = true
 		tr := &core.CostTrace{}
-		o.Trace = tr
-		if _, err := core.SolveGeneral(p, o); err != nil {
+		o.CostTrace = tr
+		if _, err := core.SolveGeneral(context.Background(), p, o); err != nil {
 			b.Fatal(err)
 		}
 		parsim.Speedups(tr, []int{2, 4})
@@ -227,7 +228,7 @@ func benchWarm(b *testing.B, warm bool) {
 	b.Helper()
 	p := problems.Table1(150, 12)
 	base := fixedOpts(1e-6)
-	sol, err := core.SolveDiagonal(p, base)
+	sol, err := core.SolveDiagonal(context.Background(), p, base)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func benchWarm(b *testing.B, warm bool) {
 func BenchmarkExperiments_Table3Pipeline(b *testing.B) {
 	cfg := experiments.Config{Scale: 0.05, Procs: 1}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table3(cfg); err != nil {
+		if _, err := experiments.Table3(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -313,7 +314,7 @@ func BenchmarkExtension_AsymmetricSPE(b *testing.B) {
 	p := spe.GenerateAsymmetric(25, 25, 14)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.SolveAsymmetric(1e-6, 50000, nil); err != nil {
+		if _, err := p.SolveAsymmetric(context.Background(), 1e-6, 50000, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -325,7 +326,7 @@ func BenchmarkBaseline_Unsigned(b *testing.B) {
 	p := problems.Table1(60, 15)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := baseline.SolveUnsigned(p); err != nil {
+		if _, err := baseline.SolveUnsigned(context.Background(), p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -370,7 +371,7 @@ func BenchmarkExtension_SparseBandedG(b *testing.B) {
 	o.SkipDominanceCheck = true
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.SolveGeneral(p, o); err != nil {
+		if _, err := core.SolveGeneral(context.Background(), p, o); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -9,6 +9,13 @@
 //	seabench -table 6 -csv                  # machine-readable output
 //	seabench -table none -benchjson BENCH_sea.json   # hot-path perf records
 //	seabench -table 1 -cpuprofile cpu.out   # profile a hot table
+//	seabench -table all -timeout 2m         # bound the whole run
+//	seabench -solver rc -size 60            # time one registry solver
+//
+// -solver benchmarks a single solver from the pkg/sea registry on a
+// generated Table 1-style instance of order -size instead of running the
+// table experiments; -timeout bounds either mode through context
+// cancellation.
 //
 // Results print as fixed-width tables (paper style); the speedup
 // experiments additionally render their figures as ASCII charts.
@@ -18,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,10 +33,13 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"sea/internal/experiments"
 	"sea/internal/parallel"
+	"sea/internal/problems"
 	"sea/internal/report"
+	"sea/pkg/sea"
 )
 
 func main() {
@@ -39,6 +50,9 @@ func main() {
 		eps        = flag.Float64("eps", 0, "override the per-table convergence tolerance")
 		bkmax      = flag.Int("bkmax", 900, "largest G order on which to run the B-K baseline (Table 7)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of formatted tables")
+		solver     = flag.String("solver", "", "time a single pkg/sea registry solver instead of the tables: "+strings.Join(sea.Solvers(), ", "))
+		size       = flag.Int("size", 100, "with -solver: order of the generated Table 1-style instance")
+		timeout    = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 		benchjson  = flag.String("benchjson", "", "also run the hot-path perf suite and write its records to this JSON file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile, taken at exit, to this file")
@@ -85,12 +99,41 @@ func main() {
 		cleanup = func() {}
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	cfg := experiments.Config{Scale: *scale, Procs: *procs, Epsilon: *eps, MaxBKDim: *bkmax}
 	// One persistent pool serves every solve of the run; the perf suite
 	// manages its own pools because it varies the worker count.
 	pool := parallel.NewPool(*procs)
 	defer pool.Close()
 	cfg.Runner = pool
+
+	if *solver != "" {
+		p := problems.Table1(*size, 1)
+		o := sea.DefaultOptions()
+		o.Procs = *procs
+		o.Runner = pool
+		if *eps > 0 {
+			o.Epsilon = *eps
+		}
+		start := time.Now()
+		sol, err := sea.Solve(ctx, *solver, sea.WrapDiagonal(p), o)
+		wall := time.Since(start)
+		if err != nil {
+			cleanup()
+			fmt.Fprintf(os.Stderr, "seabench: solver %s on %dx%d: %v\n", *solver, *size, *size, err)
+			os.Exit(1)
+		}
+		fmt.Printf("solver=%s size=%dx%d procs=%d converged=%v iterations=%d residual=%g wall=%s\n",
+			*solver, *size, *size, *procs, sol.Converged, sol.Iterations, sol.Residual, wall.Round(time.Microsecond))
+		cleanup()
+		return
+	}
 
 	requested := strings.Split(*table, ",")
 	want := func(name string) bool {
@@ -121,7 +164,7 @@ func main() {
 	if *benchjson != "" {
 		perfCfg := cfg
 		perfCfg.Runner = nil
-		rep, err := experiments.PerfSuite(perfCfg)
+		rep, err := experiments.PerfSuite(ctx, perfCfg)
 		if err != nil {
 			fail("perf suite", err)
 		}
@@ -136,7 +179,7 @@ func main() {
 	}
 
 	if want("1") {
-		rows, err := experiments.Table1(cfg)
+		rows, err := experiments.Table1(ctx, cfg)
 		if err != nil {
 			fail("table 1", err)
 		}
@@ -152,7 +195,7 @@ func main() {
 	}
 
 	if want("2") {
-		rows, err := experiments.Table2(cfg)
+		rows, err := experiments.Table2(ctx, cfg)
 		if err != nil {
 			fail("table 2", err)
 		}
@@ -166,7 +209,7 @@ func main() {
 	}
 
 	if want("3") {
-		rows, err := experiments.Table3(cfg)
+		rows, err := experiments.Table3(ctx, cfg)
 		if err != nil {
 			fail("table 3", err)
 		}
@@ -180,7 +223,7 @@ func main() {
 	}
 
 	if want("4") {
-		rows, err := experiments.Table4(cfg)
+		rows, err := experiments.Table4(ctx, cfg)
 		if err != nil {
 			fail("table 4", err)
 		}
@@ -193,7 +236,7 @@ func main() {
 	}
 
 	if want("5") {
-		rows, err := experiments.Table5(cfg)
+		rows, err := experiments.Table5(ctx, cfg)
 		if err != nil {
 			fail("table 5", err)
 		}
@@ -209,7 +252,7 @@ func main() {
 	}
 
 	if want("6") {
-		rows, err := experiments.Table6(cfg)
+		rows, err := experiments.Table6(ctx, cfg)
 		if err != nil {
 			fail("table 6", err)
 		}
@@ -226,7 +269,7 @@ func main() {
 	}
 
 	if want("6e") {
-		rows, err := experiments.Table6Enhanced(cfg)
+		rows, err := experiments.Table6Enhanced(ctx, cfg)
 		if err != nil {
 			fail("table 6e", err)
 		}
@@ -240,7 +283,7 @@ func main() {
 	}
 
 	if want("6w") {
-		rows, err := experiments.Table6Wall(cfg)
+		rows, err := experiments.Table6Wall(ctx, cfg)
 		if err != nil {
 			fail("table 6w", err)
 		}
@@ -254,7 +297,7 @@ func main() {
 	}
 
 	if want("7") {
-		rows, err := experiments.Table7(cfg)
+		rows, err := experiments.Table7(ctx, cfg)
 		if err != nil {
 			fail("table 7", err)
 		}
@@ -273,7 +316,7 @@ func main() {
 	}
 
 	if want("8") {
-		rows, err := experiments.Table8(cfg)
+		rows, err := experiments.Table8(ctx, cfg)
 		if err != nil {
 			fail("table 8", err)
 		}
@@ -287,7 +330,7 @@ func main() {
 	}
 
 	if want("9") {
-		rows, err := experiments.Table9(cfg)
+		rows, err := experiments.Table9(ctx, cfg)
 		if err != nil {
 			fail("table 9", err)
 		}
@@ -304,7 +347,7 @@ func main() {
 	}
 
 	if want("growth") {
-		rows, err := experiments.GrowthSweep(cfg)
+		rows, err := experiments.GrowthSweep(ctx, cfg)
 		if err != nil {
 			fail("growth sweep", err)
 		}
@@ -318,7 +361,7 @@ func main() {
 	}
 
 	if want("relax") {
-		rows, err := experiments.RelaxationAblation(cfg)
+		rows, err := experiments.RelaxationAblation(ctx, cfg)
 		if err != nil {
 			fail("relaxation ablation", err)
 		}
@@ -332,7 +375,7 @@ func main() {
 	}
 
 	if want("ops") {
-		rows, err := experiments.OpsModel(cfg)
+		rows, err := experiments.OpsModel(ctx, cfg)
 		if err != nil {
 			fail("ops model", err)
 		}

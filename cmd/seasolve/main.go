@@ -1,95 +1,113 @@
-// Command seasolve solves a constrained matrix problem from a file.
+// Command seasolve solves a constrained matrix problem from a file using any
+// solver in the pkg/sea registry.
 //
 // The problem arrives either as a JSON container (see internal/matio) or as
 // a bare CSV matrix plus totals derived from it:
 //
 //	seasolve -in problem.json -out solution.json
 //	seasolve -matrix x0.csv -growth 1.1 -out solution.json
-//	seasolve -in problem.json -algorithm ras     # RAS baseline
+//	seasolve -in problem.json -solver ras            # RAS baseline
+//	seasolve -in problem.json -solver rc -timeout 30s
+//	seasolve -list                                   # show available solvers
 //
 // With -matrix, the row and column targets are the prior sums scaled by
-// -growth and the weights are the chi-square defaults.
+// -growth and the weights are the chi-square defaults. On solver failure
+// (non-convergence, timeout, infeasibility) seasolve prints the reason to
+// stderr and exits non-zero without writing a solution.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"sea/internal/baseline"
 	"sea/internal/core"
 	"sea/internal/matio"
+	"sea/pkg/sea"
 )
 
 func main() {
 	var (
-		in        = flag.String("in", "", "problem JSON file (see internal/matio)")
-		matrix    = flag.String("matrix", "", "prior matrix CSV (alternative to -in)")
-		growth    = flag.Float64("growth", 1.0, "with -matrix: scale factor for the target totals")
-		out       = flag.String("out", "", "solution JSON output (default stdout)")
-		xcsv      = flag.String("xcsv", "", "also write the solved matrix as CSV to this path")
-		algorithm = flag.String("algorithm", "sea", "sea, ras, dykstra, or unsigned (Stone/Byron, no nonnegativity)")
-		eps       = flag.Float64("eps", 1e-6, "convergence tolerance")
-		criterion = flag.String("criterion", "dual-gradient", "max-abs-delta, rel-balance, or dual-gradient")
-		procs     = flag.Int("procs", 1, "parallel workers for the equilibration phases")
-		maxIter   = flag.Int("maxiter", 200000, "iteration limit")
+		in         = flag.String("in", "", "problem JSON file (see internal/matio)")
+		matrix     = flag.String("matrix", "", "prior matrix CSV (alternative to -in)")
+		growth     = flag.Float64("growth", 1.0, "with -matrix: scale factor for the target totals")
+		out        = flag.String("out", "", "solution JSON output (default stdout)")
+		xcsv       = flag.String("xcsv", "", "also write the solved matrix as CSV to this path")
+		solver     = flag.String("solver", "sea", "registry solver: "+strings.Join(sea.Solvers(), ", "))
+		algorithm  = flag.String("algorithm", "", "deprecated alias for -solver")
+		list       = flag.Bool("list", false, "list the registered solvers and exit")
+		eps        = flag.Float64("eps", 1e-6, "convergence tolerance")
+		criterion  = flag.String("criterion", "dual-gradient", "max-abs-delta, rel-balance, or dual-gradient")
+		procs      = flag.Int("procs", 1, "parallel workers for the equilibration phases")
+		maxIter    = flag.Int("maxiter", 200000, "iteration limit")
+		timeout    = flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
+		traceEvery = flag.Int("trace", 0, "print per-iteration progress every N observed iterations (0 = off)")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, name := range sea.Solvers() {
+			fmt.Printf("%-12s %s\n", name, sea.Describe(name))
+		}
+		return
+	}
+
+	name := *solver
+	if *algorithm != "" {
+		name = *algorithm
+	}
 
 	p, err := loadProblem(*in, *matrix, *growth)
 	if err != nil {
 		fatal(err)
 	}
 
-	var sol *core.Solution
-	switch *algorithm {
-	case "sea":
-		o := core.DefaultOptions()
-		o.Epsilon = *eps
-		o.Procs = *procs
-		o.MaxIterations = *maxIter
-		switch *criterion {
-		case "max-abs-delta":
-			o.Criterion = core.MaxAbsDelta
-		case "rel-balance":
-			o.Criterion = core.RelBalance
-		case "dual-gradient":
-			o.Criterion = core.DualGradient
-		default:
-			fatal(fmt.Errorf("unknown criterion %q", *criterion))
-		}
-		sol, err = core.SolveDiagonal(p, o)
-	case "dykstra":
-		sol, err = baseline.SolveDykstra(p, *eps, *maxIter)
-	case "unsigned":
-		sol, err = baseline.SolveUnsigned(p)
-		if sol != nil {
-			if worst := baseline.MinEntry(sol.X); worst < 0 {
-				fmt.Fprintf(os.Stderr, "seasolve: warning: unsigned estimator produced negative entries (min %g); use -algorithm sea for a nonnegative estimate\n", worst)
-			}
-		}
-	case "ras":
-		if p.Kind != core.FixedTotals {
-			fatal(fmt.Errorf("RAS requires fixed totals"))
-		}
-		res, rerr := baseline.RAS(p.M, p.N, p.X0, p.S0, p.D0, *eps, *maxIter)
-		if rerr != nil {
-			fatal(rerr)
-		}
-		sol = &core.Solution{
-			X: res.X, S: p.S0, D: p.D0,
-			Iterations: res.Iterations, Converged: res.Converged,
-			Residual:  res.MaxRowErr,
-			Objective: p.Objective(res.X, p.S0, p.D0),
-		}
+	o := sea.DefaultOptions()
+	o.Epsilon = *eps
+	o.Procs = *procs
+	o.MaxIterations = *maxIter
+	switch *criterion {
+	case "max-abs-delta":
+		o.Criterion = sea.MaxAbsDelta
+	case "rel-balance":
+		o.Criterion = sea.RelBalance
+	case "dual-gradient":
+		o.Criterion = sea.DualGradient
 	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *algorithm))
+		fatal(fmt.Errorf("unknown criterion %q", *criterion))
 	}
+	if *traceEvery > 0 {
+		o.Trace = sea.NewTraceWriter(os.Stderr, *traceEvery)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	sol, err := sea.Solve(ctx, name, sea.WrapDiagonal(p), o)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "seasolve: warning: %v\n", err)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			fatal(fmt.Errorf("solver %q exceeded the %v timeout (reached iteration %d)", name, *timeout, iterations(sol)))
+		case errors.Is(err, context.Canceled):
+			fatal(fmt.Errorf("solver %q canceled at iteration %d", name, iterations(sol)))
+		default:
+			fatal(fmt.Errorf("solver %q failed: %v", name, err))
+		}
 	}
-	if sol == nil {
-		os.Exit(1)
+	if name == "unsigned" {
+		if worst := baseline.MinEntry(sol.X); worst < 0 {
+			fmt.Fprintf(os.Stderr, "seasolve: warning: unsigned estimator produced negative entries (min %g); use -solver sea for a nonnegative estimate\n", worst)
+		}
 	}
 
 	w := os.Stdout
@@ -114,8 +132,16 @@ func main() {
 			fatal(err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "seasolve: %s converged=%v iterations=%d residual=%g objective=%g\n",
-		*algorithm, sol.Converged, sol.Iterations, sol.Residual, sol.Objective)
+	fmt.Fprintf(os.Stderr, "seasolve: %s converged=%v iterations=%d residual=%g objective=%g wall=%s\n",
+		name, sol.Converged, sol.Iterations, sol.Residual, sol.Objective, time.Since(start).Round(time.Millisecond))
+}
+
+// iterations reports how far a failed solve got (0 when no iterate exists).
+func iterations(sol *sea.Solution) int {
+	if sol == nil {
+		return 0
+	}
+	return sol.Iterations
 }
 
 // loadProblem builds the problem from either a JSON file or a CSV prior.

@@ -5,6 +5,7 @@ package sea
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -15,6 +16,14 @@ import (
 	"sea/internal/problems"
 	"sea/internal/spe"
 )
+
+// optsWith returns default options with the given tolerance and limit.
+func optsWith(eps float64, maxIter int) *core.Options {
+	o := core.DefaultOptions()
+	o.Epsilon = eps
+	o.MaxIterations = maxIter
+	return o
+}
 
 // TestE2EIOTableUpdate: the full input/output updating pipeline, including
 // the round trip through the JSON problem format.
@@ -35,7 +44,7 @@ func TestE2EIOTableUpdate(t *testing.T) {
 	o := core.DefaultOptions()
 	o.Criterion = core.DualGradient
 	o.Epsilon = 1e-8
-	sol, err := core.SolveDiagonal(p2, o)
+	sol, err := core.SolveDiagonal(context.Background(), p2, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +53,7 @@ func TestE2EIOTableUpdate(t *testing.T) {
 	}
 
 	// Cross-validate with Dykstra on the same reloaded problem.
-	dyk, err := baseline.SolveDykstra(p2, 1e-8, 200000)
+	dyk, err := baseline.SolveDykstra(context.Background(), p2, optsWith(1e-8, 200000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +63,7 @@ func TestE2EIOTableUpdate(t *testing.T) {
 
 	// RAS solves the same instance (feasible pattern) but a different
 	// objective; its result must meet the totals yet differ from SEA's.
-	ras, err := baseline.RAS(p2.M, p2.N, p2.X0, p2.S0, p2.D0, 1e-9, 10000)
+	ras, err := baseline.RAS(context.Background(), p2.M, p2.N, p2.X0, p2.S0, p2.D0, optsWith(1e-9, 10000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +87,7 @@ func TestE2ESAMBalancing(t *testing.T) {
 		o := core.DefaultOptions()
 		o.Criterion = core.RelBalance
 		o.Epsilon = 1e-8
-		sol, err := core.SolveDiagonal(p, o)
+		sol, err := core.SolveDiagonal(context.Background(), p, o)
 		if err != nil {
 			t.Fatalf("%s: %v", sam.Name, err)
 		}
@@ -111,7 +120,7 @@ func TestE2ESpatialPrice(t *testing.T) {
 	o.Criterion = core.DualGradient
 	o.Epsilon = 1e-8
 	o.MaxIterations = 500000
-	eq, err := p.Solve(o)
+	eq, err := p.Solve(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +129,7 @@ func TestE2ESpatialPrice(t *testing.T) {
 	}
 
 	ap := spe.GenerateAsymmetric(10, 10, 21)
-	aeq, err := ap.SolveAsymmetric(1e-8, 50000, nil)
+	aeq, err := ap.SolveAsymmetric(context.Background(), 1e-8, 50000, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +146,7 @@ func TestE2EMigrationProjection(t *testing.T) {
 	o.Criterion = core.DualGradient
 	o.Epsilon = 0.01
 	o.MaxIterations = 500000
-	sol, err := core.SolveDiagonal(p, o)
+	sol, err := core.SolveDiagonal(context.Background(), p, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,15 +183,15 @@ func TestE2EGeneralPipeline(t *testing.T) {
 	o.Epsilon = 1e-7
 	o.Criterion = core.MaxAbsDelta
 	o.SkipDominanceCheck = true
-	sea, err := core.SolveGeneral(p, o)
+	sea, err := core.SolveGeneral(context.Background(), p, o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rc, err := baseline.SolveRC(p, o)
+	rc, err := baseline.SolveRC(context.Background(), p, o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pg, err := baseline.SolveProjGrad(p, 1e-6, 100000)
+	pg, err := baseline.SolveProjGrad(context.Background(), p, optsWith(1e-6, 100000))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -21,7 +22,7 @@ func main() {
 	const m, n = 6, 6
 	p := spe.GenerateAsymmetric(m, n, 7)
 
-	eq, err := p.SolveAsymmetric(1e-9, 50000, nil)
+	eq, err := p.SolveAsymmetric(context.Background(), 1e-9, 50000, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func main() {
 	}
 	sep.SupplyMatrix = mat.MustDenseGeneral(m, rd)
 	sep.DemandMatrix = mat.MustDenseGeneral(n, wd)
-	eqSep, err := sep.SolveAsymmetric(1e-9, 50000, nil)
+	eqSep, err := sep.SolveAsymmetric(context.Background(), 1e-9, 50000, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

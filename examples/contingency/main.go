@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -55,7 +56,7 @@ func main() {
 	opts := core.DefaultOptions()
 	opts.Criterion = core.DualGradient
 	opts.Epsilon = 1e-9
-	sol, err := core.SolveDiagonal(p, opts)
+	sol, err := core.SolveDiagonal(context.Background(), p, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	solF, err := core.SolveDiagonal(pf, opts)
+	solF, err := core.SolveDiagonal(context.Background(), pf, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func main() {
 	opts.Criterion = core.MaxAbsDelta
 	opts.Epsilon = 0.01 // the paper's Table 2 tolerance
 
-	sol, err := core.SolveDiagonal(p, opts)
+	sol, err := core.SolveDiagonal(context.Background(), p, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,7 +35,10 @@ func main() {
 		sol.Objective, core.CheckKKT(p, sol).Max())
 
 	// RAS on the same instance (positivity pattern is feasible here).
-	ras, err := baseline.RAS(p.M, p.N, p.X0, p.S0, p.D0, 1e-6, 10000)
+	rasOpts := core.DefaultOptions()
+	rasOpts.Epsilon = 1e-6
+	rasOpts.MaxIterations = 10000
+	ras, err := baseline.RAS(context.Background(), p.M, p.N, p.X0, p.S0, p.D0, rasOpts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +56,10 @@ func main() {
 	s0 := []float64{60, 25, 25} // row 1 must grow to 60...
 	d0 := []float64{40, 35, 35} // ...but column 1 must shrink to 40.
 	fmt.Println("infeasible-RAS instance (zero pattern blocks the totals):")
-	rasBad, err := baseline.RAS(3, 3, x0, s0, d0, 1e-6, 2000)
+	rasBadOpts := core.DefaultOptions()
+	rasBadOpts.Epsilon = 1e-6
+	rasBadOpts.MaxIterations = 2000
+	rasBad, err := baseline.RAS(context.Background(), 3, 3, x0, s0, d0, rasBadOpts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,7 +77,7 @@ func main() {
 	o2 := core.DefaultOptions()
 	o2.Criterion = core.DualGradient
 	o2.Epsilon = 1e-9
-	sol2, err := core.SolveDiagonal(p2, o2)
+	sol2, err := core.SolveDiagonal(context.Background(), p2, o2)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -30,7 +31,7 @@ func main() {
 	opts.Epsilon = 0.01 // the paper's Table 4 tolerance
 	opts.MaxIterations = 500000
 
-	sol, err := core.SolveDiagonal(p, opts)
+	sol, err := core.SolveDiagonal(context.Background(), p, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -41,7 +42,7 @@ func main() {
 	opts.Criterion = core.DualGradient
 	opts.Epsilon = 1e-9
 
-	sol, err := core.SolveDiagonal(p, opts)
+	sol, err := core.SolveDiagonal(context.Background(), p, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,7 +37,7 @@ func main() {
 	opts.Criterion = core.RelBalance
 	opts.Epsilon = 1e-6
 
-	sol, err := core.SolveDiagonal(p, opts)
+	sol, err := core.SolveDiagonal(context.Background(), p, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ func main() {
 	opts.Epsilon = 1e-8
 	opts.MaxIterations = 500000
 
-	eq, err := p.Solve(opts)
+	eq, err := p.Solve(context.Background(), opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand/v2"
@@ -10,6 +11,14 @@ import (
 	"sea/internal/mat"
 	"sea/internal/metrics"
 )
+
+// optsWith returns default options with the given tolerance and limit.
+func optsWith(eps float64, maxIter int) *core.Options {
+	o := core.DefaultOptions()
+	o.Epsilon = eps
+	o.MaxIterations = maxIter
+	return o
+}
 
 // randFixedDiag builds a random feasible fixed-totals diagonal problem.
 func randFixedDiag(rng *rand.Rand, m, n int, factor float64) *core.DiagonalProblem {
@@ -49,11 +58,11 @@ func TestDykstraMatchesSEA(t *testing.T) {
 		m := 2 + rng.IntN(6)
 		n := 2 + rng.IntN(6)
 		p := randFixedDiag(rng, m, n, 1+rng.Float64()*2)
-		sea, err := core.SolveDiagonal(p, seaOpts())
+		sea, err := core.SolveDiagonal(context.Background(), p, seaOpts())
 		if err != nil {
 			t.Fatal(err)
 		}
-		dyk, err := SolveDykstra(p, 1e-10, 500000)
+		dyk, err := SolveDykstra(context.Background(), p, optsWith(1e-10, 500000))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,7 +86,7 @@ func TestDykstraRejectsElastic(t *testing.T) {
 		Alpha: []float64{1, 1}, Beta: []float64{1, 1},
 		Kind: core.ElasticTotals,
 	}
-	if _, err := SolveDykstra(p, 1e-6, 100); err == nil {
+	if _, err := SolveDykstra(context.Background(), p, optsWith(1e-6, 100)); err == nil {
 		t.Error("Dykstra accepted an elastic problem")
 	}
 }
@@ -102,7 +111,7 @@ func TestRASBalancesFeasibleTable(t *testing.T) {
 			d0[j] += want[i*n+j]
 		}
 	}
-	res, err := RAS(m, n, x0, s0, d0, 1e-10, 10000)
+	res, err := RAS(context.Background(), m, n, x0, s0, d0, optsWith(1e-10, 10000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +132,7 @@ func TestRASPreservesZeros(t *testing.T) {
 	}
 	s0 := []float64{4, 6}
 	d0 := []float64{5, 3, 2}
-	res, err := RAS(2, 3, x0, s0, d0, 1e-9, 10000)
+	res, err := RAS(context.Background(), 2, 3, x0, s0, d0, optsWith(1e-9, 10000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +152,7 @@ func TestRASNonconvergence(t *testing.T) {
 	}
 	s0 := []float64{6, 2}
 	d0 := []float64{3, 5}
-	res, err := RAS(2, 2, x0, s0, d0, 1e-6, 500)
+	res, err := RAS(context.Background(), 2, 2, x0, s0, d0, optsWith(1e-6, 500))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +166,7 @@ func TestRASNonconvergence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := core.SolveDiagonal(p, seaOpts())
+	sol, err := core.SolveDiagonal(context.Background(), p, seaOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,13 +180,13 @@ func TestRASNonconvergence(t *testing.T) {
 
 func TestRASStructuralError(t *testing.T) {
 	x0 := []float64{0, 0, 1, 1}
-	if _, err := RAS(2, 2, x0, []float64{3, 2}, []float64{2, 3}, 1e-6, 100); !errors.Is(err, ErrRASStructure) {
+	if _, err := RAS(context.Background(), 2, 2, x0, []float64{3, 2}, []float64{2, 3}, optsWith(1e-6, 100)); !errors.Is(err, ErrRASStructure) {
 		t.Errorf("zero row with positive target: err = %v", err)
 	}
-	if _, err := RAS(2, 2, []float64{1, -1, 1, 1}, []float64{1, 1}, []float64{1, 1}, 1e-6, 100); err == nil {
+	if _, err := RAS(context.Background(), 2, 2, []float64{1, -1, 1, 1}, []float64{1, 1}, []float64{1, 1}, optsWith(1e-6, 100)); err == nil {
 		t.Error("negative prior accepted")
 	}
-	if _, err := RAS(2, 2, []float64{1}, []float64{1, 1}, []float64{1, 1}, 1e-6, 100); err == nil {
+	if _, err := RAS(context.Background(), 2, 2, []float64{1}, []float64{1, 1}, []float64{1, 1}, optsWith(1e-6, 100)); err == nil {
 		t.Error("dimension mismatch accepted")
 	}
 }
@@ -243,14 +252,14 @@ func TestRCMatchesSEAGeneral(t *testing.T) {
 		m := 3 + rng.IntN(3)
 		n := 3 + rng.IntN(3)
 		p := randGeneralFixed(rng, m, n)
-		sea, err := core.SolveGeneral(p, generalOpts())
+		sea, err := core.SolveGeneral(context.Background(), p, generalOpts())
 		if err != nil {
 			t.Fatal(err)
 		}
 		var c metrics.Counters
 		o := generalOpts()
 		o.Counters = &c
-		rc, err := SolveRC(p, o)
+		rc, err := SolveRC(context.Background(), p, o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -283,14 +292,14 @@ func TestBKMatchesSEADiagonalG(t *testing.T) {
 			S0: dp.S0, D0: dp.D0,
 			Kind: core.FixedTotals,
 		}
-		sea, err := core.SolveDiagonal(dp, seaOpts())
+		sea, err := core.SolveDiagonal(context.Background(), dp, seaOpts())
 		if err != nil {
 			t.Fatal(err)
 		}
 		o := core.DefaultOptions()
 		o.Epsilon = 1e-9
 		o.MaxIterations = 100000
-		bk, err := SolveBK(gp, o)
+		bk, err := SolveBK(context.Background(), gp, o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -309,14 +318,14 @@ func TestBKMatchesSEADiagonalG(t *testing.T) {
 func TestBKMatchesSEADenseG(t *testing.T) {
 	rng := rand.New(rand.NewPCG(59, 60))
 	p := randGeneralFixed(rng, 4, 4)
-	sea, err := core.SolveGeneral(p, generalOpts())
+	sea, err := core.SolveGeneral(context.Background(), p, generalOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
 	o := core.DefaultOptions()
 	o.Epsilon = 1e-8
 	o.MaxIterations = 100000
-	bk, err := SolveBK(p, o)
+	bk, err := SolveBK(context.Background(), p, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +342,7 @@ func TestBKFeasibleThroughout(t *testing.T) {
 	o := core.DefaultOptions()
 	o.Epsilon = 1e-8
 	o.MaxIterations = 50000
-	bk, err := SolveBK(p, o)
+	bk, err := SolveBK(context.Background(), p, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,10 +358,10 @@ func TestBKFeasibleThroughout(t *testing.T) {
 
 func TestBaselinesRejectElastic(t *testing.T) {
 	p := &core.GeneralProblem{Kind: core.ElasticTotals}
-	if _, err := SolveRC(p, nil); err == nil {
+	if _, err := SolveRC(context.Background(), p, nil); err == nil {
 		t.Error("RC accepted elastic problem")
 	}
-	if _, err := SolveBK(p, nil); err == nil {
+	if _, err := SolveBK(context.Background(), p, nil); err == nil {
 		t.Error("B-K accepted elastic problem")
 	}
 }
@@ -366,11 +375,11 @@ func TestProjGradMatchesSEA(t *testing.T) {
 		m := 3 + rng.IntN(2)
 		n := 3 + rng.IntN(2)
 		p := randGeneralFixed(rng, m, n)
-		sea, err := core.SolveGeneral(p, generalOpts())
+		sea, err := core.SolveGeneral(context.Background(), p, generalOpts())
 		if err != nil {
 			t.Fatal(err)
 		}
-		pg, err := SolveProjGrad(p, 1e-6, 50000)
+		pg, err := SolveProjGrad(context.Background(), p, optsWith(1e-6, 50000))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -388,7 +397,7 @@ func TestProjGradMatchesSEA(t *testing.T) {
 
 func TestProjGradRejectsElastic(t *testing.T) {
 	p := &core.GeneralProblem{Kind: core.ElasticTotals}
-	if _, err := SolveProjGrad(p, 1e-6, 100); err == nil {
+	if _, err := SolveProjGrad(context.Background(), p, optsWith(1e-6, 100)); err == nil {
 		t.Error("elastic problem accepted")
 	}
 }

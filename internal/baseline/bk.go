@@ -1,12 +1,15 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"sea/internal/core"
 	"sea/internal/mat"
 	"sea/internal/metrics"
+	"sea/internal/trace"
 )
 
 // SolveBK implements the Bachem–Korte (1978) style primal method for
@@ -31,7 +34,14 @@ import (
 // elementary-cycle coordinate-descent realization preserves the method's
 // class (primal, feasible, cycle-space, strictly serial) and its asymptotic
 // cost, which is what Table 7 measures. See DESIGN.md, substitution 3.
-func SolveBK(p *core.GeneralProblem, opts *core.Options) (*core.Solution, error) {
+// Cancellation is observed between the row blocks of a sweep (a full sweep
+// is O(m²n²) line searches, far too long a unit): when ctx is cancelled the
+// solve returns the current — always feasible — iterate with ctx.Err().
+// A nil ctx means context.Background. Trace receives one event per sweep.
+func SolveBK(ctx context.Context, p *core.GeneralProblem, opts *core.Options) (*core.Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	o := fillOpts(opts)
 	if p.Kind != core.FixedTotals {
 		return nil, fmt.Errorf("baseline: B-K supports fixed totals only, got %v", p.Kind)
@@ -59,11 +69,24 @@ func SolveBK(p *core.GeneralProblem, opts *core.Options) (*core.Solution, error)
 	_, diagG := p.G.(*mat.Diagonal)
 	grow := make([]float64, mn) // scratch for dense gradient updates
 
+	obs := o.Trace
+	var prevSnap metrics.Snapshot
+	if obs != nil {
+		prevSnap = o.Counters.Snapshot()
+	}
 	sol := &core.Solution{}
 	for sweep := 1; sweep <= o.MaxIterations; sweep++ {
 		sol.Iterations = sweep
+		var mark time.Time
+		if obs != nil {
+			mark = time.Now()
+		}
 		var maxMove float64
 		for i := 0; i < m-1; i++ {
+			if err := ctx.Err(); err != nil {
+				finishBK(sol, p, x)
+				return sol, err
+			}
 			for i2 := i + 1; i2 < m; i2++ {
 				for j := 0; j < n-1; j++ {
 					for j2 := j + 1; j2 < n; j2++ {
@@ -79,21 +102,36 @@ func SolveBK(p *core.GeneralProblem, opts *core.Options) (*core.Solution, error)
 			o.Counters.Iterations.Add(1)
 		}
 		sol.Residual = maxMove
+		if obs != nil {
+			ev := trace.Event{
+				Solver: "bk", Iteration: sweep, Checked: true,
+				Residual: maxMove, RowPhase: time.Since(mark),
+			}
+			snap := o.Counters.Snapshot()
+			ev.Ops = snap.Ops - prevSnap.Ops
+			prevSnap = snap
+			obs.ObserveIteration(ev)
+		}
 		if maxMove <= o.Epsilon {
 			sol.Converged = true
 			break
 		}
 	}
 
+	finishBK(sol, p, x)
+	if !sol.Converged {
+		return sol, fmt.Errorf("%w: B-K after %d sweeps (max move %g)", core.ErrNotConverged, o.MaxIterations, sol.Residual)
+	}
+	return sol, nil
+}
+
+// finishBK fills sol with the current (feasible) iterate and its objective.
+func finishBK(sol *core.Solution, p *core.GeneralProblem, x []float64) {
 	sol.X = x
 	sol.S = mat.Clone(p.S0)
 	sol.D = mat.Clone(p.D0)
 	sol.Objective = p.Objective(x, sol.S, sol.D)
 	sol.DualValue = math.NaN()
-	if !sol.Converged {
-		return sol, fmt.Errorf("%w: B-K after %d sweeps (max move %g)", core.ErrNotConverged, o.MaxIterations, sol.Residual)
-	}
-	return sol, nil
 }
 
 // bkMove performs the exact clipped line search along the elementary cycle

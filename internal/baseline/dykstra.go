@@ -1,12 +1,15 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"sea/internal/core"
 	"sea/internal/equilibrate"
 	"sea/internal/mat"
+	"sea/internal/trace"
 )
 
 // SolveDykstra solves a fixed-totals diagonal constrained matrix problem by
@@ -19,15 +22,20 @@ import (
 // It shares no machinery with the SEA dual ascent beyond the closed-form
 // single-polytope projection, making it the test suite's independent
 // reference for SEA's answers.
-func SolveDykstra(p *core.DiagonalProblem, eps float64, maxIter int) (*core.Solution, error) {
+//
+// Options use the unified core semantics: Epsilon is the row-total residual
+// tolerance, MaxIterations caps the projection cycles, and Trace receives
+// one event per cycle. Cancellation is observed between cycles.
+func SolveDykstra(ctx context.Context, p *core.DiagonalProblem, opts *core.Options) (*core.Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o := fillOpts(opts)
 	if p.Kind != core.FixedTotals {
 		return nil, fmt.Errorf("baseline: Dykstra supports fixed totals only, got %v", p.Kind)
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err
-	}
-	if maxIter <= 0 {
-		maxIter = 100000
 	}
 	m, n := p.M, p.N
 	mn := m * n
@@ -48,9 +56,20 @@ func SolveDykstra(p *core.DiagonalProblem, eps float64, maxIter int) (*core.Solu
 	ucol := make([]float64, m)
 	xcol := make([]float64, m)
 
+	obs := o.Trace
 	sol := &core.Solution{}
-	for t := 1; t <= maxIter; t++ {
+	for t := 1; t <= o.MaxIterations; t++ {
+		if err := ctx.Err(); err != nil {
+			return partialDykstra(sol, p, x), err
+		}
 		sol.Iterations = t
+		var ev trace.Event
+		var mark time.Time
+		var ops int64
+		if obs != nil {
+			ev = trace.Event{Solver: "dykstra", Iteration: t, Checked: true}
+			mark = time.Now()
+		}
 		// Row projection of x + p.
 		for k := 0; k < mn; k++ {
 			tmp[k] = x[k] + pcorr[k]
@@ -65,12 +84,19 @@ func SolveDykstra(p *core.DiagonalProblem, eps float64, maxIter int) (*core.Solu
 			if p.Upper != nil {
 				prob.U = p.Upper[i*n : (i+1)*n]
 			}
-			if _, err := prob.Solve(y[i*n:(i+1)*n], ws); err != nil {
+			res, err := prob.Solve(y[i*n:(i+1)*n], ws)
+			if err != nil {
 				return nil, fmt.Errorf("baseline: Dykstra row %d: %w", i, err)
 			}
+			ops += res.Ops
 		}
 		for k := 0; k < mn; k++ {
 			pcorr[k] = tmp[k] - y[k]
+		}
+		if obs != nil {
+			now := time.Now()
+			ev.RowPhase = now.Sub(mark)
+			mark = now
 		}
 		// Column projection of y + q.
 		for k := 0; k < mn; k++ {
@@ -89,15 +115,22 @@ func SolveDykstra(p *core.DiagonalProblem, eps float64, maxIter int) (*core.Solu
 			if p.Upper != nil {
 				prob.U = ucol
 			}
-			if _, err := prob.Solve(xcol, ws); err != nil {
+			res, err := prob.Solve(xcol, ws)
+			if err != nil {
 				return nil, fmt.Errorf("baseline: Dykstra column %d: %w", j, err)
 			}
 			for i := 0; i < m; i++ {
 				x[i*n+j] = xcol[i]
 			}
+			ops += res.Ops
 		}
 		for k := 0; k < mn; k++ {
 			qcorr[k] = tmp[k] - x[k]
+		}
+		if obs != nil {
+			now := time.Now()
+			ev.ColPhase = now.Sub(mark)
+			mark = now
 		}
 		// Converged when the row totals (columns hold exactly) are met.
 		var worst float64
@@ -108,18 +141,39 @@ func SolveDykstra(p *core.DiagonalProblem, eps float64, maxIter int) (*core.Solu
 			}
 		}
 		sol.Residual = worst
-		if worst <= eps {
+		if o.Counters != nil {
+			o.Counters.Iterations.Add(1)
+			o.Counters.Equilibrations.Add(int64(m + n))
+			o.Counters.Ops.Add(ops)
+			o.Counters.ConvChecks.Add(1)
+			o.Counters.SerialOps.Add(int64(mn))
+		}
+		if obs != nil {
+			ev.CheckPhase = time.Since(mark)
+			ev.Residual = worst
+			ev.Equilibrations = int64(m + n)
+			ev.Ops = ops
+			ev.SerialOps = int64(mn)
+			obs.ObserveIteration(ev)
+		}
+		if worst <= o.Epsilon {
 			sol.Converged = true
 			break
 		}
 	}
+	partialDykstra(sol, p, x)
+	if !sol.Converged {
+		return sol, fmt.Errorf("%w after %d Dykstra iterations (residual %g)", core.ErrNotConverged, o.MaxIterations, sol.Residual)
+	}
+	return sol, nil
+}
+
+// partialDykstra fills sol with the current iterate and its objective.
+func partialDykstra(sol *core.Solution, p *core.DiagonalProblem, x []float64) *core.Solution {
 	sol.X = x
 	sol.S = mat.Clone(p.S0)
 	sol.D = mat.Clone(p.D0)
 	sol.Objective = p.Objective(x, sol.S, sol.D)
 	sol.DualValue = math.NaN()
-	if !sol.Converged {
-		return sol, fmt.Errorf("%w after %d Dykstra iterations (residual %g)", core.ErrNotConverged, maxIter, sol.Residual)
-	}
-	return sol, nil
+	return sol
 }

@@ -7,11 +7,15 @@
 package baseline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
+	"sea/internal/core"
 	"sea/internal/mat"
+	"sea/internal/trace"
 )
 
 // ErrRASStructure is returned when RAS cannot possibly converge because the
@@ -39,9 +43,18 @@ type RASResult struct {
 // zero cells, and it only solves a specific entropy objective rather than
 // the paper's weighted least squares).
 //
-// x0 must be elementwise nonnegative. eps is the relative tolerance on the
-// row and column totals.
-func RAS(m, n int, x0, s0, d0 []float64, eps float64, maxIter int) (*RASResult, error) {
+// x0 must be elementwise nonnegative. The unified options supply the
+// tolerance (Epsilon, relative on the row and column totals), the sweep cap
+// (MaxIterations), and the per-sweep Trace observer; all other option fields
+// are ignored (scaling sweeps have no parallel phases or kernels).
+// Cancellation is observed between sweeps. A nil ctx means
+// context.Background.
+func RAS(ctx context.Context, m, n int, x0, s0, d0 []float64, opts *core.Options) (*RASResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o := fillOpts(opts)
+	eps, maxIter := o.Epsilon, o.MaxIterations
 	if len(x0) != m*n || len(s0) != m || len(d0) != n {
 		return nil, fmt.Errorf("baseline: RAS dimension mismatch")
 	}
@@ -50,9 +63,6 @@ func RAS(m, n int, x0, s0, d0 []float64, eps float64, maxIter int) (*RASResult, 
 	}
 	if !mat.AllNonNegative(s0) || !mat.AllNonNegative(d0) {
 		return nil, fmt.Errorf("baseline: RAS requires nonnegative totals")
-	}
-	if maxIter <= 0 {
-		maxIter = 1000
 	}
 
 	x := mat.Clone(x0)
@@ -78,9 +88,19 @@ func RAS(m, n int, x0, s0, d0 []float64, eps float64, maxIter int) (*RASResult, 
 		}
 	}
 
+	obs := o.Trace
 	res := &RASResult{X: x}
 	for t := 1; t <= maxIter; t++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		res.Iterations = t
+		var ev trace.Event
+		var mark time.Time
+		if obs != nil {
+			ev = trace.Event{Solver: "ras", Iteration: t, Checked: true}
+			mark = time.Now()
+		}
 		// Row scaling.
 		for i := 0; i < m; i++ {
 			rs := mat.Sum(x[i*n : (i+1)*n])
@@ -90,6 +110,11 @@ func RAS(m, n int, x0, s0, d0 []float64, eps float64, maxIter int) (*RASResult, 
 					x[i*n+j] *= f
 				}
 			}
+		}
+		if obs != nil {
+			now := time.Now()
+			ev.RowPhase = now.Sub(mark)
+			mark = now
 		}
 		// Column scaling.
 		mat.Fill(colSum, 0)
@@ -106,9 +131,25 @@ func RAS(m, n int, x0, s0, d0 []float64, eps float64, maxIter int) (*RASResult, 
 				}
 			}
 		}
+		if obs != nil {
+			now := time.Now()
+			ev.ColPhase = now.Sub(mark)
+			mark = now
+		}
 		// Residuals (columns are exact right after column scaling; rows
 		// have been perturbed by it).
 		res.MaxRowErr, res.MaxColErr = rasErrors(m, n, x, s0, d0)
+		if o.Counters != nil {
+			o.Counters.Iterations.Add(1)
+			o.Counters.ConvChecks.Add(1)
+			o.Counters.SerialOps.Add(int64(2 * m * n))
+		}
+		if obs != nil {
+			ev.CheckPhase = time.Since(mark)
+			ev.Residual = math.Max(res.MaxRowErr, res.MaxColErr)
+			ev.SerialOps = int64(2 * m * n)
+			obs.ObserveIteration(ev)
+		}
 		if res.MaxRowErr <= eps && res.MaxColErr <= eps {
 			res.Converged = true
 			return res, nil

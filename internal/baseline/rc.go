@@ -1,13 +1,17 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"sea/internal/core"
 	"sea/internal/equilibrate"
 	"sea/internal/mat"
+	"sea/internal/metrics"
 	"sea/internal/parallel"
+	"sea/internal/trace"
 )
 
 // SolveRC implements the RC equilibration algorithm of Nagurney, Kim and
@@ -24,7 +28,13 @@ import (
 // convergence verification, which is exactly why the paper finds RC both
 // slower in total work and less parallelizable than SEA (compare the paper's
 // Figures 4 and 6).
-func SolveRC(p *core.GeneralProblem, opts *core.Options) (*core.Solution, error) {
+// Cancellation is observed between projection iterations: when ctx is
+// cancelled the solve returns promptly with ctx.Err(). A nil ctx means
+// context.Background. Trace receives one event per outer dual cycle.
+func SolveRC(ctx context.Context, p *core.GeneralProblem, opts *core.Options) (*core.Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	o := fillOpts(opts)
 	if p.Kind != core.FixedTotals {
 		return nil, fmt.Errorf("baseline: RC supports fixed totals only, got %v", p.Kind)
@@ -46,7 +56,8 @@ func SolveRC(p *core.GeneralProblem, opts *core.Options) (*core.Solution, error)
 	}
 
 	st := &rcState{
-		p: p, o: o, gammaT: gammaT,
+		ctx: ctx,
+		p:   p, o: o, gammaT: gammaT,
 		x:     x,
 		z:     make([]float64, mn),
 		xdev:  make([]float64, mn),
@@ -76,16 +87,48 @@ func SolveRC(p *core.GeneralProblem, opts *core.Options) (*core.Solution, error)
 
 	xOuter := make([]float64, mn)
 	totalInner := 0
+	obs := o.Trace
+	var prevSnap metrics.Snapshot
+	if obs != nil {
+		prevSnap = o.Counters.Snapshot()
+	}
 	for outer := 1; outer <= o.MaxIterations; outer++ {
+		if err := ctx.Err(); err != nil {
+			sol := st.finish(lambda, mu, outer-1, totalInner, math.NaN())
+			sol.Converged = false
+			return sol, err
+		}
 		copy(xOuter, st.x)
+		var ev trace.Event
+		var mark time.Time
+		if obs != nil {
+			ev = trace.Event{Solver: "rc", Iteration: outer, Checked: true}
+			mark = time.Now()
+		}
 
 		it, err := st.stage(true, lambda, mu)
 		if err != nil {
+			if ctx.Err() != nil {
+				sol := st.finish(lambda, mu, outer, totalInner+it, math.NaN())
+				sol.Converged = false
+				return sol, ctx.Err()
+			}
 			return nil, fmt.Errorf("baseline: RC row stage (outer %d): %w", outer, err)
 		}
 		totalInner += it
+		if obs != nil {
+			now := time.Now()
+			ev.RowPhase = now.Sub(mark)
+			mark = now
+			ev.Inner = it
+		}
 		it, err = st.stage(false, lambda, mu)
 		if err != nil {
+			if ctx.Err() != nil {
+				sol := st.finish(lambda, mu, outer, totalInner+it, math.NaN())
+				sol.Converged = false
+				return sol, ctx.Err()
+			}
 			return nil, fmt.Errorf("baseline: RC column stage (outer %d): %w", outer, err)
 		}
 		totalInner += it
@@ -96,6 +139,17 @@ func SolveRC(p *core.GeneralProblem, opts *core.Options) (*core.Solution, error)
 			o.Counters.SerialOps.Add(int64(mn))
 		}
 		delta := mat.MaxAbsDiff(st.x, xOuter)
+		if obs != nil {
+			ev.ColPhase = time.Since(mark)
+			ev.Inner += it
+			ev.Residual = delta
+			snap := o.Counters.Snapshot()
+			ev.Equilibrations = snap.Equilibrations - prevSnap.Equilibrations
+			ev.Ops = snap.Ops - prevSnap.Ops
+			ev.SerialOps = snap.SerialOps - prevSnap.SerialOps
+			prevSnap = snap
+			obs.ObserveIteration(ev)
+		}
 		if delta <= o.Epsilon {
 			return st.finish(lambda, mu, outer, totalInner, delta), nil
 		}
@@ -106,6 +160,7 @@ func SolveRC(p *core.GeneralProblem, opts *core.Options) (*core.Solution, error)
 }
 
 type rcState struct {
+	ctx    context.Context
 	p      *core.GeneralProblem
 	o      *core.Options
 	gammaT []float64
@@ -129,6 +184,9 @@ func (st *rcState) stage(rowStage bool, lambda, mu []float64) (int, error) {
 	mn := m * n
 
 	for proj := 1; proj <= o.InnerMaxIterations; proj++ {
+		if err := st.ctx.Err(); err != nil {
+			return proj - 1, err
+		}
 		copy(st.xPrev, st.x)
 		// Dense linear-term update z = x − ρ·[G(x−x⁰)]/diag(G), in parallel
 		// over the rows of G.
@@ -141,23 +199,23 @@ func (st *rcState) stage(rowStage bool, lambda, mu []float64) (int, error) {
 		if o.Counters != nil {
 			o.Counters.Ops.Add(int64(mn) * int64(mn))
 		}
-		if o.Trace != nil {
-			o.Trace.Phases = append(o.Trace.Phases, core.PhaseCosts{Row: matvecCosts(mn)})
+		if o.CostTrace != nil {
+			o.CostTrace.Phases = append(o.CostTrace.Phases, core.PhaseCosts{Row: matvecCosts(mn)})
 		}
 		for k := 0; k < mn; k++ {
 			st.z[k] = st.x[k] - st.gx[k]/st.gammaT[k]
 		}
 
 		var ph *core.PhaseCosts
-		if o.Trace != nil {
+		if o.CostTrace != nil {
 			pc := core.PhaseCosts{}
 			if rowStage {
 				pc.Row = make([]int64, m)
 			} else {
 				pc.Col = make([]int64, n)
 			}
-			o.Trace.Phases = append(o.Trace.Phases, pc)
-			ph = &o.Trace.Phases[len(o.Trace.Phases)-1]
+			o.CostTrace.Phases = append(o.CostTrace.Phases, pc)
+			ph = &o.CostTrace.Phases[len(o.CostTrace.Phases)-1]
 		}
 
 		if rowStage {
@@ -236,8 +294,8 @@ func (st *rcState) stage(rowStage bool, lambda, mu []float64) (int, error) {
 			o.Counters.ConvChecks.Add(1)
 			o.Counters.SerialOps.Add(int64(mn))
 		}
-		if o.Trace != nil {
-			o.Trace.Phases = append(o.Trace.Phases, core.PhaseCosts{Serial: int64(mn)})
+		if o.CostTrace != nil {
+			o.CostTrace.Phases = append(o.CostTrace.Phases, core.PhaseCosts{Serial: int64(mn)})
 		}
 		if mat.MaxAbsDiff(st.x, st.xPrev) <= o.InnerEpsilon {
 			return proj, nil
@@ -287,6 +345,11 @@ func fillOpts(o *core.Options) *core.Options {
 	}
 	if out.CheckEvery <= 0 {
 		out.CheckEvery = 1
+	}
+	// Same subsumption rule as core's withDefaults: an iteration observer
+	// implies counters, private ones when the caller attached none.
+	if out.Trace != nil && out.Counters == nil {
+		out.Counters = &metrics.Counters{}
 	}
 	return &out
 }

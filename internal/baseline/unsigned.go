@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -22,7 +23,12 @@ import (
 // Its solution coincides with SEA's whenever the signed optimum happens to
 // be nonnegative, and exhibits the classical pathology — negative estimated
 // transactions — whenever it does not; the tests demonstrate both.
-func SolveUnsigned(p *core.DiagonalProblem) (*core.Solution, error) {
+// The solve is a single direct factorization, so ctx is only consulted
+// before the O((m+n)³) Cholesky step; there is no iteration to trace.
+func SolveUnsigned(ctx context.Context, p *core.DiagonalProblem) (*core.Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if p.Kind != core.FixedTotals {
 		return nil, fmt.Errorf("baseline: unsigned estimator supports fixed totals only, got %v", p.Kind)
 	}
@@ -66,6 +72,9 @@ func SolveUnsigned(p *core.DiagonalProblem) (*core.Solution, error) {
 		rhs[m+j] = p.D0[j] - colSum0[j]
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	mult, err := mat.CholeskySolve(dim, sys, rhs)
 	if err != nil {
 		return nil, fmt.Errorf("baseline: unsigned KKT system: %w", err)

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -19,7 +20,7 @@ func TestUnsignedMatchesSEAInterior(t *testing.T) {
 		n := 2 + rng.IntN(5)
 		// Mild totals adjustment keeps the optimum interior.
 		p := randFixedDiag(rng, m, n, 1.05)
-		sea, err := core.SolveDiagonal(p, seaOpts())
+		sea, err := core.SolveDiagonal(context.Background(), p, seaOpts())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -32,7 +33,7 @@ func TestUnsignedMatchesSEAInterior(t *testing.T) {
 		if !interior {
 			continue
 		}
-		uns, err := SolveUnsigned(p)
+		uns, err := SolveUnsigned(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -64,7 +65,7 @@ func TestUnsignedNegativePathology(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	uns, err := SolveUnsigned(p)
+	uns, err := SolveUnsigned(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestUnsignedNegativePathology(t *testing.T) {
 		t.Fatalf("expected negative entries from the unsigned estimator, got min %g (X=%v)",
 			MinEntry(uns.X), uns.X)
 	}
-	sea, err := core.SolveDiagonal(p, seaOpts())
+	sea, err := core.SolveDiagonal(context.Background(), p, seaOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,13 +103,13 @@ func TestUnsignedNegativePathology(t *testing.T) {
 
 func TestUnsignedRejects(t *testing.T) {
 	p := &core.DiagonalProblem{Kind: core.ElasticTotals}
-	if _, err := SolveUnsigned(p); err == nil {
+	if _, err := SolveUnsigned(context.Background(), p); err == nil {
 		t.Error("elastic accepted")
 	}
 	rng := rand.New(rand.NewPCG(83, 84))
 	pb := randFixedDiag(rng, 2, 2, 1)
 	pb.Upper = []float64{1, 1, 1, 1}
-	if _, err := SolveUnsigned(pb); err == nil {
+	if _, err := SolveUnsigned(context.Background(), pb); err == nil {
 		t.Error("bounded accepted")
 	}
 }

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 
 	"sea/internal/parallel"
+	"sea/internal/trace"
 )
 
 // determinismProblem builds a fixed-seed 100×150 bounded fixed-totals
@@ -55,7 +57,7 @@ func TestSolveDeterministicAcrossProcs(t *testing.T) {
 		return o
 	}
 
-	ref, err := SolveDiagonal(p, opts())
+	ref, err := SolveDiagonal(context.Background(), p, opts())
 	if err != nil {
 		t.Fatalf("serial reference solve: %v", err)
 	}
@@ -89,7 +91,7 @@ func TestSolveDeterministicAcrossProcs(t *testing.T) {
 		// The default substrate: a solver-owned persistent pool.
 		o := opts()
 		o.Procs = procs
-		sol, err := SolveDiagonal(p, o)
+		sol, err := SolveDiagonal(context.Background(), p, o)
 		if err != nil {
 			t.Fatalf("pool procs=%d: %v", procs, err)
 		}
@@ -99,7 +101,7 @@ func TestSolveDeterministicAcrossProcs(t *testing.T) {
 		pool := parallel.NewPool(procs)
 		o = opts()
 		o.Runner = pool
-		sol, err = SolveDiagonal(p, o)
+		sol, err = SolveDiagonal(context.Background(), p, o)
 		pool.Close()
 		if err != nil {
 			t.Fatalf("shared pool procs=%d: %v", procs, err)
@@ -109,10 +111,77 @@ func TestSolveDeterministicAcrossProcs(t *testing.T) {
 		// The pre-pool goroutine-per-phase path.
 		o = opts()
 		o.Runner = parallel.Spawner{P: procs}
-		sol, err = SolveDiagonal(p, o)
+		sol, err = SolveDiagonal(context.Background(), p, o)
 		if err != nil {
 			t.Fatalf("spawner procs=%d: %v", procs, err)
 		}
 		check("spawner", sol)
+	}
+}
+
+// TestSolveDeterministicWithTrace asserts that attaching a Trace observer is
+// purely passive: the solution stays bit-exact against the untraced serial
+// reference for every worker count, the observer sees exactly one event per
+// outer iteration, and the auto-attached counters report through the events.
+func TestSolveDeterministicWithTrace(t *testing.T) {
+	p := determinismProblem(t)
+	opts := func() *Options {
+		o := DefaultOptions()
+		o.Criterion = MaxAbsDelta
+		o.Epsilon = 1e-6
+		o.ParallelConvCheck = true
+		return o
+	}
+
+	ref, err := SolveDiagonal(context.Background(), p, opts())
+	if err != nil {
+		t.Fatalf("serial reference solve: %v", err)
+	}
+
+	for _, procs := range []int{1, 2, 7, 16} {
+		var col trace.Collector
+		o := opts()
+		o.Procs = procs
+		o.Trace = &col
+		sol, err := SolveDiagonal(context.Background(), p, o)
+		if err != nil {
+			t.Fatalf("traced solve procs=%d: %v", procs, err)
+		}
+		for k := range ref.X {
+			if sol.X[k] != ref.X[k] {
+				t.Fatalf("procs=%d: X[%d] = %v, want %v (bit-exact with trace attached)", procs, k, sol.X[k], ref.X[k])
+			}
+		}
+		for i := range ref.Lambda {
+			if sol.Lambda[i] != ref.Lambda[i] {
+				t.Fatalf("procs=%d: Lambda[%d] = %v, want %v", procs, i, sol.Lambda[i], ref.Lambda[i])
+			}
+		}
+		for j := range ref.Mu {
+			if sol.Mu[j] != ref.Mu[j] {
+				t.Fatalf("procs=%d: Mu[%d] = %v, want %v", procs, j, sol.Mu[j], ref.Mu[j])
+			}
+		}
+		if sol.Iterations != ref.Iterations {
+			t.Fatalf("procs=%d: %d iterations, want %d", procs, sol.Iterations, ref.Iterations)
+		}
+		if len(col.Events) != sol.Iterations {
+			t.Fatalf("procs=%d: %d trace events, want one per iteration (%d)", procs, len(col.Events), sol.Iterations)
+		}
+		for i, ev := range col.Events {
+			if ev.Iteration != i+1 {
+				t.Fatalf("procs=%d: event %d has Iteration %d", procs, i, ev.Iteration)
+			}
+			if ev.Solver != "sea" {
+				t.Fatalf("procs=%d: event solver %q, want %q", procs, ev.Solver, "sea")
+			}
+			if ev.Equilibrations <= 0 {
+				t.Fatalf("procs=%d: event %d reports %d equilibrations; counters were not subsumed", procs, i, ev.Equilibrations)
+			}
+		}
+		last := col.Last()
+		if last.Iteration == 0 || !last.Checked {
+			t.Fatalf("procs=%d: final event missing or unchecked: %+v", procs, last)
+		}
 	}
 }

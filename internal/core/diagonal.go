@@ -1,12 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"sea/internal/equilibrate"
 	"sea/internal/mat"
+	"sea/internal/metrics"
 	"sea/internal/parallel"
+	"sea/internal/trace"
 )
 
 // SolveDiagonal runs the splitting equilibration algorithm on a diagonal
@@ -14,14 +18,18 @@ import (
 // and column exact-equilibration phases — dual block-coordinate ascent on
 // ζ_l(λ,μ) — until the convergence criterion is met.
 //
+// Cancellation is observed between phases: when ctx is cancelled or its
+// deadline passes, the solve returns within one outer iteration with the
+// last consistent iterate and ctx.Err(). A nil ctx means context.Background.
+//
 // On iteration-limit exhaustion it returns the last iterate together with an
 // error wrapping ErrNotConverged.
-func SolveDiagonal(p *DiagonalProblem, opts *Options) (*Solution, error) {
+func SolveDiagonal(ctx context.Context, p *DiagonalProblem, opts *Options) (*Solution, error) {
 	o := opts.withDefaults()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	st := newDiagState(p, o)
+	st := newDiagState(ctx, p, o)
 	defer st.close()
 	if err := st.run(); err != nil {
 		return st.solution(), err
@@ -38,8 +46,9 @@ func SolveDiagonal(p *DiagonalProblem, opts *Options) (*Solution, error) {
 // transposed once up front for the same reason; a blocked transpose
 // reconciles xT back into x after each column phase.
 type diagState struct {
-	p *DiagonalProblem
-	o *Options
+	ctx context.Context
+	p   *DiagonalProblem
+	o   *Options
 
 	x        []float64 // current matrix iterate, m×n row-major
 	xT       []float64 // column-major mirror, n×m: xT[j*m+i] = x[i*n+j]
@@ -70,13 +79,17 @@ type diagState struct {
 	havePrev   bool
 }
 
-func newDiagState(p *DiagonalProblem, o *Options) *diagState {
+func newDiagState(ctx context.Context, p *DiagonalProblem, o *Options) *diagState {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	m, n := p.M, p.N
 	maxDim := m
 	if n > maxDim {
 		maxDim = n
 	}
 	st := &diagState{
+		ctx:       ctx,
 		p:         p,
 		o:         o,
 		x:         make([]float64, m*n),
@@ -159,24 +172,49 @@ func (st *diagState) refreshX0T() {
 	})
 }
 
-// run executes the alternating phases until convergence or iteration limit.
+// run executes the alternating phases until convergence, cancellation, or
+// the iteration limit.
 func (st *diagState) run() error {
 	o := st.o
+	obs := o.Trace
+	var prev metrics.Snapshot
+	if obs != nil {
+		prev = o.Counters.Snapshot()
+	}
 	for t := 1; t <= o.MaxIterations; t++ {
+		if err := st.ctx.Err(); err != nil {
+			return err
+		}
 		st.iterations = t
 		var ph *PhaseCosts
-		if o.Trace != nil {
-			o.Trace.Phases = append(o.Trace.Phases, PhaseCosts{
+		if o.CostTrace != nil {
+			o.CostTrace.Phases = append(o.CostTrace.Phases, PhaseCosts{
 				Row: make([]int64, st.p.M),
 				Col: make([]int64, st.p.N),
 			})
-			ph = &o.Trace.Phases[len(o.Trace.Phases)-1]
+			ph = &o.CostTrace.Phases[len(o.CostTrace.Phases)-1]
+		}
+		var ev trace.Event
+		var mark time.Time
+		if obs != nil {
+			ev = trace.Event{Solver: "sea", Iteration: t}
+			mark = time.Now()
 		}
 		if err := st.rowPhase(ph); err != nil {
 			return err
 		}
+		if obs != nil {
+			now := time.Now()
+			ev.RowPhase = now.Sub(mark)
+			mark = now
+		}
 		if err := st.colPhase(ph); err != nil {
 			return err
+		}
+		if obs != nil {
+			now := time.Now()
+			ev.ColPhase = now.Sub(mark)
+			mark = now
 		}
 		if o.BoundMultipliers && st.p.Kind != ElasticTotals {
 			st.boundMultipliers()
@@ -184,7 +222,23 @@ func (st *diagState) run() error {
 		if o.Counters != nil {
 			o.Counters.Iterations.Add(1)
 		}
-		if t%o.CheckEvery == 0 && st.checkConvergence(ph) {
+		checked := t%o.CheckEvery == 0
+		done := checked && st.checkConvergence(ph)
+		if obs != nil {
+			ev.CheckPhase = time.Since(mark)
+			ev.Checked = checked
+			ev.Residual = math.NaN()
+			if checked {
+				ev.Residual = st.residual
+			}
+			snap := o.Counters.Snapshot()
+			ev.Equilibrations = snap.Equilibrations - prev.Equilibrations
+			ev.Ops = snap.Ops - prev.Ops
+			ev.SerialOps = snap.SerialOps - prev.SerialOps
+			prev = snap
+			obs.ObserveIteration(ev)
+		}
+		if done {
 			st.converged = true
 			return nil
 		}
@@ -198,7 +252,7 @@ func (st *diagState) run() error {
 func (st *diagState) rowPhase(ph *PhaseCosts) error {
 	p, o := st.p, st.o
 	m, n := p.M, p.N
-	st.runner.ForChunks(m, func(chunk, lo, hi int) {
+	err := st.runner.ForChunksCtx(st.ctx, m, func(chunk, lo, hi int) {
 		ws := st.workspaces[chunk]
 		for i := lo; i < hi; i++ {
 			x0 := p.X0[i*n : (i+1)*n]
@@ -252,6 +306,9 @@ func (st *diagState) rowPhase(ph *PhaseCosts) error {
 			}
 		}
 	})
+	if err != nil {
+		return err
+	}
 	return st.takeErr()
 }
 
@@ -263,7 +320,7 @@ func (st *diagState) rowPhase(ph *PhaseCosts) error {
 func (st *diagState) colPhase(ph *PhaseCosts) error {
 	p, o := st.p, st.o
 	m, n := p.M, p.N
-	st.runner.ForChunks(n, func(chunk, lo, hi int) {
+	err := st.runner.ForChunksCtx(st.ctx, n, func(chunk, lo, hi int) {
 		ws := st.workspaces[chunk]
 		for j := lo; j < hi; j++ {
 			x0c := st.x0T[j*m : (j+1)*m]
@@ -318,6 +375,9 @@ func (st *diagState) colPhase(ph *PhaseCosts) error {
 			}
 		}
 	})
+	if err != nil {
+		return err
+	}
 	if err := st.takeErr(); err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand/v2"
@@ -95,7 +96,7 @@ func TestFixedExactRecovery(t *testing.T) {
 	// If the prior already satisfies the totals, the solution is the prior.
 	rng := rand.New(rand.NewPCG(1, 1))
 	p := randFixed(rng, 5, 7, 100, 1) // factor 1: totals equal the prior sums
-	sol, err := SolveDiagonal(p, tightOpts())
+	sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestFixedUniformKnownSolution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := SolveDiagonal(p, tightOpts())
+	sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestFixedKKT(t *testing.T) {
 		m := 2 + rng.IntN(8)
 		n := 2 + rng.IntN(8)
 		p := randFixed(rng, m, n, 1000, 2)
-		sol, err := SolveDiagonal(p, tightOpts())
+		sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -179,7 +180,7 @@ func TestElasticExactRecovery(t *testing.T) {
 			p.D0[j] += p.X0[i*n+j]
 		}
 	}
-	sol, err := SolveDiagonal(p, tightOpts())
+	sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestElasticKKTAndDuality(t *testing.T) {
 		m := 2 + rng.IntN(6)
 		n := 2 + rng.IntN(6)
 		p := randElastic(rng, m, n)
-		sol, err := SolveDiagonal(p, tightOpts())
+		sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -220,7 +221,7 @@ func TestBalancedKKTAndBalance(t *testing.T) {
 	for trial := 0; trial < 8; trial++ {
 		n := 2 + rng.IntN(8)
 		p := randBalanced(rng, n)
-		sol, err := SolveDiagonal(p, tightOpts())
+		sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -273,7 +274,7 @@ func TestBalancedExactRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := SolveDiagonal(p, tightOpts())
+	sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,14 +290,14 @@ func TestProcsInvariance(t *testing.T) {
 	p := randFixed(rng, 12, 9, 500, 2)
 	o := tightOpts()
 	o.Procs = 1
-	ref, err := SolveDiagonal(p, o)
+	ref, err := SolveDiagonal(context.Background(), p, o)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, procs := range []int{2, 4, 7} {
 		o := tightOpts()
 		o.Procs = procs
-		sol, err := SolveDiagonal(p, o)
+		sol, err := SolveDiagonal(context.Background(), p, o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -320,7 +321,7 @@ func TestCriteriaAgree(t *testing.T) {
 		o.Criterion = crit
 		o.Epsilon = 1e-9
 		o.MaxIterations = 500000
-		sol, err := SolveDiagonal(p, o)
+		sol, err := SolveDiagonal(context.Background(), p, o)
 		if err != nil {
 			t.Fatalf("%v: %v", crit, err)
 		}
@@ -342,7 +343,7 @@ func TestCheckEvery(t *testing.T) {
 		o.CheckEvery = every
 		var c metrics.Counters
 		o.Counters = &c
-		sol, err := SolveDiagonal(p, o)
+		sol, err := SolveDiagonal(context.Background(), p, o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -363,13 +364,13 @@ func TestWarmStart(t *testing.T) {
 	rng := rand.New(rand.NewPCG(10, 10))
 	p := randElastic(rng, 10, 10)
 	o := tightOpts()
-	cold, err := SolveDiagonal(p, o)
+	cold, err := SolveDiagonal(context.Background(), p, o)
 	if err != nil {
 		t.Fatal(err)
 	}
 	o2 := tightOpts()
 	o2.Mu0 = cold.Mu
-	warm, err := SolveDiagonal(p, o2)
+	warm, err := SolveDiagonal(context.Background(), p, o2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -405,7 +406,7 @@ func TestUpperBounds(t *testing.T) {
 	if err := p.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	sol, err := SolveDiagonal(p, tightOpts())
+	sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -423,7 +424,7 @@ func TestNotConverged(t *testing.T) {
 	p := randElastic(rng, 10, 10)
 	o := tightOpts()
 	o.MaxIterations = 1
-	sol, err := SolveDiagonal(p, o)
+	sol, err := SolveDiagonal(context.Background(), p, o)
 	if !errors.Is(err, ErrNotConverged) {
 		t.Fatalf("err = %v, want ErrNotConverged", err)
 	}
@@ -475,8 +476,8 @@ func TestCountersAndTrace(t *testing.T) {
 	var c metrics.Counters
 	tr := &CostTrace{}
 	o.Counters = &c
-	o.Trace = tr
-	sol, err := SolveDiagonal(p, o)
+	o.CostTrace = tr
+	sol, err := SolveDiagonal(context.Background(), p, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -512,14 +513,14 @@ func TestCountersAndTrace(t *testing.T) {
 func TestBoundMultipliersAgrees(t *testing.T) {
 	rng := rand.New(rand.NewPCG(13, 13))
 	p := randFixed(rng, 6, 6, 100, 2)
-	ref, err := SolveDiagonal(p, tightOpts())
+	ref, err := SolveDiagonal(context.Background(), p, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
 	o := tightOpts()
 	o.BoundMultipliers = true
 	o.MultiplierBound = 1 // absurdly tight to force renormalization
-	sol, err := SolveDiagonal(p, o)
+	sol, err := SolveDiagonal(context.Background(), p, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -538,7 +539,7 @@ func TestPermutationInvariance(t *testing.T) {
 	rng := rand.New(rand.NewPCG(14, 14))
 	m, n := 5, 6
 	p := randFixed(rng, m, n, 100, 2)
-	sol, err := SolveDiagonal(p, tightOpts())
+	sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -565,7 +566,7 @@ func TestPermutationInvariance(t *testing.T) {
 	for i := 0; i < m; i++ {
 		p2.S0[m-1-i] = p.S0[i]
 	}
-	sol2, err := SolveDiagonal(p2, tightOpts())
+	sol2, err := SolveDiagonal(context.Background(), p2, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -592,7 +593,7 @@ func TestIterationsAdditiveInTolerance(t *testing.T) {
 		o.Criterion = DualGradient
 		o.Epsilon = eps
 		o.MaxIterations = 500000
-		sol, err := SolveDiagonal(p, o)
+		sol, err := SolveDiagonal(context.Background(), p, o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -614,7 +615,7 @@ func TestMaxAbsDeltaCriterion(t *testing.T) {
 	o.Criterion = MaxAbsDelta
 	o.Epsilon = 1e-8
 	o.MaxIterations = 500000
-	sol, err := SolveDiagonal(p, o)
+	sol, err := SolveDiagonal(context.Background(), p, o)
 	if err != nil {
 		t.Fatal(err)
 	}

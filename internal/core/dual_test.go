@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -21,7 +22,7 @@ func TestWeakDuality(t *testing.T) {
 			p = randBalanced(rng, 3+rng.IntN(4))
 		}
 		// A feasible primal point from a converged solve.
-		sol, err := SolveDiagonal(p, tightOpts())
+		sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -58,7 +59,7 @@ func TestDualAscent(t *testing.T) {
 		oo := *o
 		oo.MaxIterations = 1
 		oo.Mu0 = mu
-		sol, err := SolveDiagonal(p, &oo)
+		sol, err := SolveDiagonal(context.Background(), p, &oo)
 		if sol == nil {
 			t.Fatal(err)
 		}
@@ -82,7 +83,7 @@ func TestDualResidualsVanishAtOptimum(t *testing.T) {
 		func() *DiagonalProblem { return randBalanced(rng, 5) },
 	} {
 		p := mk()
-		sol, err := SolveDiagonal(p, tightOpts())
+		sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,7 +96,7 @@ func TestDualResidualsVanishAtOptimum(t *testing.T) {
 func TestDualPrimalMatchesSolution(t *testing.T) {
 	rng := rand.New(rand.NewPCG(27, 28))
 	p := randElastic(rng, 6, 5)
-	sol, err := SolveDiagonal(p, tightOpts())
+	sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestGeometricRate(t *testing.T) {
 	rng := rand.New(rand.NewPCG(41, 42))
 	p := randElastic(rng, 8, 8)
 	// Reference optimum.
-	opt, err := SolveDiagonal(p, tightOpts())
+	opt, err := SolveDiagonal(context.Background(), p, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestGeometricRate(t *testing.T) {
 		oo := DefaultOptions()
 		oo.MaxIterations = 1
 		oo.Mu0 = mu
-		sol, _ := SolveDiagonal(p, oo)
+		sol, _ := SolveDiagonal(context.Background(), p, oo)
 		if sol == nil {
 			t.Fatal("no iterate")
 		}

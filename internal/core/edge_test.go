@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -13,7 +14,7 @@ func TestSingleCell(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sf, err := SolveDiagonal(pf, tightOpts())
+	sf, err := SolveDiagonal(context.Background(), pf, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func TestSingleCell(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	se, err := SolveDiagonal(pe, tightOpts())
+	se, err := SolveDiagonal(context.Background(), pe, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestSingleCell(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sb, err := SolveDiagonal(pb, tightOpts())
+	sb, err := SolveDiagonal(context.Background(), pb, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestSingleRowAndColumn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := SolveDiagonal(p, tightOpts())
+	sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestSingleRowAndColumn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol2, err := SolveDiagonal(p2, tightOpts())
+	sol2, err := SolveDiagonal(context.Background(), p2, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestZeroTotals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := SolveDiagonal(p, tightOpts())
+	sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestNegativePrior(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := SolveDiagonal(p, tightOpts())
+	sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestExtremeWeightSpread(t *testing.T) {
 	}
 	o := tightOpts()
 	o.Epsilon = 1e-6
-	sol, err := SolveDiagonal(p, o)
+	sol, err := SolveDiagonal(context.Background(), p, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestHugeTotals(t *testing.T) {
 	o.Criterion = RelBalance // relative criterion for huge magnitudes
 	o.Epsilon = 1e-12
 	o.MaxIterations = 500000
-	sol, err := SolveDiagonal(p, o)
+	sol, err := SolveDiagonal(context.Background(), p, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestSTONERegression(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := SolveDiagonal(p, tightOpts())
+	sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

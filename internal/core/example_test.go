@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -23,7 +24,7 @@ func ExampleSolveDiagonal() {
 	opts := core.DefaultOptions()
 	opts.Criterion = core.DualGradient
 	opts.Epsilon = 1e-10
-	sol, err := core.SolveDiagonal(p, opts)
+	sol, err := core.SolveDiagonal(context.Background(), p, opts)
 	if err != nil {
 		panic(err)
 	}
@@ -60,7 +61,7 @@ func ExampleNewBalanced() {
 	opts := core.DefaultOptions()
 	opts.Criterion = core.RelBalance
 	opts.Epsilon = 1e-10
-	sol, err := core.SolveDiagonal(p, opts)
+	sol, err := core.SolveDiagonal(context.Background(), p, opts)
 	if err != nil {
 		panic(err)
 	}
@@ -88,7 +89,7 @@ func ExampleCheckKKT() {
 	opts := core.DefaultOptions()
 	opts.Criterion = core.DualGradient
 	opts.Epsilon = 1e-12
-	sol, _ := core.SolveDiagonal(p, opts)
+	sol, _ := core.SolveDiagonal(context.Background(), p, opts)
 	rep := core.CheckKKT(p, sol)
 	fmt.Printf("optimal within 1e-9: %v\n", rep.Satisfied(1e-9))
 	// Output:

@@ -1,10 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"sea/internal/mat"
+	"sea/internal/metrics"
+	"sea/internal/trace"
 )
 
 // GeneralProblem is the general quadratic constrained matrix problem
@@ -242,7 +246,11 @@ func quadForm(w mat.Weight, v, v0 []float64) float64 {
 // At a fixed point the subproblem multipliers are the multipliers of the
 // general problem, so the returned Solution's Lambda and Mu satisfy the
 // general KKT system (see CheckKKTGeneral).
-func SolveGeneral(p *GeneralProblem, opts *Options) (*Solution, error) {
+//
+// Cancellation is observed between phases: when ctx is cancelled or its
+// deadline passes, the solve returns within one outer iteration with
+// ctx.Err(). A nil ctx means context.Background.
+func SolveGeneral(ctx context.Context, p *GeneralProblem, opts *Options) (*Solution, error) {
 	o := opts.withDefaults()
 	if err := p.Validate(o.SkipDominanceCheck); err != nil {
 		return nil, err
@@ -293,7 +301,7 @@ func SolveGeneral(p *GeneralProblem, opts *Options) (*Solution, error) {
 		dp.DLo, dp.DHi = p.DLo, p.DHi
 	}
 
-	st := newDiagState(dp, o)
+	st := newDiagState(ctx, dp, o)
 	defer st.close()
 	x, s, d := p.FeasibleStart()
 	copy(st.x, x)
@@ -359,15 +367,29 @@ func SolveGeneral(p *GeneralProblem, opts *Options) (*Solution, error) {
 	var converged bool
 	var residual float64 = math.NaN()
 	iterations := 0
+	obs := o.Trace
+	var prevSnap metrics.Snapshot
+	if obs != nil {
+		prevSnap = o.Counters.Snapshot()
+	}
 	for t := 1; t <= o.MaxIterations; t++ {
+		if err := st.ctx.Err(); err != nil {
+			return nil, err
+		}
 		iterations = t
 		var ph *PhaseCosts
-		if o.Trace != nil {
-			o.Trace.Phases = append(o.Trace.Phases, PhaseCosts{
+		if o.CostTrace != nil {
+			o.CostTrace.Phases = append(o.CostTrace.Phases, PhaseCosts{
 				Row: make([]int64, m),
 				Col: make([]int64, n),
 			})
-			ph = &o.Trace.Phases[len(o.Trace.Phases)-1]
+			ph = &o.CostTrace.Phases[len(o.CostTrace.Phases)-1]
+		}
+		var ev trace.Event
+		var mark time.Time
+		if obs != nil {
+			ev = trace.Event{Solver: "sea-general", Iteration: t, Inner: 2}
+			mark = time.Now()
 		}
 
 		updateLinear()
@@ -375,6 +397,11 @@ func SolveGeneral(p *GeneralProblem, opts *Options) (*Solution, error) {
 			return nil, fmt.Errorf("core: general iteration %d: %w", t, err)
 		}
 		st.supplies(s)
+		if obs != nil {
+			now := time.Now()
+			ev.RowPhase = now.Sub(mark)
+			mark = now
+		}
 
 		updateLinear()
 		st.refreshX0T() // the column phase reads the rewritten prior transposed
@@ -384,6 +411,11 @@ func SolveGeneral(p *GeneralProblem, opts *Options) (*Solution, error) {
 		st.demands(d)
 		if p.Kind == Balanced {
 			st.supplies(s)
+		}
+		if obs != nil {
+			now := time.Now()
+			ev.ColPhase = now.Sub(mark)
+			mark = now
 		}
 
 		// Fold the dense linear-update cost into the phase's task costs:
@@ -401,7 +433,8 @@ func SolveGeneral(p *GeneralProblem, opts *Options) (*Solution, error) {
 		}
 
 		// Serial convergence verification, once per full iteration.
-		if t%o.CheckEvery == 0 {
+		checked := t%o.CheckEvery == 0
+		if checked {
 			residual = mat.MaxAbsDiff(st.x, xPrev)
 			if o.Counters != nil {
 				o.Counters.ConvChecks.Add(1)
@@ -412,8 +445,24 @@ func SolveGeneral(p *GeneralProblem, opts *Options) (*Solution, error) {
 			}
 			if residual <= o.Epsilon {
 				converged = true
-				break
 			}
+		}
+		if obs != nil {
+			ev.CheckPhase = time.Since(mark)
+			ev.Checked = checked
+			ev.Residual = math.NaN()
+			if checked {
+				ev.Residual = residual
+			}
+			snap := o.Counters.Snapshot()
+			ev.Equilibrations = snap.Equilibrations - prevSnap.Equilibrations
+			ev.Ops = snap.Ops - prevSnap.Ops
+			ev.SerialOps = snap.SerialOps - prevSnap.SerialOps
+			prevSnap = snap
+			obs.ObserveIteration(ev)
+		}
+		if converged {
+			break
 		}
 		copy(xPrev, st.x)
 	}

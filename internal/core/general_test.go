@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -83,11 +84,11 @@ func TestGeneralDiagonalGEqualsDiagonalSolve(t *testing.T) {
 		S0: dp.S0, D0: dp.D0,
 		Kind: FixedTotals,
 	}
-	want, err := SolveDiagonal(dp, tightOpts())
+	want, err := SolveDiagonal(context.Background(), dp, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := SolveGeneral(gp, generalOpts())
+	got, err := SolveGeneral(context.Background(), gp, generalOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestGeneralFixedKKT(t *testing.T) {
 		var c metrics.Counters
 		o := generalOpts()
 		o.Counters = &c
-		sol, err := SolveGeneral(p, o)
+		sol, err := SolveGeneral(context.Background(), p, o)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -152,7 +153,7 @@ func TestGeneralElasticKKT(t *testing.T) {
 		S0: s0, D0: d0,
 		Kind: ElasticTotals,
 	}
-	sol, err := SolveGeneral(p, generalOpts())
+	sol, err := SolveGeneral(context.Background(), p, generalOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestGeneralBalancedKKT(t *testing.T) {
 		S0:   s0,
 		Kind: Balanced,
 	}
-	sol, err := SolveGeneral(p, generalOpts())
+	sol, err := SolveGeneral(context.Background(), p, generalOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,11 +222,11 @@ func TestGeneralImplicitMatchesDense(t *testing.T) {
 	imp := mat.MustImplicitSym(mn, 77, 500, 800, 0.9)
 	pi := &GeneralProblem{M: m, N: n, X0: x0, G: imp, S0: s0, D0: d0, Kind: FixedTotals}
 	pd := &GeneralProblem{M: m, N: n, X0: x0, G: imp.Materialize(), S0: s0, D0: d0, Kind: FixedTotals}
-	si, err := SolveGeneral(pi, generalOpts())
+	si, err := SolveGeneral(context.Background(), pi, generalOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
-	sd, err := SolveGeneral(pd, generalOpts())
+	sd, err := SolveGeneral(context.Background(), pd, generalOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +252,7 @@ func TestGeneralRejectsNonDominant(t *testing.T) {
 		S0: []float64{1, 1}, D0: []float64{1, 1},
 		Kind: FixedTotals,
 	}
-	if _, err := SolveGeneral(p, generalOpts()); err == nil {
+	if _, err := SolveGeneral(context.Background(), p, generalOpts()); err == nil {
 		t.Error("non-dominant G accepted")
 	}
 	o := generalOpts()
@@ -259,7 +260,7 @@ func TestGeneralRejectsNonDominant(t *testing.T) {
 	o.MaxIterations = 50
 	// With the check skipped it may iterate (and possibly fail to
 	// converge); it must not be rejected up front.
-	if _, err := SolveGeneral(p, o); err != nil && !errorsIsNotConverged(err) {
+	if _, err := SolveGeneral(context.Background(), p, o); err != nil && !errorsIsNotConverged(err) {
 		t.Errorf("skip-dominance solve failed validation: %v", err)
 	}
 }
@@ -376,7 +377,7 @@ func TestGeneralAsymmetricGAsVI(t *testing.T) {
 	}
 	p := &GeneralProblem{M: m, N: n, X0: x0, G: g, S0: s0, D0: d0, Kind: FixedTotals}
 	o := generalOpts()
-	sol, err := SolveGeneral(p, o)
+	sol, err := SolveGeneral(context.Background(), p, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,7 +393,7 @@ func TestGeneralAsymmetricGAsVI(t *testing.T) {
 		}
 	}
 	ps := &GeneralProblem{M: m, N: n, X0: x0, G: mat.MustDenseSym(mn, sym), S0: s0, D0: d0, Kind: FixedTotals}
-	sols, err := SolveGeneral(ps, o)
+	sols, err := SolveGeneral(context.Background(), ps, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -423,11 +424,11 @@ func TestGeneralSparseGMatchesDense(t *testing.T) {
 	ps := &GeneralProblem{M: m, N: n, X0: x0, G: sg, S0: s0, D0: d0, Kind: FixedTotals}
 	pd := &GeneralProblem{M: m, N: n, X0: x0, G: sg.Materialize(), S0: s0, D0: d0, Kind: FixedTotals}
 	o := generalOpts()
-	ss, err := SolveGeneral(ps, o)
+	ss, err := SolveGeneral(context.Background(), ps, o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sd, err := SolveGeneral(pd, o)
+	sd, err := SolveGeneral(context.Background(), pd, o)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand/v2"
@@ -81,7 +82,7 @@ func TestIntervalExactRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := SolveDiagonal(p, tightOpts())
+	sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,11 +111,11 @@ func TestIntervalDegeneratesToFixed(t *testing.T) {
 	if err := pi.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	fixed, err := SolveDiagonal(pf, tightOpts())
+	fixed, err := SolveDiagonal(context.Background(), pf, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
-	interval, err := SolveDiagonal(pi, tightOpts())
+	interval, err := SolveDiagonal(context.Background(), pi, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestIntervalRelaxationHelps(t *testing.T) {
 		if err := p.Validate(); err != nil {
 			t.Fatal(err)
 		}
-		sol, err := SolveDiagonal(p, tightOpts())
+		sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -171,7 +172,7 @@ func TestIntervalKKT(t *testing.T) {
 		m := 2 + rng.IntN(6)
 		n := 2 + rng.IntN(6)
 		p := randInterval(rng, m, n, 0.05+rng.Float64()*0.3)
-		sol, err := SolveDiagonal(p, tightOpts())
+		sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -200,7 +201,7 @@ func TestIntervalKKT(t *testing.T) {
 func TestIntervalWeakDuality(t *testing.T) {
 	rng := rand.New(rand.NewPCG(99, 100))
 	p := randInterval(rng, 4, 5, 0.2)
-	sol, err := SolveDiagonal(p, tightOpts())
+	sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestIntervalResidualIsIntervalDistance(t *testing.T) {
 	// optimum even when the sums sit strictly inside their intervals.
 	rng := rand.New(rand.NewPCG(101, 102))
 	p := randInterval(rng, 4, 4, 0.3)
-	sol, err := SolveDiagonal(p, tightOpts())
+	sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestGeneralInterval(t *testing.T) {
 		Kind: IntervalTotals,
 	}
 	o := generalOpts()
-	sol, err := SolveGeneral(gp, o)
+	sol, err := SolveGeneral(context.Background(), gp, o)
 	if err != nil {
 		t.Fatal(err)
 	}

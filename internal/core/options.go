@@ -3,6 +3,7 @@ package core
 import (
 	"sea/internal/metrics"
 	"sea/internal/parallel"
+	"sea/internal/trace"
 )
 
 // Kernel selects how each row/column equilibrium subproblem is solved.
@@ -102,9 +103,16 @@ type Options struct {
 	Mu0 []float64
 	// Counters, if non-nil, accumulates instrumentation.
 	Counters *metrics.Counters
-	// Trace, if non-nil, records per-task operation costs for the
-	// simulated-multiprocessor speedup experiments.
-	Trace *CostTrace
+	// Trace, if non-nil, receives one trace.Event per outer iteration:
+	// iteration index, convergence residual, wall-clock phase timings, and
+	// the per-iteration instrumentation deltas (so attaching an observer
+	// subsumes Counters — a solve with a Trace always maintains counters
+	// internally and reports their deltas on every event). A nil Trace
+	// costs one pointer comparison per iteration.
+	Trace trace.Observer
+	// CostTrace, if non-nil, records per-task abstract operation costs for
+	// the simulated-multiprocessor speedup experiments (package parsim).
+	CostTrace *CostTrace
 	// BoundMultipliers enables the paper's Modified Algorithm: when a
 	// multiplier exceeds MultiplierBound in absolute value, its support-
 	// graph connected component is renormalized (a constant added to its
@@ -176,6 +184,12 @@ func (o *Options) withDefaults() *Options {
 	}
 	if out.KernelTol <= 0 {
 		out.KernelTol = out.Epsilon * 1e-4
+	}
+	// An iteration observer subsumes the counters: events report the
+	// per-iteration counter deltas, so a solve with a Trace always keeps
+	// counters, private ones when the caller attached none.
+	if out.Trace != nil && out.Counters == nil {
+		out.Counters = &metrics.Counters{}
 	}
 	return &out
 }

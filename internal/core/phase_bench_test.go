@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand/v2"
 	"runtime"
 	"testing"
@@ -40,7 +41,7 @@ func benchPhaseState(b *testing.B, procs int) *diagState {
 	p := benchDiagProblem(b, 500, 500)
 	o := DefaultOptions()
 	o.Procs = procs
-	st := newDiagState(p, o.withDefaults())
+	st := newDiagState(context.Background(), p, o.withDefaults())
 	b.Cleanup(st.close)
 	if err := st.rowPhase(nil); err != nil {
 		b.Fatal(err)

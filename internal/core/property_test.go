@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -15,7 +16,7 @@ func TestQuickFixedAlwaysOptimal(t *testing.T) {
 		m := 1 + rng.IntN(7)
 		n := 1 + rng.IntN(7)
 		p := randFixed(rng, m, n, 1+rng.Float64()*1000, 0.5+rng.Float64()*3)
-		sol, err := SolveDiagonal(p, tightOpts())
+		sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 		if err != nil {
 			return false
 		}
@@ -39,7 +40,7 @@ func TestQuickElasticDualityGap(t *testing.T) {
 	f := func(seed uint64) bool {
 		rng := rand.New(rand.NewPCG(seed, 0xD0))
 		p := randElastic(rng, 1+rng.IntN(6), 1+rng.IntN(6))
-		sol, err := SolveDiagonal(p, tightOpts())
+		sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 		if err != nil {
 			return false
 		}
@@ -59,7 +60,7 @@ func TestSEAObjectiveBeatsFeasiblePoints(t *testing.T) {
 		m := 2 + rng.IntN(5)
 		n := 2 + rng.IntN(5)
 		p := randFixed(rng, m, n, 100, 2)
-		sol, err := SolveDiagonal(p, tightOpts())
+		sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -97,7 +98,7 @@ func TestUpperBoundsElastic(t *testing.T) {
 		if err := p.Validate(); err != nil {
 			t.Fatal(err)
 		}
-		sol, err := SolveDiagonal(p, tightOpts())
+		sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -120,7 +121,7 @@ func TestUpperBoundsBalanced(t *testing.T) {
 	for k := range p.Upper {
 		p.Upper[k] = 5 + rng.Float64()*30
 	}
-	sol, err := SolveDiagonal(p, tightOpts())
+	sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,13 +135,13 @@ func TestUpperBoundsBalanced(t *testing.T) {
 func TestMuZeroMatchesDefault(t *testing.T) {
 	rng := rand.New(rand.NewPCG(77, 78))
 	p := randFixed(rng, 6, 6, 100, 2)
-	a, err := SolveDiagonal(p, tightOpts())
+	a, err := SolveDiagonal(context.Background(), p, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
 	o := tightOpts()
 	o.Mu0 = make([]float64, p.N)
-	b, err := SolveDiagonal(p, o)
+	b, err := SolveDiagonal(context.Background(), p, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,13 +160,13 @@ func TestMuZeroMatchesDefault(t *testing.T) {
 func TestSolutionIndependentOfTraceAndCounters(t *testing.T) {
 	rng := rand.New(rand.NewPCG(79, 80))
 	p := randBalanced(rng, 7)
-	plain, err := SolveDiagonal(p, tightOpts())
+	plain, err := SolveDiagonal(context.Background(), p, tightOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
 	o := tightOpts()
-	o.Trace = &CostTrace{}
-	traced, err := SolveDiagonal(p, o)
+	o.CostTrace = &CostTrace{}
+	traced, err := SolveDiagonal(context.Background(), p, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestParallelConvCheckInvariance(t *testing.T) {
 			base := tightOpts()
 			base.Criterion = crit
 			base.Epsilon = 1e-8
-			ref, err := SolveDiagonal(p, base)
+			ref, err := SolveDiagonal(context.Background(), p, base)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -200,8 +201,8 @@ func TestParallelConvCheckInvariance(t *testing.T) {
 			par.ParallelConvCheck = true
 			par.Procs = 3
 			tr := &CostTrace{}
-			par.Trace = tr
-			got, err := SolveDiagonal(p, par)
+			par.CostTrace = tr
+			got, err := SolveDiagonal(context.Background(), p, par)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -237,14 +238,14 @@ func TestKernelBisectionMatchesExact(t *testing.T) {
 		func() *DiagonalProblem { return randBalanced(rng, 6) },
 	} {
 		p := mk()
-		exact, err := SolveDiagonal(p, tightOpts())
+		exact, err := SolveDiagonal(context.Background(), p, tightOpts())
 		if err != nil {
 			t.Fatal(err)
 		}
 		o := tightOpts()
 		o.Epsilon = 1e-8
 		o.Kernel = KernelBisection
-		bis, err := SolveDiagonal(p, o)
+		bis, err := SolveDiagonal(context.Background(), p, o)
 		if err != nil {
 			t.Fatalf("%v: %v", p.Kind, err)
 		}
@@ -276,7 +277,7 @@ func TestLowerBoundsSolver(t *testing.T) {
 		if err := p.Validate(); err != nil {
 			t.Fatal(err)
 		}
-		sol, err := SolveDiagonal(p, tightOpts())
+		sol, err := SolveDiagonal(context.Background(), p, tightOpts())
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -292,7 +293,7 @@ func TestLowerBoundsSolver(t *testing.T) {
 		// below problem.
 		free := *p
 		free.Lower = nil
-		fsol, err := SolveDiagonal(&free, tightOpts())
+		fsol, err := SolveDiagonal(context.Background(), &free, tightOpts())
 		if err != nil {
 			t.Fatal(err)
 		}

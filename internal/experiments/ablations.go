@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,7 +21,7 @@ type GrowthRow struct {
 // migration table is re-solved with its total priors uniformly grown by an
 // increasing percentage, measuring how far the μ = 0 initialization then is
 // from the optimum.
-func GrowthSweep(cfg Config) ([]GrowthRow, error) {
+func GrowthSweep(ctx context.Context, cfg Config) ([]GrowthRow, error) {
 	x0 := problems.MigrationTable("6570", 1234)
 	const n = 48
 	ones := make([]float64, n*n)
@@ -54,7 +55,7 @@ func GrowthSweep(cfg Config) ([]GrowthRow, error) {
 		o.Epsilon = cfg.eps(0.01)
 		o.MaxIterations = 500000
 		start := time.Now()
-		sol, err := core.SolveDiagonal(p, o)
+		sol, err := core.SolveDiagonal(ctx, p, o)
 		if err != nil {
 			return rows, fmt.Errorf("growth sweep %d%%: %w", pct, err)
 		}
@@ -75,7 +76,7 @@ type RelaxRow struct {
 // dense-G problem: ρ = 1 reproduces the paper's subproblem (79); smaller ρ
 // takes more conservative steps (more robust when dominance is weak, slower
 // when it is strong).
-func RelaxationAblation(cfg Config) ([]RelaxRow, error) {
+func RelaxationAblation(ctx context.Context, cfg Config) ([]RelaxRow, error) {
 	size := cfg.dim(40)
 	p := problems.GeneralDense(size, size, 77, false)
 	var rows []RelaxRow
@@ -87,7 +88,7 @@ func RelaxationAblation(cfg Config) ([]RelaxRow, error) {
 		o.SkipDominanceCheck = true
 		o.MaxIterations = 10000
 		start := time.Now()
-		sol, err := core.SolveGeneral(p, o)
+		sol, err := core.SolveGeneral(ctx, p, o)
 		if err != nil {
 			return rows, fmt.Errorf("relaxation %g: %w", rho, err)
 		}

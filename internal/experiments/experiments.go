@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"sea/internal/core"
@@ -70,8 +71,8 @@ func (c Config) eps(def float64) float64 {
 }
 
 // timedSolve runs SolveDiagonal and returns the solution with its wall time.
-func timedSolve(p *core.DiagonalProblem, o *core.Options) (*core.Solution, float64, error) {
+func timedSolve(ctx context.Context, p *core.DiagonalProblem, o *core.Options) (*core.Solution, float64, error) {
 	start := time.Now()
-	sol, err := core.SolveDiagonal(p, o)
+	sol, err := core.SolveDiagonal(ctx, p, o)
 	return sol, time.Since(start).Seconds(), err
 }

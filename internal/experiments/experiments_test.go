@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -11,7 +12,7 @@ func smallCfg() Config {
 }
 
 func TestTable1Small(t *testing.T) {
-	rows, err := Table1(smallCfg())
+	rows, err := Table1(context.Background(), smallCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestTable1Small(t *testing.T) {
 }
 
 func TestTable2Small(t *testing.T) {
-	rows, err := Table2(smallCfg())
+	rows, err := Table2(context.Background(), smallCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestTable2Small(t *testing.T) {
 }
 
 func TestTable3Small(t *testing.T) {
-	rows, err := Table3(smallCfg())
+	rows, err := Table3(context.Background(), smallCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestTable3Small(t *testing.T) {
 }
 
 func TestTable4Small(t *testing.T) {
-	rows, err := Table4(smallCfg())
+	rows, err := Table4(context.Background(), smallCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestTable4Small(t *testing.T) {
 }
 
 func TestTable5Small(t *testing.T) {
-	rows, err := Table5(smallCfg())
+	rows, err := Table5(context.Background(), smallCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestTable6HalfScale(t *testing.T) {
 	// The simulated machine's fork/join overhead is calibrated for
 	// paper-scale problems; tiny CI instances would be overhead-dominated,
 	// so this test runs at half scale where the paper's shape must appear.
-	rows, err := Table6(Config{Scale: 0.5, Procs: 1})
+	rows, err := Table6(context.Background(), Config{Scale: 0.5, Procs: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestTable6HalfScale(t *testing.T) {
 func TestTable7Small(t *testing.T) {
 	cfg := smallCfg()
 	cfg.MaxBKDim = 100 // keep B-K to the tiniest sizes in CI
-	rows, err := Table7(cfg)
+	rows, err := Table7(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestTable7Small(t *testing.T) {
 
 func TestTable8Small(t *testing.T) {
 	cfg := smallCfg()
-	rows, err := Table8(cfg)
+	rows, err := Table8(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestTable8Small(t *testing.T) {
 }
 
 func TestTable9HalfScale(t *testing.T) {
-	rows, err := Table9(Config{Scale: 0.5, Procs: 1})
+	rows, err := Table9(context.Background(), Config{Scale: 0.5, Procs: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestTable9HalfScale(t *testing.T) {
 
 func TestOpsModelSmall(t *testing.T) {
 	cfg := Config{Scale: 0.25, Procs: 1}
-	rows, err := OpsModel(cfg)
+	rows, err := OpsModel(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,11 +256,11 @@ func TestConfigHelpers(t *testing.T) {
 // examples whose serial share is largest, at the highest processor count.
 func TestTable6EnhancedImproves(t *testing.T) {
 	cfg := Config{Scale: 0.5, Procs: 1}
-	plain, err := Table6(cfg)
+	plain, err := Table6(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	enh, err := Table6Enhanced(cfg)
+	enh, err := Table6Enhanced(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestTable6EnhancedImproves(t *testing.T) {
 }
 
 func TestGrowthSweep(t *testing.T) {
-	rows, err := GrowthSweep(Config{Scale: 1, Procs: 1, Epsilon: 0.05})
+	rows, err := GrowthSweep(context.Background(), Config{Scale: 1, Procs: 1, Epsilon: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +308,7 @@ func TestGrowthSweep(t *testing.T) {
 }
 
 func TestRelaxationAblation(t *testing.T) {
-	rows, err := RelaxationAblation(Config{Scale: 0.5, Procs: 1})
+	rows, err := RelaxationAblation(context.Background(), Config{Scale: 0.5, Procs: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

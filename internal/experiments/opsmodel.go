@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -24,7 +25,7 @@ type OpsRow struct {
 // Table 1-style problems across sizes: the ratio of measured to modeled
 // operations should be roughly constant, confirming the O(T̄·n²·log n)
 // behaviour that justifies the parallel cost analysis.
-func OpsModel(cfg Config) ([]OpsRow, error) {
+func OpsModel(ctx context.Context, cfg Config) ([]OpsRow, error) {
 	var rows []OpsRow
 	for _, size := range []int{100, 200, 400, 800} {
 		n := cfg.dim(size)
@@ -34,7 +35,7 @@ func OpsModel(cfg Config) ([]OpsRow, error) {
 		o.Epsilon = cfg.eps(0.01)
 		var c metrics.Counters
 		o.Counters = &c
-		sol, err := core.SolveDiagonal(p, o)
+		sol, err := core.SolveDiagonal(ctx, p, o)
 		if err != nil {
 			return rows, fmt.Errorf("ops model, size %d: %w", n, err)
 		}

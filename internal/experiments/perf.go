@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -50,7 +51,7 @@ const perfReps = 3
 // PerfSuite measures the SEA hot path on representative diagonal instances
 // at 1 and NumCPU workers, reusing one persistent pool per worker count
 // across all reps. It is the data source for seabench's -benchjson output.
-func PerfSuite(cfg Config) (PerfReport, error) {
+func PerfSuite(ctx context.Context, cfg Config) (PerfReport, error) {
 	type instance struct {
 		name  string
 		build func() (*core.DiagonalProblem, error)
@@ -101,7 +102,7 @@ func PerfSuite(cfg Config) (PerfReport, error) {
 			}
 
 			// Warm-up solve, untimed: faults pages in and validates.
-			sol, err := core.SolveDiagonal(p, opts())
+			sol, err := core.SolveDiagonal(ctx, p, opts())
 			if err != nil {
 				pool.Close()
 				return report, fmt.Errorf("perf %s procs=%d: %w", inst.name, procs, err)
@@ -111,7 +112,7 @@ func PerfSuite(cfg Config) (PerfReport, error) {
 			runtime.ReadMemStats(&ms0)
 			start := time.Now()
 			for rep := 0; rep < perfReps; rep++ {
-				if _, err := core.SolveDiagonal(p, opts()); err != nil {
+				if _, err := core.SolveDiagonal(ctx, p, opts()); err != nil {
 					pool.Close()
 					return report, fmt.Errorf("perf %s procs=%d rep %d: %w", inst.name, procs, rep, err)
 				}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sea/internal/baseline"
@@ -27,8 +28,8 @@ var table6Procs = []int{2, 4, 6}
 // Table 1 problem) and two elastic ones (SP500 and SP750), measured on the
 // simulated shared-memory multiprocessor driven by the instrumented
 // operation counts of the actual solves (DESIGN.md, substitution 1).
-func Table6(cfg Config) ([]SpeedupRow, error) {
-	return table6(cfg, false)
+func Table6(ctx context.Context, cfg Config) ([]SpeedupRow, error) {
+	return table6(ctx, cfg, false)
 }
 
 // Table6Enhanced is Table 6 with the convergence-verification phase
@@ -36,23 +37,23 @@ func Table6(cfg Config) ([]SpeedupRow, error) {
 // Section 4.2 ("...and/or by implementing the convergence step in
 // parallel"). Comparing it with Table6 quantifies how much of the
 // efficiency loss the serial check causes.
-func Table6Enhanced(cfg Config) ([]SpeedupRow, error) {
-	return table6(cfg, true)
+func Table6Enhanced(ctx context.Context, cfg Config) ([]SpeedupRow, error) {
+	return table6(ctx, cfg, true)
 }
 
-func table6(cfg Config, parallelCheck bool) ([]SpeedupRow, error) {
+func table6(ctx context.Context, cfg Config, parallelCheck bool) ([]SpeedupRow, error) {
 	var rows []SpeedupRow
 
 	// IO72b: fixed totals, 485 sectors, 16% dense, 100% growth.
 	ioSpec := problems.IOSpec{Name: "IO72b", Sectors: cfg.dim(485), Density: 0.16, Variant: problems.IOGrowth100, Seed: 72}
 	ioP := problems.IOTable(ioSpec)
-	if err := appendSpeedups(&rows, "IO72b", ioP, cfg, core.MaxAbsDelta, cfg.eps(0.01), 1, parallelCheck); err != nil {
+	if err := appendSpeedups(ctx, &rows, "IO72b", ioP, cfg, core.MaxAbsDelta, cfg.eps(0.01), 1, parallelCheck); err != nil {
 		return rows, err
 	}
 
 	// 1000×1000 from Table 1.
 	t1 := problems.Table1(cfg.dim(1000), 1000)
-	if err := appendSpeedups(&rows, "1000x1000", t1, cfg, core.MaxAbsDelta, cfg.eps(0.01), 1, parallelCheck); err != nil {
+	if err := appendSpeedups(ctx, &rows, "1000x1000", t1, cfg, core.MaxAbsDelta, cfg.eps(0.01), 1, parallelCheck); err != nil {
 		return rows, err
 	}
 
@@ -66,7 +67,7 @@ func table6(cfg Config, parallelCheck bool) ([]SpeedupRow, error) {
 			return rows, err
 		}
 		name := fmt.Sprintf("SP%dx%d", size, size)
-		if err := appendSpeedups(&rows, name, p, cfg, core.DualGradient, cfg.eps(0.01), 2, parallelCheck); err != nil {
+		if err := appendSpeedups(ctx, &rows, name, p, cfg, core.DualGradient, cfg.eps(0.01), 2, parallelCheck); err != nil {
 			return rows, err
 		}
 	}
@@ -75,7 +76,7 @@ func table6(cfg Config, parallelCheck bool) ([]SpeedupRow, error) {
 
 // appendSpeedups solves p with tracing enabled and appends the simulated
 // speedup measurements for the Table 6 processor counts.
-func appendSpeedups(rows *[]SpeedupRow, name string, p *core.DiagonalProblem, cfg Config, crit core.Criterion, eps float64, checkEvery int, parallelCheck bool) error {
+func appendSpeedups(ctx context.Context, rows *[]SpeedupRow, name string, p *core.DiagonalProblem, cfg Config, crit core.Criterion, eps float64, checkEvery int, parallelCheck bool) error {
 	o := core.DefaultOptions()
 	o.Criterion = crit
 	o.Epsilon = eps
@@ -84,8 +85,8 @@ func appendSpeedups(rows *[]SpeedupRow, name string, p *core.DiagonalProblem, cf
 	o.MaxIterations = 500000
 	o.ParallelConvCheck = parallelCheck
 	tr := &core.CostTrace{}
-	o.Trace = tr
-	if _, err := core.SolveDiagonal(p, o); err != nil {
+	o.CostTrace = tr
+	if _, err := core.SolveDiagonal(ctx, p, o); err != nil {
 		return fmt.Errorf("speedup example %s: %w", name, err)
 	}
 	for _, m := range parsim.Speedups(tr, table6Procs) {
@@ -99,7 +100,7 @@ func appendSpeedups(rows *[]SpeedupRow, name string, p *core.DiagonalProblem, cf
 // again on the simulated multiprocessor. SEA verifies the projection
 // method's convergence once per outer iteration; RC re-verifies inside every
 // stage, so SEA has fewer serial phases and parallelizes better.
-func Table9(cfg Config) ([]SpeedupRow, error) {
+func Table9(ctx context.Context, cfg Config) ([]SpeedupRow, error) {
 	size := cfg.dim(100) // 100×100 matrix ⇒ G is 10000×10000
 	p := problems.GeneralDense(size, size, 100, false)
 	procs := []int{2, 4}
@@ -112,8 +113,8 @@ func Table9(cfg Config) ([]SpeedupRow, error) {
 	cfg.apply(seaOpts)
 	seaOpts.SkipDominanceCheck = true
 	seaTr := &core.CostTrace{}
-	seaOpts.Trace = seaTr
-	if _, err := core.SolveGeneral(p, seaOpts); err != nil {
+	seaOpts.CostTrace = seaTr
+	if _, err := core.SolveGeneral(ctx, p, seaOpts); err != nil {
 		return rows, fmt.Errorf("table 9 SEA: %w", err)
 	}
 	for _, m := range parsim.Speedups(seaTr, procs) {
@@ -125,8 +126,8 @@ func Table9(cfg Config) ([]SpeedupRow, error) {
 	cfg.apply(rcOpts)
 	rcOpts.SkipDominanceCheck = true
 	rcTr := &core.CostTrace{}
-	rcOpts.Trace = rcTr
-	if _, err := baseline.SolveRC(p, rcOpts); err != nil {
+	rcOpts.CostTrace = rcTr
+	if _, err := baseline.SolveRC(ctx, p, rcOpts); err != nil {
 		return rows, fmt.Errorf("table 9 RC: %w", err)
 	}
 	for _, m := range parsim.Speedups(rcTr, procs) {
@@ -141,7 +142,7 @@ func Table9(cfg Config) ([]SpeedupRow, error) {
 // near 1 (see DESIGN.md, substitution 1 — the simulated machine exists for
 // exactly that reason); on a multicore host they are directly comparable to
 // the paper's measurements.
-func Table6Wall(cfg Config) ([]SpeedupRow, error) {
+func Table6Wall(ctx context.Context, cfg Config) ([]SpeedupRow, error) {
 	var rows []SpeedupRow
 	examples := []struct {
 		name  string
@@ -172,7 +173,7 @@ func Table6Wall(cfg Config) ([]SpeedupRow, error) {
 			o.CheckEvery = ex.check
 			o.MaxIterations = 500000
 			o.Procs = procs
-			_, secs, err := timedSolve(p, o)
+			_, secs, err := timedSolve(ctx, p, o)
 			if err != nil {
 				return rows, fmt.Errorf("wall speedups %s procs=%d: %w", ex.name, procs, err)
 			}

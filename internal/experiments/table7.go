@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -42,7 +43,7 @@ func table7Runs(gdim int) int {
 // constrained matrix problems with dense diagonally dominant G matrices from
 // 100×100 up to 14400×14400, ε′ = .001. B-K runs only up to MaxBKDim
 // (default 900, where the paper stopped).
-func Table7(cfg Config) ([]Table7Row, error) {
+func Table7(ctx context.Context, cfg Config) ([]Table7Row, error) {
 	maxBK := cfg.MaxBKDim
 	if maxBK <= 0 {
 		maxBK = 900
@@ -63,7 +64,7 @@ func Table7(cfg Config) ([]Table7Row, error) {
 		start := time.Now()
 		for r := 0; r < runs; r++ {
 			var err error
-			seaSol, err = core.SolveGeneral(p, seaOpts)
+			seaSol, err = core.SolveGeneral(ctx, p, seaOpts)
 			if err != nil {
 				return rows, fmt.Errorf("table 7 SEA, G %d: %w", gdim, err)
 			}
@@ -78,7 +79,7 @@ func Table7(cfg Config) ([]Table7Row, error) {
 		start = time.Now()
 		for r := 0; r < runs; r++ {
 			var err error
-			rcSol, err = baseline.SolveRC(p, rcOpts)
+			rcSol, err = baseline.SolveRC(ctx, p, rcOpts)
 			if err != nil {
 				return rows, fmt.Errorf("table 7 RC, G %d: %w", gdim, err)
 			}
@@ -99,7 +100,7 @@ func Table7(cfg Config) ([]Table7Row, error) {
 			start = time.Now()
 			for r := 0; r < runs; r++ {
 				var err error
-				bkSol, err = baseline.SolveBK(p, bkOpts)
+				bkSol, err = baseline.SolveBK(ctx, p, bkOpts)
 				if err != nil {
 					return rows, fmt.Errorf("table 7 B-K, G %d: %w", gdim, err)
 				}
@@ -124,7 +125,7 @@ type Table8Row struct {
 // Table8 reproduces Table 8: SEA on the six general constrained matrix
 // problems built from U.S. migration tables with 100% dense 2304×2304 G
 // matrices, ε′ = .001.
-func Table8(cfg Config) ([]Table8Row, error) {
+func Table8(ctx context.Context, cfg Config) ([]Table8Row, error) {
 	var rows []Table8Row
 	for _, period := range []string{"5560", "6570", "7580"} {
 		for _, variant := range []byte{'a', 'b'} {
@@ -135,7 +136,7 @@ func Table8(cfg Config) ([]Table8Row, error) {
 			cfg.apply(o)
 			o.SkipDominanceCheck = true
 			start := time.Now()
-			sol, err := core.SolveGeneral(p, o)
+			sol, err := core.SolveGeneral(ctx, p, o)
 			name := fmt.Sprintf("GMIG%s%c", period, variant)
 			if err != nil {
 				return rows, fmt.Errorf("table 8, %s: %w", name, err)

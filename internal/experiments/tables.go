@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sea/internal/core"
@@ -19,7 +20,7 @@ type Table1Row struct {
 
 // Table1 reproduces Table 1: SEA on diagonal quadratic constrained matrix
 // problems from 750×750 to 3000×3000, 100% dense, ε = .01.
-func Table1(cfg Config) ([]Table1Row, error) {
+func Table1(ctx context.Context, cfg Config) ([]Table1Row, error) {
 	var rows []Table1Row
 	for _, size := range []int{750, 1000, 2000, 3000} {
 		n := cfg.dim(size)
@@ -28,7 +29,7 @@ func Table1(cfg Config) ([]Table1Row, error) {
 		o.Criterion = core.MaxAbsDelta
 		o.Epsilon = cfg.eps(0.01)
 		cfg.apply(o)
-		sol, secs, err := timedSolve(p, o)
+		sol, secs, err := timedSolve(ctx, p, o)
 		if err != nil {
 			return rows, fmt.Errorf("table 1, size %d: %w", n, err)
 		}
@@ -51,7 +52,7 @@ type Table2Row struct {
 
 // Table2 reproduces Table 2: SEA on the nine U.S. input/output instances
 // with known row and column totals.
-func Table2(cfg Config) ([]Table2Row, error) {
+func Table2(ctx context.Context, cfg Config) ([]Table2Row, error) {
 	var rows []Table2Row
 	for _, spec := range problems.StandardIOSpecs() {
 		spec.Sectors = cfg.dim(spec.Sectors)
@@ -66,7 +67,7 @@ func Table2(cfg Config) ([]Table2Row, error) {
 		o.Criterion = core.MaxAbsDelta
 		o.Epsilon = cfg.eps(0.01)
 		cfg.apply(o)
-		sol, secs, err := timedSolve(p, o)
+		sol, secs, err := timedSolve(ctx, p, o)
 		if err != nil {
 			return rows, fmt.Errorf("table 2, %s: %w", spec.Name, err)
 		}
@@ -89,7 +90,7 @@ type Table3Row struct {
 
 // Table3 reproduces Table 3: SEA on SAM estimation problems whose row and
 // column totals must balance and be estimated, ε = .001.
-func Table3(cfg Config) ([]Table3Row, error) {
+func Table3(ctx context.Context, cfg Config) ([]Table3Row, error) {
 	type instance struct {
 		name string
 		p    *core.DiagonalProblem
@@ -116,7 +117,7 @@ func Table3(cfg Config) ([]Table3Row, error) {
 		o.Criterion = core.RelBalance
 		o.Epsilon = cfg.eps(0.001)
 		cfg.apply(o)
-		sol, secs, err := timedSolve(inst.p, o)
+		sol, secs, err := timedSolve(ctx, inst.p, o)
 		if err != nil {
 			return rows, fmt.Errorf("table 3, %s: %w", inst.name, err)
 		}
@@ -137,7 +138,7 @@ type Table4Row struct {
 
 // Table4 reproduces Table 4: SEA on the nine 48×48 U.S. state-to-state
 // migration instances with estimated totals and unit weights.
-func Table4(cfg Config) ([]Table4Row, error) {
+func Table4(ctx context.Context, cfg Config) ([]Table4Row, error) {
 	var rows []Table4Row
 	for _, spec := range problems.StandardMigrationSpecs() {
 		p := problems.MigrationProblem(spec)
@@ -146,7 +147,7 @@ func Table4(cfg Config) ([]Table4Row, error) {
 		o.Epsilon = cfg.eps(0.01)
 		cfg.apply(o)
 		o.MaxIterations = 500000
-		sol, secs, err := timedSolve(p, o)
+		sol, secs, err := timedSolve(ctx, p, o)
 		if err != nil {
 			return rows, fmt.Errorf("table 4, %s: %w", spec.Name, err)
 		}
@@ -167,7 +168,7 @@ type Table5Row struct {
 // Table5 reproduces Table 5: spatial price equilibrium problems from
 // 50×50 to 750×750 markets, solved through the constrained-matrix
 // isomorphism, ε = .01.
-func Table5(cfg Config) ([]Table5Row, error) {
+func Table5(ctx context.Context, cfg Config) ([]Table5Row, error) {
 	var rows []Table5Row
 	for _, size := range []int{50, 100, 250, 500, 750} {
 		n := cfg.dim(size)
@@ -182,7 +183,7 @@ func Table5(cfg Config) ([]Table5Row, error) {
 		cfg.apply(o)
 		o.CheckEvery = 2 // the paper checked every other iteration here
 		o.MaxIterations = 500000
-		sol, secs, err := timedSolve(p, o)
+		sol, secs, err := timedSolve(ctx, p, o)
 		if err != nil {
 			return rows, fmt.Errorf("table 5, SP%d: %w", n, err)
 		}

@@ -2,6 +2,7 @@ package matio
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -116,7 +117,7 @@ func TestSolveFromJSON(t *testing.T) {
 	o := core.DefaultOptions()
 	o.Criterion = core.DualGradient
 	o.Epsilon = 1e-9
-	sol, err := core.SolveDiagonal(p, o)
+	sol, err := core.SolveDiagonal(context.Background(), p, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestIntervalProblemJSONRoundTrip(t *testing.T) {
 	o := core.DefaultOptions()
 	o.Criterion = core.DualGradient
 	o.Epsilon = 1e-9
-	sol, err := core.SolveDiagonal(p2, o)
+	sol, err := core.SolveDiagonal(context.Background(), p2, o)
 	if err != nil {
 		t.Fatal(err)
 	}

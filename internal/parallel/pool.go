@@ -1,6 +1,9 @@
 package parallel
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Runner abstracts the scheduling substrate behind a parallel phase. Both
 // implementations honor the same contract as the package-level ForChunks:
@@ -13,6 +16,23 @@ type Runner interface {
 	// ForChunks runs fn(chunk, lo, hi) over the partition of [0,n) and
 	// blocks until every chunk completes.
 	ForChunks(n int, fn func(chunk, lo, hi int))
+	// ForChunksCtx is ForChunks with a cancellation gate: when ctx is
+	// already done it dispatches nothing and returns ctx.Err(); otherwise
+	// it runs the phase to completion and returns nil. Cancellation is
+	// observed *between* phases, never inside one — a dispatched phase
+	// always finishes, so the disjoint-partition determinism contract is
+	// unaffected and no worker is ever abandoned mid-chunk.
+	ForChunksCtx(ctx context.Context, n int, fn func(chunk, lo, hi int)) error
+}
+
+// forChunksCtx implements the shared ForChunksCtx contract on top of any
+// Runner's ForChunks.
+func forChunksCtx(ctx context.Context, r Runner, n int, fn func(chunk, lo, hi int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	r.ForChunks(n, fn)
+	return nil
 }
 
 // Spawner is the Runner that launches fresh goroutines on every call — the
@@ -29,6 +49,11 @@ func (s Spawner) Workers() int {
 
 func (s Spawner) ForChunks(n int, fn func(chunk, lo, hi int)) {
 	ForChunks(s.P, n, fn)
+}
+
+// ForChunksCtx implements the Runner cancellation gate for the Spawner.
+func (s Spawner) ForChunksCtx(ctx context.Context, n int, fn func(chunk, lo, hi int)) error {
+	return forChunksCtx(ctx, s, n, fn)
 }
 
 // Pool is a persistent worker pool: p−1 long-lived background workers plus
@@ -103,6 +128,14 @@ func (pool *Pool) ForChunks(n int, fn func(chunk, lo, hi int)) {
 	}
 	fn(0, 0, n/p) // chunk 0 on the caller
 	pool.wg.Wait()
+}
+
+// ForChunksCtx implements the Runner cancellation gate for the Pool: a done
+// context skips the dispatch entirely (no channel sends, no goroutine
+// handoff) and surfaces ctx.Err(); the workers stay parked on their channels
+// for the next phase or for Close.
+func (pool *Pool) ForChunksCtx(ctx context.Context, n int, fn func(chunk, lo, hi int)) error {
+	return forChunksCtx(ctx, pool, n, fn)
 }
 
 // For runs fn(i) for every i in [0,n) over the pool's partition.

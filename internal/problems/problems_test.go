@@ -1,6 +1,7 @@
 package problems
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -84,7 +85,7 @@ func TestIOTableDensityAndSolvability(t *testing.T) {
 	o := core.DefaultOptions()
 	o.Criterion = core.DualGradient
 	o.Epsilon = 1e-6
-	sol, err := core.SolveDiagonal(p, o)
+	sol, err := core.SolveDiagonal(context.Background(), p, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestSAMFromDataset(t *testing.T) {
 		o := core.DefaultOptions()
 		o.Criterion = core.RelBalance
 		o.Epsilon = 1e-6
-		sol, err := core.SolveDiagonal(p, o)
+		sol, err := core.SolveDiagonal(context.Background(), p, o)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name, err)
 		}
@@ -154,7 +155,7 @@ func TestRandomSAM(t *testing.T) {
 	o := core.DefaultOptions()
 	o.Criterion = core.RelBalance
 	o.Epsilon = 1e-3 // the paper's Table 3 tolerance
-	sol, err := core.SolveDiagonal(p, o)
+	sol, err := core.SolveDiagonal(context.Background(), p, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestMigrationProblemSolves(t *testing.T) {
 		o.Criterion = core.DualGradient
 		o.Epsilon = 1e-4
 		o.MaxIterations = 200000
-		sol, err := core.SolveDiagonal(p, o)
+		sol, err := core.SolveDiagonal(context.Background(), p, o)
 		if err != nil {
 			t.Fatalf("%s: %v", spec.Name, err)
 		}
@@ -241,7 +242,7 @@ func TestMigrationVariantDifficulty(t *testing.T) {
 		o.Criterion = core.DualGradient
 		o.Epsilon = 1e-4
 		o.MaxIterations = 500000
-		sol, err := core.SolveDiagonal(p, o)
+		sol, err := core.SolveDiagonal(context.Background(), p, o)
 		if err != nil {
 			t.Fatalf("%c: %v", v, err)
 		}
@@ -290,7 +291,7 @@ func TestGeneralDenseSolves(t *testing.T) {
 	o.Epsilon = 1e-6
 	o.InnerEpsilon = 1e-8
 	o.Criterion = core.DualGradient
-	sol, err := core.SolveGeneral(p, o)
+	sol, err := core.SolveGeneral(context.Background(), p, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +376,7 @@ func TestWeightSchemes(t *testing.T) {
 		o := core.DefaultOptions()
 		o.Criterion = core.DualGradient
 		o.Epsilon = 1e-8
-		sol, err := core.SolveDiagonal(p, o)
+		sol, err := core.SolveDiagonal(context.Background(), p, o)
 		if err != nil {
 			t.Fatal(err)
 		}

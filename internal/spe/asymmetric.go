@@ -1,6 +1,7 @@
 package spe
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -75,8 +76,13 @@ func (p *AsymmetricProblem) Validate() error {
 
 // SolveAsymmetric computes the equilibrium by the projection method with
 // diagonal SEA subproblems. eps is the outer tolerance on |Δx|∞; opts
-// configures the inner diagonal solves (tolerance, workers).
-func (p *AsymmetricProblem) SolveAsymmetric(eps float64, maxIter int, opts *core.Options) (*Equilibrium, error) {
+// configures the inner diagonal solves (tolerance, workers). Cancellation of
+// ctx is observed between projection steps (and inside each inner solve) and
+// returns the current iterate with ctx.Err().
+func (p *AsymmetricProblem) SolveAsymmetric(ctx context.Context, eps float64, maxIter int, opts *core.Options) (*Equilibrium, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -126,7 +132,12 @@ func (p *AsymmetricProblem) SolveAsymmetric(eps float64, maxIter int, opts *core
 	var mu0 []float64
 
 	eq := &Equilibrium{}
+	var ctxErr error
 	for t := 1; t <= maxIter; t++ {
+		if err := ctx.Err(); err != nil {
+			ctxErr = err
+			break
+		}
 		eq.Iterations = t
 		// F at the current iterate.
 		p.SupplyMatrix.MulVec(pi, s)
@@ -152,8 +163,12 @@ func (p *AsymmetricProblem) SolveAsymmetric(eps float64, maxIter int, opts *core
 		}
 
 		inner.Mu0 = mu0
-		sol, err := core.SolveDiagonal(dp, inner)
+		sol, err := core.SolveDiagonal(ctx, dp, inner)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				ctxErr = cerr
+				break
+			}
 			return nil, fmt.Errorf("spe: asymmetric projection step %d: %w", t, err)
 		}
 		mu0 = sol.Mu
@@ -177,6 +192,9 @@ func (p *AsymmetricProblem) SolveAsymmetric(eps float64, maxIter int, opts *core
 	p.DemandMatrix.MulVec(eq.DemandPrice, d)
 	for j := 0; j < n; j++ {
 		eq.DemandPrice[j] = p.DemandIntercept[j] - eq.DemandPrice[j]
+	}
+	if ctxErr != nil {
+		return eq, ctxErr
 	}
 	if !eq.Converged {
 		return eq, fmt.Errorf("%w: asymmetric SPE after %d projection steps", core.ErrNotConverged, maxIter)

@@ -1,6 +1,7 @@
 package spe
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -30,11 +31,11 @@ func TestAsymmetricReducesToSeparable(t *testing.T) {
 	ap.SupplyMatrix = mat.MustDenseGeneral(m, rdata)
 	ap.DemandMatrix = mat.MustDenseGeneral(n, wdata)
 
-	want, err := base.Solve(speOpts())
+	want, err := base.Solve(context.Background(), speOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := ap.SolveAsymmetric(1e-8, 10000, nil)
+	got, err := ap.SolveAsymmetric(context.Background(), 1e-8, 10000, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestAsymmetricReducesToSeparable(t *testing.T) {
 func TestAsymmetricEquilibriumConditions(t *testing.T) {
 	for _, size := range []struct{ m, n int }{{3, 3}, {8, 6}, {15, 15}} {
 		p := GenerateAsymmetric(size.m, size.n, 33)
-		eq, err := p.SolveAsymmetric(1e-8, 20000, nil)
+		eq, err := p.SolveAsymmetric(context.Background(), 1e-8, 20000, nil)
 		if err != nil {
 			t.Fatalf("%dx%d: %v", size.m, size.n, err)
 		}
@@ -76,7 +77,7 @@ func TestAsymmetricEquilibriumConditions(t *testing.T) {
 func TestAsymmetryMatters(t *testing.T) {
 	m, n := 4, 4
 	p := GenerateAsymmetric(m, n, 35)
-	eqA, err := p.SolveAsymmetric(1e-8, 20000, nil)
+	eqA, err := p.SolveAsymmetric(context.Background(), 1e-8, 20000, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestAsymmetryMatters(t *testing.T) {
 	}
 	sep.SupplyMatrix = mat.MustDenseGeneral(m, rdata)
 	sep.DemandMatrix = mat.MustDenseGeneral(n, wdata)
-	eqS, err := sep.SolveAsymmetric(1e-8, 20000, nil)
+	eqS, err := sep.SolveAsymmetric(context.Background(), 1e-8, 20000, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

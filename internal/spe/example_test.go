@@ -1,6 +1,7 @@
 package spe_test
 
 import (
+	"context"
 	"fmt"
 
 	"sea/internal/core"
@@ -19,7 +20,7 @@ func ExampleProblem_Solve() {
 	opts := core.DefaultOptions()
 	opts.Criterion = core.DualGradient
 	opts.Epsilon = 1e-10
-	eq, err := p.Solve(opts)
+	eq, err := p.Solve(context.Background(), opts)
 	if err != nil {
 		panic(err)
 	}

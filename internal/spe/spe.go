@@ -22,6 +22,7 @@
 package spe
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -116,12 +117,13 @@ type Equilibrium struct {
 }
 
 // Solve computes the equilibrium via the splitting equilibration algorithm.
-func (p *Problem) Solve(opts *core.Options) (*Equilibrium, error) {
+// Cancellation of ctx propagates to the underlying solve.
+func (p *Problem) Solve(ctx context.Context, opts *core.Options) (*Equilibrium, error) {
 	cmp, err := p.ToConstrainedMatrix()
 	if err != nil {
 		return nil, err
 	}
-	sol, err := core.SolveDiagonal(cmp, opts)
+	sol, err := core.SolveDiagonal(ctx, cmp, opts)
 	if sol == nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package spe
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -27,7 +28,7 @@ func TestTwoMarketAnalytic(t *testing.T) {
 		DemandIntercept: []float64{100}, DemandSlope: []float64{1},
 		CostIntercept: []float64{2}, CostSlope: []float64{1},
 	}
-	eq, err := p.Solve(speOpts())
+	eq, err := p.Solve(context.Background(), speOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestNoTradeWhenCostProhibitive(t *testing.T) {
 		DemandIntercept: []float64{40}, DemandSlope: []float64{1},
 		CostIntercept: []float64{20}, CostSlope: []float64{1},
 	}
-	eq, err := p.Solve(speOpts())
+	eq, err := p.Solve(context.Background(), speOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestNoTradeWhenCostProhibitive(t *testing.T) {
 func TestGeneratedEquilibriumConditions(t *testing.T) {
 	for _, size := range []struct{ m, n int }{{3, 4}, {10, 10}, {25, 20}} {
 		p := Generate(size.m, size.n, 42)
-		eq, err := p.Solve(speOpts())
+		eq, err := p.Solve(context.Background(), speOpts())
 		if err != nil {
 			t.Fatalf("%dx%d: %v", size.m, size.n, err)
 		}
@@ -127,7 +128,7 @@ func TestEquilibriumPricesConsistent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := core.SolveDiagonal(cmp, speOpts())
+	sol, err := core.SolveDiagonal(context.Background(), cmp, speOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

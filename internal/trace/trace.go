@@ -1,0 +1,139 @@
+// Package trace defines the pluggable per-iteration observer every solver
+// in this module reports through: one Event per outer iteration, carrying
+// the iteration index, the convergence measure, wall-clock phase timings,
+// and the instrumentation aggregates (equilibrations, abstract operations)
+// that the experiments' metrics.Counters used to be the only way to obtain.
+//
+// The hook is deliberately minimal: solvers invoke the observer at most once
+// per outer iteration, from the solve goroutine, after the parallel phases
+// have completed — never from inside a worker. A nil observer costs a single
+// pointer comparison per iteration, so attaching instrumentation is a
+// caller's choice, not a tax on the hot path.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Event is one outer iteration's progress report.
+type Event struct {
+	// Solver is the reporting solver's registry name ("sea", "rc", ...).
+	Solver string
+	// Iteration is the 1-based outer iteration index (row+column sweeps for
+	// the diagonal SEA, projection steps for the general SEA, outer dual
+	// cycles for RC, sweeps for B-K and RAS, Dykstra cycles).
+	Iteration int
+	// Inner is the number of inner iterations this outer step consumed
+	// (RC's projection iterations, the general solver's half-sweeps); zero
+	// for single-level solvers.
+	Inner int
+	// Checked reports whether a convergence verification ran this
+	// iteration; when false, Residual is NaN.
+	Checked bool
+	// Residual is the convergence measure evaluated by the check (the
+	// criterion's worst row residual or delta), NaN when Checked is false.
+	Residual float64
+	// RowPhase, ColPhase and CheckPhase are the wall-clock durations of the
+	// iteration's row equilibration, column equilibration, and convergence
+	// verification phases. Solvers without that phase structure report the
+	// whole iteration under RowPhase.
+	RowPhase, ColPhase, CheckPhase time.Duration
+	// Equilibrations and Ops are this iteration's single-constraint
+	// equilibration count and abstract operation count (the paper's
+	// complexity model), and SerialOps the operations spent in serial
+	// phases — the same quantities metrics.Counters accumulates, reported
+	// as per-iteration deltas so an observer subsumes the counters.
+	Equilibrations, Ops, SerialOps int64
+}
+
+// Observer receives one Event per outer iteration of a solve. ObserveIteration
+// is called from the solve goroutine; implementations need not be safe for
+// concurrent use by a single solve, but one observer attached to concurrent
+// solves must synchronize itself.
+type Observer interface {
+	ObserveIteration(Event)
+}
+
+// Func adapts an ordinary function to the Observer interface.
+type Func func(Event)
+
+// ObserveIteration implements Observer.
+func (f Func) ObserveIteration(e Event) { f(e) }
+
+// Collector is an Observer that retains every event, for tests and offline
+// analysis. Not safe for concurrent solves.
+type Collector struct {
+	Events []Event
+}
+
+// ObserveIteration implements Observer.
+func (c *Collector) ObserveIteration(e Event) { c.Events = append(c.Events, e) }
+
+// Last returns the most recent event (zero Event if none).
+func (c *Collector) Last() Event {
+	if len(c.Events) == 0 {
+		return Event{}
+	}
+	return c.Events[len(c.Events)-1]
+}
+
+// writer prints one line per observed iteration.
+type writer struct {
+	w     io.Writer
+	every int
+}
+
+// NewWriter returns an Observer that writes a one-line progress report to w
+// for every every-th iteration (and for every iteration that ran a
+// convergence check when every <= 1). It is what cmd/seasolve's -trace flag
+// attaches.
+func NewWriter(w io.Writer, every int) Observer {
+	if every < 1 {
+		every = 1
+	}
+	return &writer{w: w, every: every}
+}
+
+// ObserveIteration implements Observer.
+func (t *writer) ObserveIteration(e Event) {
+	if e.Iteration%t.every != 0 {
+		return
+	}
+	res := "-"
+	if e.Checked && !math.IsNaN(e.Residual) {
+		res = fmt.Sprintf("%.6g", e.Residual)
+	}
+	fmt.Fprintf(t.w, "%s: iter=%d residual=%s row=%s col=%s check=%s equil=%d ops=%d\n",
+		e.Solver, e.Iteration, res, e.RowPhase, e.ColPhase, e.CheckPhase, e.Equilibrations, e.Ops)
+}
+
+// multi fans events out to several observers in order.
+type multi []Observer
+
+// Multi returns an Observer that forwards every event to each of obs,
+// skipping nils. A single non-nil observer is returned unwrapped.
+func Multi(obs ...Observer) Observer {
+	var live multi
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+// ObserveIteration implements Observer.
+func (m multi) ObserveIteration(e Event) {
+	for _, o := range m {
+		o.ObserveIteration(e)
+	}
+}

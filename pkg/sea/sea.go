@@ -1,0 +1,201 @@
+// Package sea is the public facade of the splitting equilibration module:
+// one problem type, one Solver interface, and a name-based registry covering
+// every algorithm the repository implements — the SEA diagonal and general
+// solvers, the RC and Bachem–Korte baselines, Dykstra's alternating
+// projections, projected gradient, RAS biproportional scaling, and the
+// unsigned (Stone/Byron) estimator.
+//
+// The paper frames these as interchangeable solvers for the same constrained
+// matrix problem (its Section 5 compares SEA, RC and B-K head to head), and
+// the facade makes that literal:
+//
+//	p := sea.WrapDiagonal(diag)                        // or sea.WrapGeneral
+//	ctx, cancel := context.WithTimeout(ctx, time.Minute)
+//	defer cancel()
+//	sol, err := sea.Solve(ctx, "sea", p, sea.DefaultOptions())
+//
+// Every solver accepts a context.Context and observes cancellation between
+// iterations, returning the last consistent iterate together with ctx.Err().
+// Per-iteration progress is reported through the pluggable Trace observer in
+// Options (see the Trace and TraceEvent aliases); a nil observer costs one
+// pointer comparison per iteration.
+//
+// The layering below this package is documented in docs/ARCHITECTURE.md:
+// pkg/sea (facade, registry) → internal/core + internal/baseline (solve
+// loops) → internal/equilibrate (subproblem kernels) and internal/parallel
+// (scheduling substrate) → internal/mat (dense/sparse primitives).
+package sea
+
+import (
+	"fmt"
+	"io"
+
+	"sea/internal/core"
+	"sea/internal/mat"
+	"sea/internal/trace"
+)
+
+// Re-exported problem, option and result types. The facade's aliases are the
+// supported import path for callers outside this module; the internal
+// packages they point at are not importable directly.
+type (
+	// Options configures a solve; see core.Options for field semantics.
+	Options = core.Options
+	// Solution is a solve's result.
+	Solution = core.Solution
+	// DiagonalProblem is the diagonal quadratic constrained matrix problem.
+	DiagonalProblem = core.DiagonalProblem
+	// GeneralProblem is the dense-weight quadratic constrained matrix
+	// problem.
+	GeneralProblem = core.GeneralProblem
+	// Kind selects the treatment of the row and column totals.
+	Kind = core.Kind
+	// Trace is the pluggable per-iteration observer (Options.Trace).
+	Trace = trace.Observer
+	// TraceEvent is one observed iteration's progress report.
+	TraceEvent = trace.Event
+	// TraceFunc adapts a function to the Trace interface.
+	TraceFunc = trace.Func
+	// TraceCollector retains every observed event, for tests and analysis.
+	TraceCollector = trace.Collector
+)
+
+// Problem kinds, re-exported from the core.
+const (
+	FixedTotals    = core.FixedTotals
+	ElasticTotals  = core.ElasticTotals
+	Balanced       = core.Balanced
+	IntervalTotals = core.IntervalTotals
+)
+
+// Convenience criterion and kernel constants.
+const (
+	MaxAbsDelta  = core.MaxAbsDelta
+	RelBalance   = core.RelBalance
+	DualGradient = core.DualGradient
+)
+
+// Sentinel errors, re-exported from the core.
+var (
+	ErrNotConverged = core.ErrNotConverged
+	ErrInfeasible   = core.ErrInfeasible
+)
+
+// Problem constructors, re-exported from the core.
+var (
+	NewFixed    = core.NewFixed
+	NewElastic  = core.NewElastic
+	NewBalanced = core.NewBalanced
+	NewInterval = core.NewInterval
+)
+
+// NewTraceWriter returns a Trace observer that prints a one-line progress
+// report for every every-th observed iteration to w (every ≤ 1 prints all).
+func NewTraceWriter(w io.Writer, every int) Trace { return trace.NewWriter(w, every) }
+
+// MultiTrace fans events out to several observers.
+func MultiTrace(obs ...Trace) Trace { return trace.Multi(obs...) }
+
+// DefaultOptions returns the options used throughout the paper's
+// experiments: ε = .001, the relative-balance criterion, convergence checked
+// every iteration, serial execution.
+func DefaultOptions() *Options { return core.DefaultOptions() }
+
+// Problem is the facade's unified problem: exactly one of Diagonal or
+// General is set. Registered solvers declare which representation they
+// need; a diagonal problem is lifted to an equivalent general one on demand
+// (diagonal weight matrices), while a general problem handed to a
+// diagonal-only solver is an error — dense weights carry information a
+// diagonal solver cannot use.
+type Problem struct {
+	Diagonal *DiagonalProblem
+	General  *GeneralProblem
+}
+
+// WrapDiagonal wraps a diagonal problem for the registry.
+func WrapDiagonal(p *DiagonalProblem) *Problem { return &Problem{Diagonal: p} }
+
+// WrapGeneral wraps a general problem for the registry.
+func WrapGeneral(p *GeneralProblem) *Problem { return &Problem{General: p} }
+
+// Validate checks that exactly one representation is present and valid.
+func (p *Problem) Validate() error {
+	switch {
+	case p == nil:
+		return fmt.Errorf("sea: nil problem")
+	case p.Diagonal == nil && p.General == nil:
+		return fmt.Errorf("sea: problem has neither a diagonal nor a general representation")
+	case p.Diagonal != nil && p.General != nil:
+		return fmt.Errorf("sea: problem has both a diagonal and a general representation; set exactly one")
+	case p.Diagonal != nil:
+		return p.Diagonal.Validate()
+	default:
+		return p.General.Validate(true)
+	}
+}
+
+// Size returns the problem's matrix dimensions.
+func (p *Problem) Size() (m, n int) {
+	if p.Diagonal != nil {
+		return p.Diagonal.M, p.Diagonal.N
+	}
+	if p.General != nil {
+		return p.General.M, p.General.N
+	}
+	return 0, 0
+}
+
+// asDiagonal returns the diagonal representation or an error naming the
+// solver that needed it.
+func (p *Problem) asDiagonal(solver string) (*DiagonalProblem, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Diagonal == nil {
+		return nil, fmt.Errorf("sea: solver %q requires a diagonal problem; general problems carry dense weights it cannot use (try \"sea-general\" or \"rc\")", solver)
+	}
+	return p.Diagonal, nil
+}
+
+// asGeneral returns the general representation, lifting a diagonal problem
+// to its exact general equivalent (diagonal weight matrices) when needed.
+func (p *Problem) asGeneral(solver string) (*GeneralProblem, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.General != nil {
+		return p.General, nil
+	}
+	return liftDiagonal(p.Diagonal)
+}
+
+// liftDiagonal embeds a diagonal problem into the general form: the same
+// objective with G = diag(γ), A = diag(α), B = diag(β). The lift is exact —
+// both problems have identical optima — so diagonal problems are solvable by
+// every general-problem algorithm in the registry.
+func liftDiagonal(d *DiagonalProblem) (*GeneralProblem, error) {
+	g := &GeneralProblem{
+		M: d.M, N: d.N,
+		X0: d.X0,
+		S0: d.S0, D0: d.D0,
+		SLo: d.SLo, SHi: d.SHi, DLo: d.DLo, DHi: d.DHi,
+		Upper: d.Upper,
+		Lower: d.Lower,
+		Kind:  d.Kind,
+	}
+	var err error
+	if g.G, err = mat.NewDiagonal(d.Gamma); err != nil {
+		return nil, fmt.Errorf("sea: lifting diagonal problem: %w", err)
+	}
+	if d.Alpha != nil {
+		if g.A, err = mat.NewDiagonal(d.Alpha); err != nil {
+			return nil, fmt.Errorf("sea: lifting diagonal problem: %w", err)
+		}
+	}
+	if d.Beta != nil {
+		if g.B, err = mat.NewDiagonal(d.Beta); err != nil {
+			return nil, fmt.Errorf("sea: lifting diagonal problem: %w", err)
+		}
+	}
+	return g, nil
+}

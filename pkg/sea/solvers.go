@@ -1,0 +1,128 @@
+package sea
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"sea/internal/baseline"
+	"sea/internal/core"
+	"sea/internal/mat"
+)
+
+// The built-in registry: every algorithm the repository implements, behind
+// the one Solver interface. Solvers that need the general form lift diagonal
+// problems automatically (see liftDiagonal), so e.g. `rc` and `bk` run
+// directly on the paper's Table 1–6 diagonal instances.
+func init() {
+	MustRegister(NewSolver("sea",
+		"splitting equilibration algorithm (diagonal problems; the paper's main method)",
+		func(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
+			d, err := p.asDiagonal("sea")
+			if err != nil {
+				return nil, err
+			}
+			return core.SolveDiagonal(ctx, d, o)
+		}))
+	MustRegister(NewSolver("sea-general",
+		"SEA inside the Dafermos projection method (dense weight matrices)",
+		func(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
+			g, err := p.asGeneral("sea-general")
+			if err != nil {
+				return nil, err
+			}
+			return core.SolveGeneral(ctx, g, o)
+		}))
+	MustRegister(NewSolver("rc",
+		"RC equilibration algorithm of Nagurney, Kim and Robinson (1990)",
+		func(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
+			g, err := p.asGeneral("rc")
+			if err != nil {
+				return nil, err
+			}
+			return baseline.SolveRC(ctx, g, o)
+		}))
+	MustRegister(NewSolver("bk",
+		"Bachem-Korte (1978) primal cycle method over the transportation polytope",
+		func(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
+			g, err := p.asGeneral("bk")
+			if err != nil {
+				return nil, err
+			}
+			return baseline.SolveBK(ctx, g, o)
+		}))
+	MustRegister(NewSolver("dykstra",
+		"Dykstra's alternating projections (independent reference solver)",
+		func(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
+			d, err := p.asDiagonal("dykstra")
+			if err != nil {
+				return nil, err
+			}
+			return baseline.SolveDykstra(ctx, d, o)
+		}))
+	MustRegister(NewSolver("projgrad",
+		"projected gradient with Dykstra inner projections (general problems)",
+		func(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
+			g, err := p.asGeneral("projgrad")
+			if err != nil {
+				return nil, err
+			}
+			return baseline.SolveProjGrad(ctx, g, o)
+		}))
+	MustRegister(NewSolver("ras",
+		"RAS biproportional scaling of Deming and Stephan (1940)",
+		solveRAS))
+	MustRegister(NewSolver("unsigned",
+		"unsigned Stone/Byron estimator (drops x >= 0; direct Cholesky solve)",
+		func(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
+			d, err := p.asDiagonal("unsigned")
+			if err != nil {
+				return nil, err
+			}
+			return baseline.SolveUnsigned(ctx, d)
+		}))
+}
+
+// solveRAS adapts the RAS sweep result to the unified Solution. RAS solves
+// an entropy objective rather than the quadratic one, so Objective reports
+// the problem's quadratic objective evaluated at the RAS point (for
+// comparison against the other solvers) and the dual values are absent.
+func solveRAS(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m, n := p.Size()
+	var x0, s0, d0 []float64
+	var kind Kind
+	if p.Diagonal != nil {
+		x0, s0, d0, kind = p.Diagonal.X0, p.Diagonal.S0, p.Diagonal.D0, p.Diagonal.Kind
+	} else {
+		x0, s0, d0, kind = p.General.X0, p.General.S0, p.General.D0, p.General.Kind
+	}
+	if kind != FixedTotals {
+		return nil, fmt.Errorf("sea: solver \"ras\" supports fixed totals only, got %v", kind)
+	}
+	res, rasErr := baseline.RAS(ctx, m, n, x0, s0, d0, o)
+	if res == nil {
+		return nil, rasErr
+	}
+	sol := &Solution{
+		X: res.X, S: mat.Clone(s0), D: mat.Clone(d0),
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+		Residual:   math.Max(res.MaxRowErr, res.MaxColErr),
+		DualValue:  math.NaN(),
+	}
+	if p.Diagonal != nil {
+		sol.Objective = p.Diagonal.Objective(sol.X, sol.S, sol.D)
+	} else {
+		sol.Objective = p.General.Objective(sol.X, sol.S, sol.D)
+	}
+	if rasErr != nil {
+		return sol, rasErr
+	}
+	if !sol.Converged {
+		return sol, fmt.Errorf("%w: RAS after %d sweeps (residual %g)", ErrNotConverged, sol.Iterations, sol.Residual)
+	}
+	return sol, nil
+}
