@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz fmt results check cmds cancel
+.PHONY: all build vet test race bench bench-check fuzz fmt results check cmds cancel
 
 all: check
 
@@ -34,6 +34,17 @@ cancel:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Hot-path perf guard: smoke the key benchmarks, regenerate the perf
+# records, and diff them against the committed BENCH_sea.json. The compare
+# threshold is looser than seabench's 10% default because single-run
+# wall-clock numbers on a shared machine are noisy; genuine hot-path
+# regressions show up far beyond 25%.
+bench-check: cmds
+	$(GO) test -run xxx -bench 'Table1_Diagonal500$$|ArenaReuse|KernelColdResolve|KernelWarmResolve' -benchtime 1x .
+	$(GO) run ./cmd/seabench -table none -benchjson .bench_check.json
+	$(GO) run ./cmd/seabench -compare -threshold 0.25 BENCH_sea.json .bench_check.json; \
+	st=$$?; rm -f .bench_check.json; exit $$st
+
 fuzz:
 	$(GO) test -fuzz=FuzzKernel -fuzztime=30s ./internal/equilibrate/
 
@@ -44,5 +55,5 @@ fmt:
 results:
 	$(GO) run ./cmd/seabench -table all -scale 1 -bkmax 900 | tee results_full.txt
 
-check: build vet test race cmds cancel
+check: build vet test race cmds cancel bench-check
 	@test -z "$$(gofmt -l .)" || (echo "gofmt needed:"; gofmt -l .; exit 1)

@@ -15,6 +15,7 @@ import (
 	"sea/internal/equilibrate"
 	"sea/internal/experiments"
 	"sea/internal/mat"
+	"sea/internal/parallel"
 	"sea/internal/parsim"
 	"sea/internal/problems"
 	"sea/internal/spe"
@@ -281,6 +282,85 @@ func benchKernel(b *testing.B, bisect bool) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Kernel warm start: re-solving a subproblem whose coefficients drifted
+// slightly (the steady state of the dual ascent) with and without a
+// persistent State. Both variants pay the same perturbation cost, so the
+// delta is the sort-and-sweep saving alone.
+func BenchmarkKernelColdResolve(b *testing.B) { benchKernelResolve(b, false) }
+func BenchmarkKernelWarmResolve(b *testing.B) { benchKernelResolve(b, true) }
+
+func benchKernelResolve(b *testing.B, warm bool) {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(99, 100))
+	n := 1000
+	p := &equilibrate.Problem{C: make([]float64, n), A: make([]float64, n)}
+	var sum float64
+	for j := 0; j < n; j++ {
+		p.C[j] = rng.Float64() * 1000
+		p.A[j] = 0.1 + rng.Float64()
+		sum += p.C[j]
+	}
+	p.R = sum * 1.5
+	ws := equilibrate.NewWorkspace(n)
+	x := make([]float64, n)
+	st := &equilibrate.State{}
+	if _, err := p.SolveState(x, ws, st); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Small deterministic drift, as between dual-ascent iterations.
+		p.C[i%n] += 1e-3
+		var err error
+		if warm {
+			_, err = p.SolveState(x, ws, st)
+		} else {
+			_, err = p.SolveState(x, ws, nil)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Steady-state arena reuse: the same Table 1 instance solved back to back
+// through one Arena and a caller-owned pool. After the first iteration every
+// buffer, worker, and warm-start permutation is recycled — allocs/op should
+// be (near) zero and ns/op below the cold BenchmarkTable1_Diagonal500.
+func BenchmarkTable1_Diagonal500_ArenaReuse(b *testing.B) {
+	p := problems.Table1(500, 1)
+	pool := parallel.NewPool(1)
+	defer pool.Close()
+	ar := core.NewArena()
+	defer ar.Close()
+	o := fixedOpts(0.01)
+	o.Runner = pool
+	o.Arena = ar
+	if _, err := core.SolveDiagonal(context.Background(), p, o); err != nil {
+		b.Fatal(err)
+	}
+	solveDiag(b, p, o)
+}
+
+// The same cold/warm split at the solver level with warm starts disabled:
+// isolates the kernel warm start from the rest of the arena reuse.
+func BenchmarkTable1_Diagonal500_ArenaNoWarm(b *testing.B) {
+	p := problems.Table1(500, 1)
+	pool := parallel.NewPool(1)
+	defer pool.Close()
+	ar := core.NewArena()
+	defer ar.Close()
+	o := fixedOpts(0.01)
+	o.Runner = pool
+	o.Arena = ar
+	o.DisableWarmStart = true
+	if _, err := core.SolveDiagonal(context.Background(), p, o); err != nil {
+		b.Fatal(err)
+	}
+	solveDiag(b, p, o)
 }
 
 // Interval-totals solve (the Harrigan–Buchanan extension) on an I/O-style

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"sea/internal/experiments"
+	"sea/internal/report"
+)
+
+// runCompare implements `seabench -compare old.json new.json`: it prints a
+// per-record delta table between two PerfReports (as written by -benchjson)
+// and returns the number of regressions — records whose ns/op grew by more
+// than threshold (a fraction, e.g. 0.10 for 10%). Records present in only
+// one file are shown but never count as regressions; allocation counts are
+// reported for context and judged by the same threshold only when the old
+// record allocated at all.
+func runCompare(oldPath, newPath string, threshold float64) int {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seabench: -compare: %v\n", err)
+		return 1
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seabench: -compare: %v\n", err)
+		return 1
+	}
+
+	type key struct {
+		name  string
+		procs int
+	}
+	oldBy := map[key]experiments.PerfRecord{}
+	for _, r := range oldRep.Records {
+		oldBy[key{r.Name, r.Procs}] = r
+	}
+
+	regressions := 0
+	var rows [][]string
+	seen := map[key]bool{}
+	for _, nr := range newRep.Records {
+		k := key{nr.Name, nr.Procs}
+		seen[k] = true
+		or, ok := oldBy[k]
+		if !ok {
+			rows = append(rows, []string{nr.Name, fmt.Sprint(nr.Procs),
+				"-", fmtNs(nr.NsPerOp), "-", "new"})
+			continue
+		}
+		delta := float64(nr.NsPerOp-or.NsPerOp) / float64(or.NsPerOp)
+		verdict := "ok"
+		switch {
+		case delta > threshold:
+			verdict = "REGRESSION"
+			regressions++
+		case delta < -threshold:
+			verdict = "faster"
+		}
+		rows = append(rows, []string{nr.Name, fmt.Sprint(nr.Procs),
+			fmtNs(or.NsPerOp), fmtNs(nr.NsPerOp),
+			fmt.Sprintf("%+.1f%%", 100*delta), verdict})
+	}
+	for _, or := range oldRep.Records {
+		if k := (key{or.Name, or.Procs}); !seen[k] {
+			rows = append(rows, []string{or.Name, fmt.Sprint(or.Procs),
+				fmtNs(or.NsPerOp), "-", "-", "dropped"})
+		}
+	}
+
+	report.Render(os.Stdout, fmt.Sprintf("Perf comparison: %s -> %s (threshold %.0f%%)",
+		oldPath, newPath, 100*threshold),
+		[]string{"record", "procs", "old ns/op", "new ns/op", "delta", "verdict"}, rows)
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "seabench: %d record(s) regressed beyond %.0f%%\n",
+			regressions, 100*threshold)
+	}
+	return regressions
+}
+
+func loadReport(path string) (experiments.PerfReport, error) {
+	var rep experiments.PerfReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Records) == 0 {
+		return rep, fmt.Errorf("%s: no perf records", path)
+	}
+	return rep, nil
+}
+
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -8,6 +8,8 @@
 //	seabench -table 7 -scale 1 -bkmax 900   # the full Table 7 comparison
 //	seabench -table 6 -csv                  # machine-readable output
 //	seabench -table none -benchjson BENCH_sea.json   # hot-path perf records
+//	seabench -compare BENCH_sea.json new.json        # delta table, exit 1 on regression
+//	seabench -table 1 -nowarm               # ablate the kernel warm start
 //	seabench -table 1 -cpuprofile cpu.out   # profile a hot table
 //	seabench -table all -timeout 2m         # bound the whole run
 //	seabench -solver rc -size 60            # time one registry solver
@@ -54,10 +56,24 @@ func main() {
 		size       = flag.Int("size", 100, "with -solver: order of the generated Table 1-style instance")
 		timeout    = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 		benchjson  = flag.String("benchjson", "", "also run the hot-path perf suite and write its records to this JSON file")
+		compare    = flag.Bool("compare", false, "compare two -benchjson files (usage: seabench -compare old.json new.json) and exit non-zero on regression")
+		threshold  = flag.Float64("threshold", 0.10, "with -compare: regression threshold as a fraction of old ns/op")
+		nowarm     = flag.Bool("nowarm", false, "disable the equilibration kernel's warm-started sort (ablation)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile, taken at exit, to this file")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "seabench: -compare needs exactly two files: seabench -compare old.json new.json")
+			os.Exit(2)
+		}
+		if runCompare(flag.Arg(0), flag.Arg(1), *threshold) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	// cleanup flushes the pprof outputs; it runs both on the normal exit
 	// path and before the error-path os.Exit, and is idempotent.
@@ -106,7 +122,7 @@ func main() {
 		defer cancel()
 	}
 
-	cfg := experiments.Config{Scale: *scale, Procs: *procs, Epsilon: *eps, MaxBKDim: *bkmax}
+	cfg := experiments.Config{Scale: *scale, Procs: *procs, Epsilon: *eps, MaxBKDim: *bkmax, NoWarm: *nowarm}
 	// One persistent pool serves every solve of the run; the perf suite
 	// manages its own pools because it varies the worker count.
 	pool := parallel.NewPool(*procs)
@@ -118,6 +134,7 @@ func main() {
 		o := sea.DefaultOptions()
 		o.Procs = *procs
 		o.Runner = pool
+		o.DisableWarmStart = *nowarm
 		if *eps > 0 {
 			o.Epsilon = *eps
 		}

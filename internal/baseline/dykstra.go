@@ -76,7 +76,7 @@ func SolveDykstra(ctx context.Context, p *core.DiagonalProblem, opts *core.Optio
 		}
 		for i := 0; i < m; i++ {
 			c := tmp[i*n : (i+1)*n]
-			a := ws.A[:n]
+			_, a := ws.Scratch(n)
 			for j := 0; j < n; j++ {
 				a[j] = 0.5 / p.Gamma[i*n+j]
 			}

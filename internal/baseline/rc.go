@@ -84,6 +84,13 @@ func SolveRC(ctx context.Context, p *core.GeneralProblem, opts *core.Options) (*
 		st.workspaces[c] = equilibrate.NewWorkspace(maxDim)
 		st.colBufs[c] = make([]float64, 2*m)
 	}
+	if !o.DisableWarmStart {
+		// Per-subproblem warm-start states, indexed by row/column — never by
+		// chunk — so the kernel's bit-exact warm sorts keep RC's results
+		// independent of the worker count.
+		st.rowStates = make([]equilibrate.State, m)
+		st.colStates = make([]equilibrate.State, n)
+	}
 
 	xOuter := make([]float64, mn)
 	totalInner := 0
@@ -170,6 +177,8 @@ type rcState struct {
 	runner     parallel.Runner
 	workspaces []*equilibrate.Workspace
 	colBufs    [][]float64
+	rowStates  []equilibrate.State // warm-start state per row (nil when disabled)
+	colStates  []equilibrate.State // warm-start state per column
 	errs       error
 }
 
@@ -222,8 +231,7 @@ func (st *rcState) stage(rowStage bool, lambda, mu []float64) (int, error) {
 			st.runner.ForChunks(m, func(chunk, lo, hi int) {
 				ws := st.workspaces[chunk]
 				for i := lo; i < hi; i++ {
-					c := ws.C[:n]
-					a := ws.A[:n]
+					c, a := ws.Scratch(n)
 					for j := 0; j < n; j++ {
 						k := i*n + j
 						aj := 0.5 / st.gammaT[k]
@@ -234,7 +242,11 @@ func (st *rcState) stage(rowStage bool, lambda, mu []float64) (int, error) {
 					if p.Upper != nil {
 						prob.U = p.Upper[i*n : (i+1)*n]
 					}
-					res, err := prob.Solve(st.x[i*n:(i+1)*n], ws)
+					var est *equilibrate.State
+					if st.rowStates != nil {
+						est = &st.rowStates[i]
+					}
+					res, err := prob.SolveState(st.x[i*n:(i+1)*n], ws, est)
 					if err != nil {
 						if st.errs == nil {
 							st.errs = fmt.Errorf("row %d: %w", i, err)
@@ -266,7 +278,11 @@ func (st *rcState) stage(rowStage bool, lambda, mu []float64) (int, error) {
 						}
 						prob.U = ucol
 					}
-					res, err := prob.Solve(xcol, ws)
+					var est *equilibrate.State
+					if st.colStates != nil {
+						est = &st.colStates[j]
+					}
+					res, err := prob.SolveState(xcol, ws, est)
 					if err != nil {
 						if st.errs == nil {
 							st.errs = fmt.Errorf("column %d: %w", j, err)

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"context"
+	"math/rand/v2"
+	"testing"
+
+	"sea/internal/parallel"
+)
+
+// sameSolution asserts bit-exact equality of two solutions.
+func sameSolution(t *testing.T, name string, got, want *Solution) {
+	t.Helper()
+	for k := range want.X {
+		if got.X[k] != want.X[k] {
+			t.Fatalf("%s: X[%d] = %v, want %v (bit-exact)", name, k, got.X[k], want.X[k])
+		}
+	}
+	for i := range want.Lambda {
+		if got.Lambda[i] != want.Lambda[i] {
+			t.Fatalf("%s: Lambda[%d] = %v, want %v", name, i, got.Lambda[i], want.Lambda[i])
+		}
+	}
+	for j := range want.Mu {
+		if got.Mu[j] != want.Mu[j] {
+			t.Fatalf("%s: Mu[%d] = %v, want %v", name, j, got.Mu[j], want.Mu[j])
+		}
+	}
+	if got.Iterations != want.Iterations {
+		t.Fatalf("%s: %d iterations, want %d", name, got.Iterations, want.Iterations)
+	}
+	if got.Objective != want.Objective || got.DualValue != want.DualValue {
+		t.Fatalf("%s: objective/dual %v/%v, want %v/%v", name, got.Objective, got.DualValue, want.Objective, want.DualValue)
+	}
+}
+
+// TestWarmStartAblationBitExact: the kernel's warm-started sorts must be a
+// pure performance choice — disabling them (Options.DisableWarmStart)
+// changes nothing in the result, for every worker count.
+func TestWarmStartAblationBitExact(t *testing.T) {
+	p := determinismProblem(t)
+	opts := func(disable bool) *Options {
+		o := DefaultOptions()
+		o.Criterion = MaxAbsDelta
+		o.Epsilon = 1e-6
+		o.DisableWarmStart = disable
+		return o
+	}
+	ref, err := SolveDiagonal(context.Background(), p, opts(true))
+	if err != nil {
+		t.Fatalf("cold reference: %v", err)
+	}
+	for _, procs := range []int{1, 2, 7, 16} {
+		o := opts(false)
+		o.Procs = procs
+		warm, err := SolveDiagonal(context.Background(), p, o)
+		if err != nil {
+			t.Fatalf("warm procs=%d: %v", procs, err)
+		}
+		sameSolution(t, "warm vs cold", warm, ref)
+	}
+}
+
+// TestArenaReuseBitExact: repeated solves through one arena — first cold,
+// then fully warm — must match a fresh, arena-free solve bit for bit, and
+// the arena must survive shape changes by rebuilding.
+func TestArenaReuseBitExact(t *testing.T) {
+	p := determinismProblem(t)
+	opts := func() *Options {
+		o := DefaultOptions()
+		o.Criterion = MaxAbsDelta
+		o.Epsilon = 1e-6
+		return o
+	}
+	ref, err := SolveDiagonal(context.Background(), p, opts())
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+
+	ar := NewArena()
+	defer ar.Close()
+	for trial := 0; trial < 3; trial++ {
+		o := opts()
+		o.Arena = ar
+		sol, err := SolveDiagonal(context.Background(), p, o)
+		if err != nil {
+			t.Fatalf("arena solve %d: %v", trial, err)
+		}
+		sameSolution(t, "arena", sol, ref)
+	}
+
+	// A different shape through the same arena rebuilds and stays correct.
+	small := smallProblem(t, 13, 9)
+	refSmall, err := SolveDiagonal(context.Background(), small, opts())
+	if err != nil {
+		t.Fatalf("small reference: %v", err)
+	}
+	o := opts()
+	o.Arena = ar
+	sol, err := SolveDiagonal(context.Background(), small, o)
+	if err != nil {
+		t.Fatalf("arena small solve: %v", err)
+	}
+	sameSolution(t, "arena after shape change", sol, refSmall)
+
+	// And back to the original shape (cold again after the rebuild).
+	o = opts()
+	o.Arena = ar
+	sol, err = SolveDiagonal(context.Background(), p, o)
+	if err != nil {
+		t.Fatalf("arena refill solve: %v", err)
+	}
+	sameSolution(t, "arena refilled", sol, ref)
+}
+
+// smallProblem builds a fixed-seed bounded fixed-totals instance of the
+// given shape.
+func smallProblem(t *testing.T, m, n int) *DiagonalProblem {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(9, 11))
+	x0 := make([]float64, m*n)
+	gamma := make([]float64, m*n)
+	for k := range x0 {
+		x0[k] = rng.Float64() * 5
+		gamma[k] = 0.5 + rng.Float64()
+	}
+	s0 := make([]float64, m)
+	d0 := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			v := 1.1 * x0[i*n+j]
+			s0[i] += v
+			d0[j] += v
+		}
+	}
+	p, err := NewFixed(m, n, x0, gamma, s0, d0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestArenaSteadyStateAllocs: with an arena and a caller-owned runner,
+// repeated same-shape solves must allocate (near) nothing — the acceptance
+// criterion for the reusable-arena layer.
+func TestArenaSteadyStateAllocs(t *testing.T) {
+	p := determinismProblem(t)
+	pool := parallel.NewPool(1)
+	defer pool.Close()
+	ar := NewArena()
+	defer ar.Close()
+	o := DefaultOptions()
+	o.Criterion = MaxAbsDelta
+	o.Epsilon = 1e-6
+	o.Runner = pool
+	o.Arena = ar
+
+	ctx := context.Background()
+	// Warm up: populate the arena and the kernel states.
+	for i := 0; i < 2; i++ {
+		if _, err := SolveDiagonal(ctx, p, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := SolveDiagonal(ctx, p, o); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The steady state is a handful of fixed-size allocations (the options
+	// copy); anything growing with the problem or iteration count is a leak.
+	if allocs > 8 {
+		t.Errorf("steady-state solve allocates %.0f objects/op; want ≤ 8", allocs)
+	}
+}
+
+// TestArenaSingleFlight: an arena backing a running solve must reject a
+// second concurrent acquisition rather than corrupt shared state.
+func TestArenaSingleFlight(t *testing.T) {
+	ar := NewArena()
+	if err := ar.acquire(); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if err := ar.acquire(); err == nil {
+		t.Fatal("second acquire succeeded; arenas must be single-flight")
+	}
+	ar.release()
+	if err := ar.acquire(); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	ar.release()
+}
+
+// TestArenaGeneralSolver: the general solver accepts an arena for its inner
+// diagonal state and stays bit-exact across reuse.
+func TestArenaGeneralSolver(t *testing.T) {
+	gp := randGeneralFixed(rand.New(rand.NewPCG(21, 22)), 6, 8)
+	o := DefaultOptions()
+	o.Criterion = MaxAbsDelta
+	o.Epsilon = 1e-6
+	ref, err := SolveGeneral(context.Background(), gp, o)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	ar := NewArena()
+	defer ar.Close()
+	for trial := 0; trial < 2; trial++ {
+		oa := DefaultOptions()
+		oa.Criterion = MaxAbsDelta
+		oa.Epsilon = 1e-6
+		oa.Arena = ar
+		sol, err := SolveGeneral(context.Background(), gp, oa)
+		if err != nil {
+			t.Fatalf("arena general solve %d: %v", trial, err)
+		}
+		for k := range ref.X {
+			if sol.X[k] != ref.X[k] {
+				t.Fatalf("trial %d: X[%d] = %v, want %v", trial, k, sol.X[k], ref.X[k])
+			}
+		}
+		if sol.Iterations != ref.Iterations {
+			t.Fatalf("trial %d: %d iterations, want %d", trial, sol.Iterations, ref.Iterations)
+		}
+	}
+}

@@ -24,11 +24,19 @@ import (
 //
 // On iteration-limit exhaustion it returns the last iterate together with an
 // error wrapping ErrNotConverged.
+//
+// With Options.Arena set, the working state (and the returned Solution's
+// backing arrays) come from the arena and are reused across same-shape
+// solves; see Arena for the aliasing and concurrency contract.
 func SolveDiagonal(ctx context.Context, p *DiagonalProblem, opts *Options) (*Solution, error) {
 	o := opts.withDefaults()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if err := o.Arena.acquire(); err != nil {
+		return nil, err
+	}
+	defer o.Arena.release()
 	st := newDiagState(ctx, p, o)
 	defer st.close()
 	if err := st.run(); err != nil {
@@ -45,10 +53,18 @@ func SolveDiagonal(ctx context.Context, p *DiagonalProblem, opts *Options) (*Sol
 // problem constants the column phase needs (priors, slopes, bounds) are
 // transposed once up front for the same reason; a blocked transpose
 // reconciles xT back into x after each column phase.
+//
+// A state can outlive one solve: with Options.Arena the whole struct is
+// cached and re-adopted by the next same-shape solve, which resets the
+// per-solve scalars and recomputes the data-dependent constants while
+// keeping every buffer — and the kernel warm-start states — alive.
 type diagState struct {
 	ctx context.Context
 	p   *DiagonalProblem
 	o   *Options
+
+	m, n  int    // cached problem shape (the arena reuse key)
+	arena *Arena // nil when not reusing
 
 	x        []float64 // current matrix iterate, m×n row-major
 	xT       []float64 // column-major mirror, n×m: xT[j*m+i] = x[i*n+j]
@@ -67,11 +83,40 @@ type diagState struct {
 	supplyBuf  []float64 // supplies scratch for checkConvergence, hoisted off the hot loop
 	checkTasks []int64   // shared parallel-check trace costs (every entry is n)
 
+	// rowStates[k][i] / colStates[k][j] carry the kernel's warm-start
+	// permutation for row i / column j, bucketed by iteration slot k (see
+	// statesFor for the slot policy — per-iteration under an arena so
+	// repeated solves replay the matching iteration, consecutive-iteration
+	// otherwise). State i is always handed to subproblem i regardless of how
+	// the index range is chunked, so warm starting cannot perturb the
+	// disjoint-partition determinism contract — and the kernel guarantees
+	// warm results are bit-identical to cold ones anyway.
+	rowStates [][]equilibrate.State
+	colStates [][]equilibrate.State
+	warm      bool // thread the states (off under Options.DisableWarmStart)
+	// curRowStates/curColStates are the slot arrays of the phase being
+	// dispatched (written by rowPhase/colPhase before the dispatch, read by
+	// the chunk bodies; nil disables warm starting for the phase).
+	curRowStates []equilibrate.State
+	curColStates []equilibrate.State
+
 	runner  parallel.Runner
 	ownPool *parallel.Pool // set when the state created (and must close) its runner
 
 	workspaces []*equilibrate.Workspace
 	errs       []error
+
+	// Phase bodies are bound once per state, not per dispatch, so the hot
+	// loop creates no closures; curPH carries the cost-trace sink of the
+	// phase being dispatched (written before the dispatch, read inside it).
+	rowBody       func(chunk, lo, hi int)
+	colBody       func(chunk, lo, hi int)
+	aTBody        func(chunk, lo, hi int)
+	x0TBody       func(chunk, lo, hi int)
+	reconcileBody func(chunk, lo, hi int)
+	deltaBody     func(chunk, lo, hi int)
+	sumBody       func(chunk, lo, hi int)
+	curPH         *PhaseCosts
 
 	iterations int
 	converged  bool
@@ -88,37 +133,65 @@ func newDiagState(ctx context.Context, p *DiagonalProblem, o *Options) *diagStat
 	if n > maxDim {
 		maxDim = n
 	}
-	st := &diagState{
-		ctx:       ctx,
-		p:         p,
-		o:         o,
-		x:         make([]float64, m*n),
-		xT:        make([]float64, m*n),
-		lambda:    make([]float64, m),
-		mu:        make([]float64, n),
-		rowSum:    make([]float64, m),
-		colSum:    make([]float64, n),
-		checkBuf:  make([]float64, m),
-		aRow:      make([]float64, m*n),
-		aT:        make([]float64, m*n),
-		x0T:       make([]float64, m*n),
-		supplyBuf: make([]float64, m),
+
+	ar := o.Arena
+	var st *diagState
+	if ar != nil && ar.st != nil && ar.st.m == m && ar.st.n == n {
+		st = ar.st
+		st.reset()
+	} else {
+		st = &diagState{
+			m: m, n: n,
+			x:         make([]float64, m*n),
+			xT:        make([]float64, m*n),
+			lambda:    make([]float64, m),
+			mu:        make([]float64, n),
+			rowSum:    make([]float64, m),
+			colSum:    make([]float64, n),
+			checkBuf:  make([]float64, m),
+			aRow:      make([]float64, m*n),
+			aT:        make([]float64, m*n),
+			x0T:       make([]float64, m*n),
+			supplyBuf: make([]float64, m),
+		}
+		st.bindBodies()
+		if ar != nil {
+			ar.st = st
+		}
 	}
+	st.ctx, st.p, st.o = ctx, p, o
+	st.arena = ar
+	st.warm = !o.DisableWarmStart
+
 	if o.Mu0 != nil {
 		copy(st.mu, o.Mu0)
 	}
-	if o.Criterion == MaxAbsDelta {
+	if o.Criterion == MaxAbsDelta && st.xPrev == nil {
 		st.xPrev = make([]float64, m*n)
 	}
 
 	st.runner = o.Runner
+	st.ownPool = nil
 	if st.runner == nil {
 		procs := o.Procs
 		if procs > maxDim {
 			procs = maxDim
 		}
-		st.ownPool = parallel.NewPool(procs)
-		st.runner = st.ownPool
+		if ar != nil {
+			// The arena owns a persistent pool so repeated solves skip the
+			// worker spawn; it is re-created only when Procs changes.
+			if ar.pool == nil || ar.poolProcs != procs {
+				if ar.pool != nil {
+					ar.pool.Close()
+				}
+				ar.pool = parallel.NewPool(procs)
+				ar.poolProcs = procs
+			}
+			st.runner = ar.pool
+		} else {
+			st.ownPool = parallel.NewPool(procs)
+			st.runner = st.ownPool
+		}
 	}
 	procs := st.runner.Workers()
 	if procs > maxDim {
@@ -127,33 +200,86 @@ func newDiagState(ctx context.Context, p *DiagonalProblem, o *Options) *diagStat
 	if procs < 1 {
 		procs = 1
 	}
-	st.workspaces = make([]*equilibrate.Workspace, procs)
-	st.errs = make([]error, procs)
-	for c := range st.workspaces {
-		st.workspaces[c] = equilibrate.NewWorkspace(maxDim)
+	for len(st.workspaces) < procs {
+		st.workspaces = append(st.workspaces, equilibrate.NewWorkspace(maxDim))
+		st.errs = append(st.errs, nil)
 	}
 
+	// Data-dependent constants, recomputed on every solve (an adopted state
+	// may carry a different problem with the same shape).
 	for k, g := range p.Gamma {
 		st.aRow[k] = 0.5 / g
 	}
-	st.runner.ForChunks(m, func(_, lo, hi int) {
-		mat.TransposeRange(st.aT, st.aRow, m, n, lo, hi)
-	})
+	st.runner.ForChunks(m, st.aTBody)
 	st.refreshX0T()
 	if p.Upper != nil {
-		st.upperT = make([]float64, m*n)
+		if st.upperT == nil {
+			st.upperT = make([]float64, m*n)
+		}
 		mat.Transpose(st.upperT, p.Upper, m, n)
+	} else {
+		st.upperT = nil
 	}
 	if p.Lower != nil {
-		st.lowerT = make([]float64, m*n)
+		if st.lowerT == nil {
+			st.lowerT = make([]float64, m*n)
+		}
 		mat.Transpose(st.lowerT, p.Lower, m, n)
+	} else {
+		st.lowerT = nil
 	}
 	return st
 }
 
+// reset clears the per-solve scalars of an adopted state. Everything not
+// cleared here is either recomputed by newDiagState (the data-dependent
+// constants) or fully overwritten by the first iteration's phases before it
+// is read (x, xT, lambda, rowSum, colSum); the kernel warm-start states are
+// deliberately kept — that is the point of adoption.
+func (st *diagState) reset() {
+	st.iterations = 0
+	st.converged = false
+	st.residual = 0
+	st.havePrev = false
+	for i := range st.errs {
+		st.errs[i] = nil
+	}
+	clear(st.mu) // the paper's μ¹ = 0 initialization (before any Mu0 copy)
+}
+
+// bindBodies creates the dispatch closures once for the state's lifetime.
+func (st *diagState) bindBodies() {
+	st.rowBody = st.rowChunk
+	st.colBody = st.colChunk
+	st.aTBody = func(_, lo, hi int) {
+		mat.TransposeRange(st.aT, st.aRow, st.m, st.n, lo, hi)
+	}
+	st.x0TBody = func(_, lo, hi int) {
+		mat.TransposeRange(st.x0T, st.p.X0, st.m, st.n, lo, hi)
+	}
+	st.reconcileBody = func(_, lo, hi int) {
+		mat.TransposeRange(st.x, st.xT, st.n, st.m, lo, hi)
+	}
+	st.deltaBody = func(_, lo, hi int) {
+		n := st.n
+		for i := lo; i < hi; i++ {
+			row := st.x[i*n : (i+1)*n]
+			prev := st.xPrev[i*n : (i+1)*n]
+			st.checkBuf[i] = mat.MaxAbsDiff(row, prev)
+			copy(prev, row)
+		}
+	}
+	st.sumBody = func(_, lo, hi int) {
+		n := st.n
+		for i := lo; i < hi; i++ {
+			st.rowSum[i] = mat.Sum(st.x[i*n : (i+1)*n])
+		}
+	}
+}
+
 // close releases the state's own worker pool, if it created one. Runners
-// supplied through Options stay open — their lifecycle belongs to the
-// caller.
+// supplied through Options — and the arena's persistent pool — stay open;
+// their lifecycle belongs to the caller (or the arena).
 func (st *diagState) close() {
 	if st.ownPool != nil {
 		st.ownPool.Close()
@@ -166,10 +292,7 @@ func (st *diagState) close() {
 // linear-term update, whose diagonalization rewrites X0 before every column
 // phase.
 func (st *diagState) refreshX0T() {
-	m, n := st.p.M, st.p.N
-	st.runner.ForChunks(m, func(_, lo, hi int) {
-		mat.TransposeRange(st.x0T, st.p.X0, m, n, lo, hi)
-	})
+	st.runner.ForChunks(st.m, st.x0TBody)
 }
 
 // run executes the alternating phases until convergence, cancellation, or
@@ -247,69 +370,122 @@ func (st *diagState) run() error {
 		ErrNotConverged, o.MaxIterations, o.Criterion, st.residual, o.Epsilon)
 }
 
+// Warm-start slot policy: with an arena, each of the first maxWarmSlots
+// outer iterations gets its own state slot, so a repeated same-shape solve
+// replays the permutation of the *matching* iteration of the previous solve
+// — the breakpoint order is nearly identical there, whereas consecutive
+// iterations early in a solve reorder wildly. Iterations past the cap share
+// the last slot (consecutive-iteration mode), which works near convergence
+// where the duals drift slowly. Without an arena nothing survives the
+// solve, so a single consecutive-iteration slot engages only once the solve
+// is old enough (past warmOnset) for the duals to have settled; short
+// solves skip the machinery — and its allocations — entirely. The onset is
+// deliberately high: a solve converging in a handful of iterations would
+// pay the per-subproblem State allocations and mostly-failing replays for
+// at most one or two iterations of benefit, while long dual-descent runs
+// (hundreds of iterations, e.g. the SPE instances) amortize them many
+// times over.
+const (
+	maxWarmSlots = 4
+	warmOnset    = 8
+)
+
+// statesFor returns the warm-start state array for the current iteration,
+// growing the slot table lazily; nil means solve cold this phase.
+func (st *diagState) statesFor(slots *[][]equilibrate.State, dim int) []equilibrate.State {
+	if !st.warm {
+		return nil
+	}
+	k := 0
+	if st.arena != nil {
+		if k = st.iterations; k > maxWarmSlots {
+			k = maxWarmSlots
+		}
+		k--
+	} else if st.iterations <= warmOnset {
+		return nil
+	}
+	for len(*slots) <= k {
+		*slots = append(*slots, nil)
+	}
+	if (*slots)[k] == nil {
+		(*slots)[k] = make([]equilibrate.State, dim)
+	}
+	return (*slots)[k]
+}
+
 // rowPhase solves the m independent row equilibrium subproblems in parallel,
 // updating x row-wise, λ, and rowSum.
 func (st *diagState) rowPhase(ph *PhaseCosts) error {
-	p, o := st.p, st.o
-	m, n := p.M, p.N
-	err := st.runner.ForChunksCtx(st.ctx, m, func(chunk, lo, hi int) {
-		ws := st.workspaces[chunk]
-		for i := lo; i < hi; i++ {
-			x0 := p.X0[i*n : (i+1)*n]
-			a := st.aRow[i*n : (i+1)*n]
-			c := ws.C[:n]
-			for j := 0; j < n; j++ {
-				c[j] = x0[j] + a[j]*st.mu[j]
-			}
-			prob := equilibrate.Problem{C: c, A: a}
-			if p.Upper != nil {
-				prob.U = p.Upper[i*n : (i+1)*n]
-			}
-			if p.Lower != nil {
-				prob.L = p.Lower[i*n : (i+1)*n]
-			}
-			switch p.Kind {
-			case FixedTotals:
-				prob.R = p.S0[i]
-			case ElasticTotals:
-				prob.E = 0.5 / p.Alpha[i]
-				prob.R = p.S0[i]
-			case Balanced:
-				e := 0.5 / p.Alpha[i]
-				prob.E = e
-				prob.R = p.S0[i] - e*st.mu[i]
-			}
-			var res equilibrate.Result
-			var err error
-			if p.Kind == IntervalTotals {
-				res, err = prob.SolveInterval(p.SLo[i], p.SHi[i], st.x[i*n:(i+1)*n], ws)
-			} else if o.Kernel == KernelBisection {
-				res, err = prob.SolveBisection(st.x[i*n:(i+1)*n], o.KernelTol)
-			} else {
-				res, err = prob.Solve(st.x[i*n:(i+1)*n], ws)
-			}
-			if err != nil {
-				if st.errs[chunk] == nil {
-					st.errs[chunk] = fmt.Errorf("row %d: %w", i, err)
-				}
-				return
-			}
-			st.lambda[i] = res.Lambda
-			st.rowSum[i] = res.Total
-			cost := res.Ops + int64(2*n)
-			if ph != nil {
-				ph.Row[i] = cost
-			}
-			if o.Counters != nil {
-				o.Counters.Equilibrations.Add(1)
-				o.Counters.Ops.Add(cost)
-			}
-		}
-	})
-	if err != nil {
+	st.curPH = ph
+	st.curRowStates = st.statesFor(&st.rowStates, st.m)
+	if err := st.runner.ForChunksCtx(st.ctx, st.p.M, st.rowBody); err != nil {
 		return err
 	}
 	return st.takeErr()
+}
+
+// rowChunk is the row-phase body for one worker's index range.
+func (st *diagState) rowChunk(chunk, lo, hi int) {
+	p, o := st.p, st.o
+	n := st.n
+	ws := st.workspaces[chunk]
+	ph := st.curPH
+	for i := lo; i < hi; i++ {
+		x0 := p.X0[i*n : (i+1)*n]
+		a := st.aRow[i*n : (i+1)*n]
+		c, _ := ws.Scratch(n)
+		for j := 0; j < n; j++ {
+			c[j] = x0[j] + a[j]*st.mu[j]
+		}
+		prob := equilibrate.Problem{C: c, A: a}
+		if p.Upper != nil {
+			prob.U = p.Upper[i*n : (i+1)*n]
+		}
+		if p.Lower != nil {
+			prob.L = p.Lower[i*n : (i+1)*n]
+		}
+		switch p.Kind {
+		case FixedTotals:
+			prob.R = p.S0[i]
+		case ElasticTotals:
+			prob.E = 0.5 / p.Alpha[i]
+			prob.R = p.S0[i]
+		case Balanced:
+			e := 0.5 / p.Alpha[i]
+			prob.E = e
+			prob.R = p.S0[i] - e*st.mu[i]
+		}
+		var est *equilibrate.State
+		if st.curRowStates != nil {
+			est = &st.curRowStates[i]
+		}
+		var res equilibrate.Result
+		var err error
+		if p.Kind == IntervalTotals {
+			res, err = prob.SolveIntervalState(p.SLo[i], p.SHi[i], st.x[i*n:(i+1)*n], ws, est)
+		} else if o.Kernel == KernelBisection {
+			res, err = prob.SolveBisection(st.x[i*n:(i+1)*n], o.KernelTol)
+		} else {
+			res, err = prob.SolveState(st.x[i*n:(i+1)*n], ws, est)
+		}
+		if err != nil {
+			if st.errs[chunk] == nil {
+				st.errs[chunk] = fmt.Errorf("row %d: %w", i, err)
+			}
+			return
+		}
+		st.lambda[i] = res.Lambda
+		st.rowSum[i] = res.Total
+		cost := res.Ops + int64(2*n)
+		if ph != nil {
+			ph.Row[i] = cost
+		}
+		if o.Counters != nil {
+			o.Counters.Equilibrations.Add(1)
+			o.Counters.Ops.Add(cost)
+		}
+	}
 }
 
 // colPhase solves the n independent column equilibrium subproblems in
@@ -318,64 +494,9 @@ func (st *diagState) rowPhase(ph *PhaseCosts) error {
 // mirror the kernel writes into — is contiguous; a blocked transpose then
 // folds the mirror back into the row-major iterate.
 func (st *diagState) colPhase(ph *PhaseCosts) error {
-	p, o := st.p, st.o
-	m, n := p.M, p.N
-	err := st.runner.ForChunksCtx(st.ctx, n, func(chunk, lo, hi int) {
-		ws := st.workspaces[chunk]
-		for j := lo; j < hi; j++ {
-			x0c := st.x0T[j*m : (j+1)*m]
-			a := st.aT[j*m : (j+1)*m]
-			c := ws.C[:m]
-			for i := 0; i < m; i++ {
-				c[i] = x0c[i] + a[i]*st.lambda[i]
-			}
-			prob := equilibrate.Problem{C: c, A: a}
-			if st.upperT != nil {
-				prob.U = st.upperT[j*m : (j+1)*m]
-			}
-			if st.lowerT != nil {
-				prob.L = st.lowerT[j*m : (j+1)*m]
-			}
-			switch p.Kind {
-			case FixedTotals:
-				prob.R = p.D0[j]
-			case ElasticTotals:
-				prob.E = 0.5 / p.Beta[j]
-				prob.R = p.D0[j]
-			case Balanced:
-				e := 0.5 / p.Alpha[j]
-				prob.E = e
-				prob.R = p.S0[j] - e*st.lambda[j]
-			}
-			xcol := st.xT[j*m : (j+1)*m]
-			var res equilibrate.Result
-			var err error
-			if p.Kind == IntervalTotals {
-				res, err = prob.SolveInterval(p.DLo[j], p.DHi[j], xcol, ws)
-			} else if o.Kernel == KernelBisection {
-				res, err = prob.SolveBisection(xcol, o.KernelTol)
-			} else {
-				res, err = prob.Solve(xcol, ws)
-			}
-			if err != nil {
-				if st.errs[chunk] == nil {
-					st.errs[chunk] = fmt.Errorf("column %d: %w", j, err)
-				}
-				return
-			}
-			st.mu[j] = res.Lambda
-			st.colSum[j] = res.Total
-			cost := res.Ops + int64(2*m)
-			if ph != nil {
-				ph.Col[j] = cost
-			}
-			if o.Counters != nil {
-				o.Counters.Equilibrations.Add(1)
-				o.Counters.Ops.Add(cost)
-			}
-		}
-	})
-	if err != nil {
+	st.curPH = ph
+	st.curColStates = st.statesFor(&st.colStates, st.n)
+	if err := st.runner.ForChunksCtx(st.ctx, st.p.N, st.colBody); err != nil {
 		return err
 	}
 	if err := st.takeErr(); err != nil {
@@ -384,10 +505,72 @@ func (st *diagState) colPhase(ph *PhaseCosts) error {
 	// Reconcile the column-major mirror into the row-major iterate, banded
 	// over the workers. Each band writes a disjoint set of x entries, so the
 	// result is partition-independent.
-	st.runner.ForChunks(n, func(_, lo, hi int) {
-		mat.TransposeRange(st.x, st.xT, n, m, lo, hi)
-	})
+	st.runner.ForChunks(st.p.N, st.reconcileBody)
 	return nil
+}
+
+// colChunk is the column-phase body for one worker's index range.
+func (st *diagState) colChunk(chunk, lo, hi int) {
+	p, o := st.p, st.o
+	m := st.m
+	ws := st.workspaces[chunk]
+	ph := st.curPH
+	for j := lo; j < hi; j++ {
+		x0c := st.x0T[j*m : (j+1)*m]
+		a := st.aT[j*m : (j+1)*m]
+		c, _ := ws.Scratch(m)
+		for i := 0; i < m; i++ {
+			c[i] = x0c[i] + a[i]*st.lambda[i]
+		}
+		prob := equilibrate.Problem{C: c, A: a}
+		if st.upperT != nil {
+			prob.U = st.upperT[j*m : (j+1)*m]
+		}
+		if st.lowerT != nil {
+			prob.L = st.lowerT[j*m : (j+1)*m]
+		}
+		switch p.Kind {
+		case FixedTotals:
+			prob.R = p.D0[j]
+		case ElasticTotals:
+			prob.E = 0.5 / p.Beta[j]
+			prob.R = p.D0[j]
+		case Balanced:
+			e := 0.5 / p.Alpha[j]
+			prob.E = e
+			prob.R = p.S0[j] - e*st.lambda[j]
+		}
+		var est *equilibrate.State
+		if st.curColStates != nil {
+			est = &st.curColStates[j]
+		}
+		xcol := st.xT[j*m : (j+1)*m]
+		var res equilibrate.Result
+		var err error
+		if p.Kind == IntervalTotals {
+			res, err = prob.SolveIntervalState(p.DLo[j], p.DHi[j], xcol, ws, est)
+		} else if o.Kernel == KernelBisection {
+			res, err = prob.SolveBisection(xcol, o.KernelTol)
+		} else {
+			res, err = prob.SolveState(xcol, ws, est)
+		}
+		if err != nil {
+			if st.errs[chunk] == nil {
+				st.errs[chunk] = fmt.Errorf("column %d: %w", j, err)
+			}
+			return
+		}
+		st.mu[j] = res.Lambda
+		st.colSum[j] = res.Total
+		cost := res.Ops + int64(2*m)
+		if ph != nil {
+			ph.Col[j] = cost
+		}
+		if o.Counters != nil {
+			o.Counters.Equilibrations.Add(1)
+			o.Counters.Ops.Add(cost)
+		}
+	}
 }
 
 // takeErr returns (and clears) the first recorded worker error.
@@ -503,19 +686,13 @@ func (st *diagState) checkConvergence(ph *PhaseCosts) bool {
 		ph.Serial = serialOps
 	}
 
-	// perRow applies fn to every row, in parallel when the check phase is
-	// parallelized.
-	perRow := func(fn func(i int)) {
+	// perRow dispatches a pre-bound per-row body, in parallel when the check
+	// phase is parallelized.
+	perRow := func(body func(chunk, lo, hi int)) {
 		if o.ParallelConvCheck {
-			st.runner.ForChunks(m, func(_, lo, hi int) {
-				for i := lo; i < hi; i++ {
-					fn(i)
-				}
-			})
+			st.runner.ForChunks(m, body)
 		} else {
-			for i := 0; i < m; i++ {
-				fn(i)
-			}
+			body(0, 0, m)
 		}
 	}
 
@@ -527,19 +704,12 @@ func (st *diagState) checkConvergence(ph *PhaseCosts) bool {
 			st.residual = math.Inf(1)
 			return false
 		}
-		perRow(func(i int) {
-			row := st.x[i*n : (i+1)*n]
-			prev := st.xPrev[i*n : (i+1)*n]
-			st.checkBuf[i] = mat.MaxAbsDiff(row, prev)
-			copy(prev, row)
-		})
+		perRow(st.deltaBody)
 		st.residual = mat.MaxAbs(st.checkBuf)
 		return st.residual <= o.Epsilon
 
 	case RelBalance, DualGradient:
-		perRow(func(i int) {
-			st.rowSum[i] = mat.Sum(st.x[i*n : (i+1)*n])
-		})
+		perRow(st.sumBody)
 		s := st.supplyBuf
 		st.supplies(s)
 		var worst float64
@@ -560,26 +730,39 @@ func (st *diagState) checkConvergence(ph *PhaseCosts) bool {
 	return false
 }
 
-// solution packages the current iterate.
+// solution packages the current iterate. Without an arena the Solution gets
+// fresh totals/multiplier arrays and adopts st.x (the state is about to be
+// dropped); with an arena every array is arena-owned and reused, so the
+// result is valid until the next solve on the same arena.
 func (st *diagState) solution() *Solution {
 	p := st.p
-	s := make([]float64, p.M)
-	d := make([]float64, p.N)
+	var sol *Solution
+	var s, d []float64
+	if ar := st.arena; ar != nil {
+		ar.solX = resizeF(ar.solX, p.M*p.N)
+		ar.solS = resizeF(ar.solS, p.M)
+		ar.solD = resizeF(ar.solD, p.N)
+		ar.solLambda = resizeF(ar.solLambda, p.M)
+		ar.solMu = resizeF(ar.solMu, p.N)
+		copy(ar.solX, st.x)
+		copy(ar.solLambda, st.lambda)
+		copy(ar.solMu, st.mu)
+		s, d = ar.solS, ar.solD
+		sol = &ar.sol
+		*sol = Solution{X: ar.solX, S: s, D: d, Lambda: ar.solLambda, Mu: ar.solMu}
+	} else {
+		s = make([]float64, p.M)
+		d = make([]float64, p.N)
+		sol = &Solution{X: st.x, S: s, D: d, Lambda: mat.Clone(st.lambda), Mu: mat.Clone(st.mu)}
+	}
 	if p.Kind == IntervalTotals {
 		p.RowSums(st.x, st.rowSum) // supplies() clamps the current sums
 	}
 	st.supplies(s)
 	st.demands(d)
-	sol := &Solution{
-		X:          st.x,
-		S:          s,
-		D:          d,
-		Lambda:     mat.Clone(st.lambda),
-		Mu:         mat.Clone(st.mu),
-		Iterations: st.iterations,
-		Converged:  st.converged,
-		Residual:   st.residual,
-	}
+	sol.Iterations = st.iterations
+	sol.Converged = st.converged
+	sol.Residual = st.residual
 	sol.Objective = p.Objective(st.x, s, d)
 	sol.DualValue = DualValue(p, st.lambda, st.mu)
 	return sol

@@ -255,6 +255,10 @@ func SolveGeneral(ctx context.Context, p *GeneralProblem, opts *Options) (*Solut
 	if err := p.Validate(o.SkipDominanceCheck); err != nil {
 		return nil, err
 	}
+	if err := o.Arena.acquire(); err != nil {
+		return nil, err
+	}
+	defer o.Arena.release()
 	m, n := p.M, p.N
 	mn := m * n
 	rho := o.Relaxation
@@ -377,6 +381,7 @@ func SolveGeneral(ctx context.Context, p *GeneralProblem, opts *Options) (*Solut
 			return nil, err
 		}
 		iterations = t
+		st.iterations = t // drives the warm-start slot policy in the phases
 		var ph *PhaseCosts
 		if o.CostTrace != nil {
 			o.CostTrace.Phases = append(o.CostTrace.Phases, PhaseCosts{

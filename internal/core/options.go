@@ -136,6 +136,19 @@ type Options struct {
 	// scan; generators that construct dominant matrices by design may skip
 	// it.
 	SkipDominanceCheck bool
+
+	// Arena, if non-nil, supplies reusable solver state for steady-state
+	// workloads: back-to-back solves on same-shape problems reuse every
+	// working buffer, the worker pool (when Runner is nil), and the kernel's
+	// warm-start permutations, reaching (near) zero allocations per solve.
+	// The returned Solution then aliases arena-owned memory — valid until
+	// the next solve on the same arena. See Arena.
+	Arena *Arena
+	// DisableWarmStart turns off the equilibration kernel's warm-started
+	// breakpoint sort, forcing a full cold sort in every subproblem. Results
+	// are bit-identical either way (warm starts are exact); this exists as
+	// the ablation switch that makes the warm-start speedup attributable.
+	DisableWarmStart bool
 }
 
 // DefaultOptions returns the options used throughout the paper's

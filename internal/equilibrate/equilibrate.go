@@ -22,6 +22,17 @@
 // nondecreasing, so the root is found by sorting the breakpoints of the
 // clamps and sweeping the segments once: O(n log n) total, dominated by the
 // sort — the paper's "7n + n ln n + 2n operations".
+//
+// Across SEA's outer iterations the duals settle, so consecutive solves of
+// the same subproblem slot see nearly identical breakpoint orders. A
+// persistent State caches the previous solve's sorted permutation; replaying
+// it and repairing the handful of drifted positions with a budgeted
+// insertion pass makes steady-state re-solves amortized O(n) instead of
+// O(n log n). The sort operates on compact (position-bits, build-index) keys
+// rather than the event payloads; the canonical order — position, then build
+// index — is a strict total order, so the sorted key array is unique
+// whichever sort produced it, and warm-started solves are bit-identical to
+// cold ones.
 package equilibrate
 
 import (
@@ -40,21 +51,96 @@ var ErrInfeasible = errors.New("equilibrate: infeasible subproblem")
 // event is a slope change of φ: at position pos, the total slope changes by
 // da and the total intercept by dc. A term j activating at its lower
 // breakpoint contributes (+a_j, +c_j); a term saturating at its upper bound
-// contributes (−a_j, u_j − c_j).
+// contributes (−a_j, u_j − c_j). Events stay in build order; the sort runs
+// over a parallel array of compact sortx.Key values — (order-preserving
+// position bits, build index) — and the sweep follows the sorted keys back
+// into this array. The (position, build index) pair is a strict total order,
+// so the sorted key array is unique regardless of which sort algorithm (or
+// starting permutation) produced it — the invariant behind bit-identical
+// warm starts.
 type event struct {
 	pos float64
 	da  float64
 	dc  float64
 }
 
+// canonicalKeys sorts the build-order key list ws.keys[:m] into the
+// canonical (position, build index) order and returns the sorted slice
+// (which may alias ws.keys or ws.keyAlt).
+//
+// Short arrays use straight insertion under the full (Bits, Idx) order —
+// the paper's choice below the threshold, still unbeaten there. Long arrays
+// use a stable LSD radix sort on the position bits: stability makes ties
+// keep build order, which IS index order, so the canonical order falls out
+// with no tie repair — and tie-heavy instances (reciprocal weighting
+// γ ∝ 1/x⁰ puts every first-iteration row breakpoint within a few ulps of
+// −2) are nearly free, because byte positions that are constant across the
+// cluster are skipped entirely. The paper used HEAPSORT here; the operation-
+// count model still charges its n·log₂ n (see Result.Ops).
+func (ws *Workspace) canonicalKeys(m int) []sortx.Key {
+	keys := ws.keys[:m]
+	if m <= sortx.InsertionThreshold {
+		sortx.InsertionKeys(keys)
+		return keys
+	}
+	return sortx.RadixKeys(keys, ws.ensureKeyAlt(m))
+}
+
+// State carries warm-start information for one subproblem slot (one row or
+// one column of SEA) across repeated solves. The zero value is a cold state.
+// A State must not be shared between concurrent solves, and it only helps —
+// and only guarantees bit-identical results — when reused for the same slot
+// with the same event-build shape (same bound pattern and length); a shape
+// change is detected and falls back to a cold sort.
+type State struct {
+	// perm[k] is the build index of the k-th event in the previous solve's
+	// sorted order. Replaying it pre-orders the next solve's events.
+	perm []int32
+	nev  int
+
+	// LastSeg is the sorted-segment index where the previous root landed;
+	// exposed as a diagnostic for locality studies.
+	LastSeg int
+	// cool counts solves left to skip the replay after a failed one: a
+	// replay that exhausts the insertion budget has paid a gather plus the
+	// burned budget for nothing, so the state backs off for a few solves
+	// (still refreshing the permutation each time) before trying again.
+	cool uint8
+	// FastSorts counts warm re-solves whose breakpoint order was recovered
+	// by the budgeted nearly-sorted pass; FullSorts counts solves that paid
+	// the full O(n log n) sort (including every cold solve).
+	FastSorts int64
+	FullSorts int64
+}
+
+// Reset discards the cached permutation so the next solve runs cold. The
+// counters are kept; they describe the State's lifetime.
+func (st *State) Reset() { st.nev, st.cool = 0, 0 }
+
+// replayCooldown is how many solves a state sits out after a failed replay.
+const replayCooldown = 3
+
 // Workspace holds reusable scratch buffers so that per-subproblem solves do
 // not allocate. One Workspace must not be shared between concurrent solves;
 // allocate one per worker.
+//
+// The workspace bounds its retained capacity: it tracks the high-water
+// subproblem size over a sliding window of solves and shrinks its buffers
+// when the recent peak is far below the allocated capacity, so a single
+// outsized solve in a mixed-size workload does not pin the largest-ever
+// buffers forever. Callers must therefore re-acquire coefficient buffers via
+// Scratch for every subproblem instead of retaining slices across solves.
 type Workspace struct {
 	events []event
-	// C and A are scratch coefficient buffers for the convenience wrappers.
+	keys   []sortx.Key // sort keys parallel to events, in build order
+	keyAlt []sortx.Key // radix ping-pong / warm-start gather target
+	// C and A are scratch coefficient buffers for callers that build the
+	// kernel inputs in place; acquire them with Scratch.
 	C []float64
 	A []float64
+
+	peak   int // largest subproblem seen in the current window
+	solves int // solves since the window opened
 }
 
 // NewWorkspace returns a Workspace pre-sized for subproblems of up to n
@@ -62,6 +148,7 @@ type Workspace struct {
 func NewWorkspace(n int) *Workspace {
 	return &Workspace{
 		events: make([]event, 0, 2*n),
+		keys:   make([]sortx.Key, 0, 2*n),
 		C:      make([]float64, n),
 		A:      make([]float64, n),
 	}
@@ -75,6 +162,51 @@ func (ws *Workspace) grow(n int) {
 	}
 	ws.C = ws.C[:n]
 	ws.A = ws.A[:n]
+}
+
+// Scratch returns the C and A coefficient buffers resized to n, growing them
+// on demand. Acquire fresh slices for every subproblem — the workspace may
+// shrink its buffers between solves, so retained slices can go stale.
+func (ws *Workspace) Scratch(n int) (c, a []float64) {
+	ws.grow(n)
+	return ws.C, ws.A
+}
+
+// ensureKeyAlt returns the secondary key buffer with length m.
+func (ws *Workspace) ensureKeyAlt(m int) []sortx.Key {
+	if cap(ws.keyAlt) < m {
+		ws.keyAlt = make([]sortx.Key, m)
+	}
+	return ws.keyAlt[:m]
+}
+
+// Retained-capacity policy: every shrinkWindow solves, if the window's peak
+// subproblem used at most a quarter of the allocated coefficient capacity
+// (and that capacity is worth reclaiming), the buffers are reallocated to
+// the recent peak.
+const (
+	shrinkWindow = 64
+	shrinkMin    = 256
+)
+
+// note records a completed solve of size n and applies the shrink policy at
+// window boundaries. Reallocation is safe mid-stream because callers hold
+// their own aliases of the old arrays for the duration of one solve only.
+func (ws *Workspace) note(n int) {
+	if n > ws.peak {
+		ws.peak = n
+	}
+	if ws.solves++; ws.solves < shrinkWindow {
+		return
+	}
+	if c := cap(ws.C); c > shrinkMin && ws.peak*4 <= c {
+		ws.C = make([]float64, ws.peak)
+		ws.A = make([]float64, ws.peak)
+		ws.events = make([]event, 0, 2*ws.peak)
+		ws.keys = make([]sortx.Key, 0, 2*ws.peak)
+		ws.keyAlt = nil
+	}
+	ws.peak, ws.solves = 0, 0
 }
 
 // Problem is one exact-equilibration instance in kernel form. See the
@@ -131,6 +263,16 @@ type Result struct {
 // must have length len(p.C). It returns ErrInfeasible when no feasible point
 // exists. ws may be nil, in which case a temporary workspace is allocated.
 func (p *Problem) Solve(x []float64, ws *Workspace) (Result, error) {
+	return p.SolveState(x, ws, nil)
+}
+
+// SolveState is Solve with an optional warm-start State. A non-nil st caches
+// the sorted breakpoint permutation across calls; re-solves of the same slot
+// with drifted coefficients then repair the order in near-linear time. The
+// result is bit-identical to a cold Solve — the (pos, idx) total order makes
+// the sorted event array unique — so warm starting is purely a performance
+// choice.
+func (p *Problem) SolveState(x []float64, ws *Workspace, st *State) (Result, error) {
 	n := len(p.C)
 	if len(p.A) != n || (p.U != nil && len(p.U) != n) || (p.L != nil && len(p.L) != n) || len(x) != n {
 		return Result{}, fmt.Errorf("equilibrate: inconsistent lengths (c=%d a=%d u=%d l=%d x=%d)",
@@ -143,7 +285,7 @@ func (p *Problem) Solve(x []float64, ws *Workspace) (Result, error) {
 		ws = NewWorkspace(n)
 	}
 
-	lambda, ops, err := p.findRoot(ws)
+	lambda, ops, err := p.findRoot(ws, st)
 	if err != nil {
 		return Result{}, err
 	}
@@ -168,11 +310,12 @@ func (p *Problem) Solve(x []float64, ws *Workspace) (Result, error) {
 		}
 	}
 	ops += int64(2 * n)
+	ws.note(n)
 	return Result{Lambda: lambda, Total: total, Ops: ops}, nil
 }
 
 // findRoot locates λ with φ(λ) = R by the sorted-breakpoint sweep.
-func (p *Problem) findRoot(ws *Workspace) (lambda float64, ops int64, err error) {
+func (p *Problem) findRoot(ws *Workspace, st *State) (lambda float64, ops int64, err error) {
 	n := len(p.C)
 
 	// Empty subproblem: only the elastic term remains.
@@ -212,15 +355,28 @@ func (p *Problem) findRoot(ws *Workspace) (lambda float64, ops int64, err error)
 	// Build the event list: one activation event per term (where it leaves
 	// its lower bound), plus one saturation event per finite upper bound.
 	// The classical unbounded case (L = U = nil, by far the hottest) gets a
-	// branch-free build loop.
-	ev := ws.events[:0]
+	// branch-free build loop. Alongside each event goes its compact sort key;
+	// a -0.0 position is normalized to +0.0 so the key order agrees with
+	// float comparison (±0 tie under ==, split by their bit patterns).
+	// Positions must not be NaN — the canonical comparison is a total order
+	// only then — so NaN breakpoints (from NaN coefficients) are rejected
+	// here.
+	ev, keys := ws.events[:0], ws.keys[:0]
 	if p.L == nil && p.U == nil {
 		for j := 0; j < n; j++ {
 			a, c := p.A[j], p.C[j]
 			if !(a > 0) {
 				return 0, 0, fmt.Errorf("equilibrate: a[%d] = %g, want > 0", j, a)
 			}
-			ev = append(ev, event{pos: -c / a, da: a, dc: c})
+			pos := -c / a
+			if pos != pos {
+				return 0, 0, fmt.Errorf("equilibrate: NaN breakpoint at %d (c=%g, a=%g)", j, c, a)
+			}
+			if pos == 0 {
+				pos = 0
+			}
+			ev = append(ev, event{pos: pos, da: a, dc: c})
+			keys = append(keys, sortx.Key{Bits: sortx.FloatBits(pos), Idx: int32(j)})
 		}
 	} else {
 		for j := 0; j < n; j++ {
@@ -229,58 +385,110 @@ func (p *Problem) findRoot(ws *Workspace) (lambda float64, ops int64, err error)
 				return 0, 0, fmt.Errorf("equilibrate: a[%d] = %g, want > 0", j, a)
 			}
 			l := p.lower(j)
-			ev = append(ev, event{pos: (l - c) / a, da: a, dc: c - l})
+			pos := (l - c) / a
+			if pos != pos {
+				return 0, 0, fmt.Errorf("equilibrate: NaN breakpoint at %d (c=%g, a=%g, l=%g)", j, c, a, l)
+			}
+			if pos == 0 {
+				pos = 0
+			}
+			keys = append(keys, sortx.Key{Bits: sortx.FloatBits(pos), Idx: int32(len(ev))})
+			ev = append(ev, event{pos: pos, da: a, dc: c - l})
 			if p.U != nil && !math.IsInf(p.U[j], 1) {
 				u := p.U[j]
 				if u < l {
 					return 0, 0, fmt.Errorf("equilibrate: bounds [%g, %g] empty at %d", l, u, j)
 				}
-				ev = append(ev, event{pos: (u - c) / a, da: -a, dc: u - c})
+				pos = (u - c) / a
+				if pos != pos {
+					return 0, 0, fmt.Errorf("equilibrate: NaN breakpoint at %d (c=%g, a=%g, u=%g)", j, c, a, u)
+				}
+				if pos == 0 {
+					pos = 0
+				}
+				keys = append(keys, sortx.Key{Bits: sortx.FloatBits(pos), Idx: int32(len(ev))})
+				ev = append(ev, event{pos: pos, da: -a, dc: u - c})
 			}
 		}
 	}
-	ws.events = ev // keep grown capacity
+	ws.events, ws.keys = ev, keys // keep grown capacity
 
-	// Sort events by position: straight insertion sort for short arrays (the
-	// paper's choice), pdqsort for long ones (the paper used HEAPSORT there;
-	// see sortx.AdaptiveCmp on the substitution).
-	sortx.AdaptiveCmp(ev, func(a, b event) int {
-		switch {
-		case a.pos < b.pos:
-			return -1
-		case a.pos > b.pos:
-			return 1
-		default:
-			return 0
-		}
-	})
-
+	// Sort the keys under the (position, build index) total order. Cold
+	// path: straight insertion for short arrays, stable radix for long ones
+	// (see canonicalKeys). Warm path: gather the keys in the previous
+	// solve's sorted order and repair the few drifted positions with the
+	// budgeted nearly-sorted pass. Both paths produce the unique sorted key
+	// array, so the sweep below — and hence the root — is bit-identical
+	// either way.
 	m := len(ev)
-	// Charge the paper's cost model: linear build + sort + sweep.
+	var sk []sortx.Key
+	if st != nil && st.nev == m && st.cool == 0 {
+		sk = ws.ensureKeyAlt(m)
+		for k, id := range st.perm[:m] {
+			sk[k] = keys[id] // keys are in build order: keys[id].Idx == id
+		}
+		if sortx.InsertionBudgetKeys(sk) {
+			st.FastSorts++
+		} else {
+			// The drift outran the budget: discard the gather, sort from
+			// the pristine build order, and back off before trying again.
+			sk = ws.canonicalKeys(m)
+			st.FullSorts++
+			st.cool = replayCooldown
+		}
+	} else {
+		sk = ws.canonicalKeys(m)
+		if st != nil {
+			st.FullSorts++
+			if st.cool > 0 {
+				st.cool--
+			}
+		}
+	}
+	if st != nil {
+		if cap(st.perm) < m {
+			st.perm = make([]int32, m)
+		}
+		st.perm = st.perm[:m]
+		for k, e := range sk {
+			st.perm[k] = e.Idx
+		}
+		st.nev = m
+	}
+	// Charge the paper's cost model: linear build + sort + sweep. The warm
+	// fast path usually does less real work than n·log₂n; the charge keeps
+	// the paper's model so reported operation counts stay comparable.
 	ops = int64(7*m) + int64(float64(m)*math.Log2(float64(m)+1))
 
 	// Sweep segments left to right. Before the first event every term sits
 	// at its lower bound: φ(λ) = Σl + e·λ. On each segment φ agrees with
 	// the linear function inter + slope·λ; because φ is monotone
-	// nondecreasing, the first segment whose linear root does not exceed
-	// the segment's right endpoint contains the solution, so a single
-	// `cand <= right` test suffices and is robust to rounding at segment
-	// boundaries.
+	// nondecreasing, the first segment whose right-endpoint value reaches
+	// the target contains the root. The per-segment test is division-free —
+	// slope·right + inter ≥ R, one multiply-add per segment — and the single
+	// division happens once, at the root segment, clamped into the segment
+	// to stay robust to rounding at the boundaries.
 	slope := p.E
 	inter := lb // φ(λ) = inter + slope·λ on the current segment
 	prev := math.Inf(-1)
 	for k := 0; k <= m; k++ {
-		var right float64
+		var e event
+		right := math.Inf(1)
 		if k < m {
-			right = ev[k].pos
-		} else {
-			right = math.Inf(1)
+			e = ev[sk[k].Idx]
+			right = e.pos
 		}
 		if slope > 0 {
-			cand := (p.R - inter) / slope
-			if cand <= right {
+			if v := slope*right + inter; v >= p.R {
+				cand := (p.R - inter) / slope
 				if cand < prev {
 					cand = prev // rounding pushed the root left of the segment
+				}
+				if cand > right {
+					cand = right // ...or right of it
+				}
+				if st != nil {
+					st.LastSeg = k
 				}
 				return cand, ops + int64(k), nil
 			}
@@ -289,6 +497,9 @@ func (p *Problem) findRoot(ws *Workspace) (lambda float64, ops int64, err error)
 			// no terms active yet, or all terms saturated at Σu = R): the
 			// multiplier is any point of the segment; take a finite,
 			// canonical endpoint.
+			if st != nil {
+				st.LastSeg = k
+			}
 			if !math.IsInf(right, 1) {
 				return right, ops + int64(k), nil
 			}
@@ -298,8 +509,8 @@ func (p *Problem) findRoot(ws *Workspace) (lambda float64, ops int64, err error)
 			return 0, ops + int64(k), nil
 		}
 		if k < m {
-			slope += ev[k].da
-			inter += ev[k].dc
+			slope += e.da
+			inter += e.dc
 			prev = right
 		}
 	}
@@ -310,6 +521,9 @@ func (p *Problem) findRoot(ws *Workspace) (lambda float64, ops int64, err error)
 	// it is within tolerance, otherwise the subproblem is infeasible.
 	if p.E == 0 {
 		if math.Abs(inter-p.R) <= 1e-9*(1+math.Abs(p.R)) {
+			if st != nil {
+				st.LastSeg = m
+			}
 			return prev, ops, nil
 		}
 		return 0, ops, ErrInfeasible
@@ -328,6 +542,13 @@ func (p *Problem) findRoot(ws *Workspace) (lambda float64, ops int64, err error)
 // slack and λ = 0; a total above hi is pulled down to hi (λ < 0); one below
 // lo is pushed up to lo (λ > 0).
 func (p *Problem) SolveInterval(lo, hi float64, x []float64, ws *Workspace) (Result, error) {
+	return p.SolveIntervalState(lo, hi, x, ws, nil)
+}
+
+// SolveIntervalState is SolveInterval with an optional warm-start State.
+// The event list does not depend on the target, so the cached permutation
+// stays valid even as the active side of the interval flips between solves.
+func (p *Problem) SolveIntervalState(lo, hi float64, x []float64, ws *Workspace, st *State) (Result, error) {
 	if p.E != 0 {
 		return Result{}, fmt.Errorf("equilibrate: SolveInterval requires E = 0, got %g", p.E)
 	}
@@ -350,11 +571,11 @@ func (p *Problem) SolveInterval(lo, hi float64, x []float64, ws *Workspace) (Res
 	case total > hi:
 		q := *p
 		q.R = hi
-		return q.Solve(x, ws)
+		return q.SolveState(x, ws, st)
 	case total < lo:
 		q := *p
 		q.R = lo
-		return q.Solve(x, ws)
+		return q.SolveState(x, ws, st)
 	default:
 		return Result{Lambda: 0, Total: total, Ops: int64(2 * n)}, nil
 	}

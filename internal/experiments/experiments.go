@@ -36,6 +36,11 @@ type Config struct {
 	// (the paper stopped at 900×900 because B-K became prohibitively
 	// expensive). Zero means the paper's cap.
 	MaxBKDim int
+	// NoWarm disables the equilibration kernel's warm-started sort
+	// (Options.DisableWarmStart) in the perf suite's main records — the
+	// ablation switch behind seabench -nowarm. The "/steady" records
+	// always measure both sides regardless.
+	NoWarm bool
 }
 
 // apply copies the execution-related Config fields into o.

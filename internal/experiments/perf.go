@@ -31,8 +31,15 @@ type PerfRecord struct {
 	// the determinism contract).
 	Iterations int `json:"iterations"`
 	// SpeedupVsSerial is serial ns/op divided by this record's ns/op; 1.0
-	// for the Procs = 1 rows.
+	// for the Procs = 1 rows. For the "/steady" records it is the cold
+	// serial ns/op divided by the steady-state ns/op — the serving-mode
+	// speedup from arena reuse plus kernel warm starts.
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	// WarmstartAblation, set only on the "/steady" records, is the same
+	// steady-state measurement re-run with Options.DisableWarmStart divided
+	// by the warm-started ns/op: values above 1 are the kernel warm start's
+	// contribution, isolated from arena reuse.
+	WarmstartAblation float64 `json:"warmstart_ablation,omitempty"`
 }
 
 // PerfReport is the top-level BENCH_sea.json document.
@@ -47,6 +54,42 @@ type PerfReport struct {
 // perfReps is how many timed solves each record averages over (after one
 // untimed warm-up).
 const perfReps = 3
+
+// steadyReps is how many timed solves the steady-state records average
+// over; higher than perfReps because each solve is several times faster.
+const steadyReps = 10
+
+// steadyNs times repeated same-shape solves of p on one reusable arena —
+// the serving-mode measurement — and reports mean ns/op and allocs/op.
+// The first solve on the arena is untimed warm-up: it populates the arena
+// and the kernel warm-start states, so the timed reps see the steady state.
+func steadyNs(ctx context.Context, p *core.DiagonalProblem, opts func() *core.Options, nowarm bool) (nsPerOp int64, allocsPerOp uint64, err error) {
+	pool := parallel.NewPool(1)
+	defer pool.Close()
+	arena := core.NewArena()
+	defer arena.Close()
+	build := func() *core.Options {
+		o := opts()
+		o.Runner = pool
+		o.Arena = arena
+		o.DisableWarmStart = nowarm
+		return o
+	}
+	if _, err := core.SolveDiagonal(ctx, p, build()); err != nil {
+		return 0, 0, err
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for rep := 0; rep < steadyReps; rep++ {
+		if _, err := core.SolveDiagonal(ctx, p, build()); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return elapsed.Nanoseconds() / steadyReps, (ms1.Mallocs - ms0.Mallocs) / steadyReps, nil
+}
 
 // PerfSuite measures the SEA hot path on representative diagonal instances
 // at 1 and NumCPU workers, reusing one persistent pool per worker count
@@ -89,14 +132,20 @@ func PerfSuite(ctx context.Context, cfg Config) (PerfReport, error) {
 		if err != nil {
 			return report, fmt.Errorf("perf %s: %w", inst.name, err)
 		}
+		baseOpts := func() *core.Options {
+			o := core.DefaultOptions()
+			o.Criterion = inst.crit
+			o.Epsilon = cfg.eps(inst.eps)
+			o.MaxIterations = 500000
+			o.DisableWarmStart = cfg.NoWarm
+			return o
+		}
 		var serialNs int64
+		var steadyIters int
 		for _, procs := range procsList {
 			pool := parallel.NewPool(procs)
 			opts := func() *core.Options {
-				o := core.DefaultOptions()
-				o.Criterion = inst.crit
-				o.Epsilon = cfg.eps(inst.eps)
-				o.MaxIterations = 500000
+				o := baseOpts()
 				o.Runner = pool
 				return o
 			}
@@ -125,6 +174,7 @@ func PerfSuite(ctx context.Context, cfg Config) (PerfReport, error) {
 			if procs == 1 {
 				serialNs = nsPerOp
 			}
+			steadyIters = sol.Iterations
 			speedup := 1.0
 			if serialNs > 0 {
 				speedup = float64(serialNs) / float64(nsPerOp)
@@ -138,6 +188,28 @@ func PerfSuite(ctx context.Context, cfg Config) (PerfReport, error) {
 				SpeedupVsSerial: speedup,
 			})
 		}
+
+		// Steady-state serving record: repeated same-shape solves on one
+		// reusable arena with kernel warm starts, plus the warm-start
+		// ablation (same arena reuse, warm start off) that isolates the
+		// kernel's contribution from the allocation win.
+		warmNs, warmAllocs, err := steadyNs(ctx, p, baseOpts, false)
+		if err != nil {
+			return report, fmt.Errorf("perf %s steady: %w", inst.name, err)
+		}
+		nowarmNs, _, err := steadyNs(ctx, p, baseOpts, true)
+		if err != nil {
+			return report, fmt.Errorf("perf %s steady ablation: %w", inst.name, err)
+		}
+		report.Records = append(report.Records, PerfRecord{
+			Name:              inst.name + "/steady",
+			Procs:             1,
+			NsPerOp:           warmNs,
+			AllocsPerOp:       warmAllocs,
+			Iterations:        steadyIters,
+			SpeedupVsSerial:   float64(serialNs) / float64(warmNs),
+			WarmstartAblation: float64(nowarmNs) / float64(warmNs),
+		})
 	}
 	return report, nil
 }

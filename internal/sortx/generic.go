@@ -73,13 +73,66 @@ func InsertionCmp[T any](xs []T, cmp func(a, b T) int) {
 // there — and the standard library's pattern-defeating quicksort otherwise.
 // The paper used HEAPSORT for the large arrays; pdqsort computes the same
 // ascending order (identically for distinct keys) with a measurably smaller
-// constant on cached hardware, so the equilibration kernel's hot path uses
-// this while HeapFunc stays as the faithful ablation reference. The
-// kernel's operation-count model still charges the paper's n·log₂n.
+// constant on cached hardware. The equilibration kernel's hot path has
+// since moved on again, to the stable radix sort over compact keys in
+// radix.go (whose stability makes the canonical tie order free); this
+// generic entry point remains for comparator-ordered payloads, with
+// HeapFunc as the faithful ablation reference.
 func AdaptiveCmp[T any](xs []T, cmp func(a, b T) int) {
 	if len(xs) <= InsertionThreshold {
 		InsertionCmp(xs, cmp)
 	} else {
 		slices.SortFunc(xs, cmp)
 	}
+}
+
+// nearlySortedBudget bounds the total element displacement NearlySortedCmp
+// spends before abandoning the insertion pass: inputs within 4·len total
+// inversion distance of sorted order finish in the linear pass; anything
+// messier falls back to the O(n log n) sort.
+const nearlySortedBudget = 4
+
+// NearlySortedCmp sorts xs ascending under a three-way comparison, optimized
+// for inputs that are already nearly sorted — the warm-start pattern of the
+// equilibration kernel, where a re-solve replays the previous solve's sorted
+// order and only a handful of breakpoints have drifted past a neighbor (the
+// kernel itself uses the key-specialized InsertionBudgetKeys). It
+// runs straight insertion with a total-displacement budget of 4·len; an
+// already-sorted input costs one comparison per element, a k-inversion input
+// costs O(len + k), and when the budget is exhausted the partially ordered
+// slice is handed to AdaptiveCmp, keeping the worst case at O(n log n).
+//
+// The return value reports whether the budgeted insertion pass sufficed
+// (false means the fallback sort ran). When cmp is a strict total order —
+// no two distinct elements compare equal — the final ordering is unique, so
+// the result is identical whichever path executed.
+func NearlySortedCmp[T any](xs []T, cmp func(a, b T) int) bool {
+	if InsertionBudgetCmp(xs, cmp) {
+		return true
+	}
+	AdaptiveCmp(xs, cmp)
+	return false
+}
+
+// InsertionBudgetCmp is the budgeted insertion pass of NearlySortedCmp
+// without the fallback: it reports false — leaving the slice partially
+// ordered but still a permutation of the input — when the displacement
+// budget runs out, so callers can finish with a sort that exploits their
+// element structure (e.g. the kernel's duplicate-collapsing canonical sort).
+func InsertionBudgetCmp[T any](xs []T, cmp func(a, b T) int) bool {
+	budget := nearlySortedBudget * len(xs)
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && cmp(v, xs[j]) < 0 {
+			xs[j+1] = xs[j]
+			j--
+			if budget--; budget < 0 {
+				xs[j+1] = v // reinsert: the slice must stay a permutation
+				return false
+			}
+		}
+		xs[j+1] = v
+	}
+	return true
 }

@@ -1,0 +1,125 @@
+package sortx
+
+import "math"
+
+// Key is a 16-byte sort element: a uint64 whose unsigned order is the sort
+// order, plus the index of the payload it stands for. Sorting keys instead
+// of fat payload structs halves the memory the sort moves, and a stable sort
+// over keys built in index order yields the unique (Bits, Idx) canonical
+// order with no tie repair at all.
+type Key struct {
+	Bits uint64
+	Idx  int32
+}
+
+// FloatBits maps a float64 to a uint64 whose unsigned order matches the
+// float's numeric order: negative floats have their bits inverted, positive
+// ones get the sign bit set. NaN is excluded by contract (callers reject NaN
+// keys before building), and -0 maps below +0 — callers that need ±0 to
+// compare equal (float == semantics) must normalize -0 to +0 first.
+func FloatBits(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b>>63 != 0 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// KeyLess is the strict (Bits, Idx) order on keys.
+func KeyLess(a, b Key) bool {
+	return a.Bits < b.Bits || (a.Bits == b.Bits && a.Idx < b.Idx)
+}
+
+// InsertionKeys sorts keys ascending under (Bits, Idx) by straight insertion
+// sort — the right algorithm below InsertionThreshold, with no comparison-
+// function indirection.
+func InsertionKeys(keys []Key) {
+	for i := 1; i < len(keys); i++ {
+		v := keys[i]
+		j := i - 1
+		for j >= 0 && KeyLess(v, keys[j]) {
+			keys[j+1] = keys[j]
+			j--
+		}
+		keys[j+1] = v
+	}
+}
+
+// InsertionBudgetKeys is the budgeted nearly-sorted insertion pass over keys
+// (see InsertionBudgetCmp): it sorts in place under (Bits, Idx) and reports
+// whether the total displacement stayed within nearlySortedBudget·len. On
+// false the slice is left partially ordered but still a permutation of the
+// input, and the caller re-sorts from scratch.
+func InsertionBudgetKeys(keys []Key) bool {
+	budget := nearlySortedBudget * len(keys)
+	for i := 1; i < len(keys); i++ {
+		v := keys[i]
+		j := i - 1
+		for j >= 0 && KeyLess(v, keys[j]) {
+			keys[j+1] = keys[j]
+			j--
+			if budget--; budget < 0 {
+				keys[j+1] = v // reinsert: the slice must stay a permutation
+				return false
+			}
+		}
+		keys[j+1] = v
+	}
+	return true
+}
+
+// RadixKeys sorts keys ascending by Bits with a stable LSD radix sort,
+// using scratch (which must be at least as long) as the ping-pong buffer.
+// It returns the sorted slice, which aliases either keys or scratch.
+//
+// Stability is the point: with Idx assigned in input order, ties on Bits
+// keep input order, so the result is the unique (Bits, Idx)-sorted array —
+// tie-heavy inputs (breakpoint clusters) cost nothing extra, where a
+// comparison sort under the full order loses its equal-element collapse.
+//
+// A pre-pass ORs together the XOR of every key with the first one; byte
+// positions absent from that mask are constant across the input and their
+// passes are skipped entirely. Clustered inputs — values differing in a few
+// low mantissa bytes — therefore pay only those few counting passes, and an
+// all-equal input returns immediately.
+func RadixKeys(keys, scratch []Key) []Key {
+	n := len(keys)
+	if n < 2 {
+		return keys
+	}
+	b0 := keys[0].Bits
+	var diff uint64
+	for _, k := range keys {
+		diff |= k.Bits ^ b0
+	}
+	if diff == 0 {
+		return keys
+	}
+
+	var count [256]int32
+	src, dst := keys, scratch[:n]
+	for shift := uint(0); shift < 64; shift += 8 {
+		if (diff>>shift)&0xff == 0 {
+			continue
+		}
+		for i := range count {
+			count[i] = 0
+		}
+		for _, k := range src {
+			count[(k.Bits>>shift)&0xff]++
+		}
+		var sum int32
+		for i := range count {
+			c := count[i]
+			count[i] = sum
+			sum += c
+		}
+		for _, k := range src {
+			b := (k.Bits >> shift) & 0xff
+			dst[count[b]] = k
+			count[b]++
+		}
+		src, dst = dst, src
+	}
+	return src
+}

@@ -132,6 +132,89 @@ func TestIsSorted(t *testing.T) {
 	}
 }
 
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// TestNearlySortedCmp checks the budgeted insertion path sorts correctly on
+// random, sorted, and adversarial inputs, and that the reported fast/fallback
+// verdict matches the input's disorder.
+func TestNearlySortedCmp(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for _, n := range []int{0, 1, 2, 3, 10, 100, 500, 4096} {
+		xs := randomSlice(rng, n)
+		want := slices.Clone(xs)
+		slices.Sort(want)
+		NearlySortedCmp(xs, cmpFloat)
+		if !slices.Equal(xs, want) {
+			t.Errorf("size %d: random input not sorted", n)
+		}
+	}
+
+	sorted := make([]float64, 1000)
+	for i := range sorted {
+		sorted[i] = float64(i)
+	}
+	if !NearlySortedCmp(slices.Clone(sorted), cmpFloat) {
+		t.Error("sorted input should stay on the fast path")
+	}
+
+	// A few local swaps: well within the displacement budget.
+	nearly := slices.Clone(sorted)
+	for i := 0; i+1 < len(nearly); i += 97 {
+		nearly[i], nearly[i+1] = nearly[i+1], nearly[i]
+	}
+	want := slices.Clone(nearly)
+	slices.Sort(want)
+	if !NearlySortedCmp(nearly, cmpFloat) {
+		t.Error("nearly sorted input should stay on the fast path")
+	}
+	if !slices.Equal(nearly, want) {
+		t.Error("nearly sorted input not sorted")
+	}
+
+	// Reverse order: quadratic for insertion, must fall back — and still
+	// produce the sorted result.
+	rev := make([]float64, 1000)
+	for i := range rev {
+		rev[i] = float64(len(rev) - i)
+	}
+	want = slices.Clone(rev)
+	slices.Sort(want)
+	if NearlySortedCmp(rev, cmpFloat) {
+		t.Error("reverse input should exhaust the budget and fall back")
+	}
+	if !slices.Equal(rev, want) {
+		t.Error("fallback path not sorted")
+	}
+}
+
+// TestNearlySortedCmpProperty: for any input, NearlySortedCmp produces the
+// ascending permutation — whichever path ran.
+func TestNearlySortedCmpProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, v := range xs {
+			if v != v {
+				return true
+			}
+		}
+		orig := slices.Clone(xs)
+		NearlySortedCmp(xs, cmpFloat)
+		slices.Sort(orig)
+		return slices.Equal(xs, orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func benchSorter(b *testing.B, n int, sort func([]float64)) {
 	rng := rand.New(rand.NewPCG(5, 6))
 	src := randomSlice(rng, n)
@@ -140,6 +223,24 @@ func benchSorter(b *testing.B, n int, sort func([]float64)) {
 	for i := 0; i < b.N; i++ {
 		copy(buf, src)
 		sort(buf)
+	}
+}
+
+// BenchmarkNearlySorted1000 measures the warm-start case: a sorted array
+// with a handful of adjacent swaps, repaired by the budgeted insertion pass.
+func BenchmarkNearlySorted1000(b *testing.B) {
+	src := make([]float64, 1000)
+	for i := range src {
+		src[i] = float64(i)
+	}
+	for i := 0; i+1 < len(src); i += 101 {
+		src[i], src[i+1] = src[i+1], src[i]
+	}
+	buf := make([]float64, len(src))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		NearlySortedCmp(buf, cmpFloat)
 	}
 }
 

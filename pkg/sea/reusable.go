@@ -1,0 +1,73 @@
+package sea
+
+import (
+	"context"
+
+	"sea/internal/core"
+)
+
+// Arena owns reusable solver state for steady-state workloads: attach one
+// via Options.Arena (or use NewReusableSolver) and back-to-back solves on
+// same-shape problems reuse every working buffer, the worker pool, and the
+// equilibration kernel's warm-start permutations — (near) zero allocations
+// per solve, with bit-identical results. The Solution returned by an
+// arena-backed solve aliases arena-owned memory and is valid until the next
+// solve on the same arena; arenas back at most one running solve at a time.
+type Arena = core.Arena
+
+// NewArena returns an empty reusable-state arena. The first solve
+// populates it.
+func NewArena() *Arena { return core.NewArena() }
+
+// Reusable wraps a registered solver with a private Arena so every Solve
+// call reuses the previous call's working state. It is the facade for
+// serving-style workloads: construct once, call Solve per request with
+// same-shape problems, Close when done.
+//
+// The arena accelerates the solvers built on the core equilibration state
+// ("sea" and "sea-general"); other registered solvers run correctly but
+// ignore it. A Reusable is not safe for concurrent Solve calls — the arena
+// is single-flight and the returned Solution aliases arena memory until the
+// next call.
+type Reusable struct {
+	solver Solver
+	arena  *Arena
+}
+
+// NewReusableSolver looks up the named solver and pairs it with a fresh
+// arena.
+func NewReusableSolver(name string) (*Reusable, error) {
+	s, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Reusable{solver: s, arena: NewArena()}, nil
+}
+
+// Name returns the wrapped solver's registry name.
+func (r *Reusable) Name() string { return r.solver.Name() }
+
+// Description returns the wrapped solver's description.
+func (r *Reusable) Description() string { return r.solver.Description() }
+
+// Arena exposes the wrapped arena (e.g. to Reset it between workloads).
+func (r *Reusable) Arena() *Arena { return r.arena }
+
+// Solve runs the wrapped solver with the reusable arena attached. opts may
+// be nil; when it sets its own Arena, that arena wins (the caller is
+// managing reuse explicitly).
+func (r *Reusable) Solve(ctx context.Context, p *Problem, opts *Options) (*Solution, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	} else {
+		o = *DefaultOptions()
+	}
+	if o.Arena == nil {
+		o.Arena = r.arena
+	}
+	return r.solver.Solve(ctx, p, &o)
+}
+
+// Close releases the arena's persistent worker pool.
+func (r *Reusable) Close() { r.arena.Close() }
