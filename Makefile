@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-check fuzz fmt results check cmds cancel
+.PHONY: all build vet test race serve-race bench bench-check fuzz fmt results check cmds cancel
 
 all: check
 
@@ -31,6 +31,11 @@ cmds:
 cancel:
 	$(GO) test -race -count=1 -run 'TestCancel|TestDeadline' ./pkg/sea/
 
+# The concurrent serving layer under the race detector, uncached: shape-pool
+# checkout/checkin, admission control, eviction, and Close draining.
+serve-race:
+	$(GO) test -race -count=1 ./pkg/sea/serve/...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -55,5 +60,5 @@ fmt:
 results:
 	$(GO) run ./cmd/seabench -table all -scale 1 -bkmax 900 | tee results_full.txt
 
-check: build vet test race cmds cancel bench-check
+check: build vet test race serve-race cmds cancel bench-check
 	@test -z "$$(gofmt -l .)" || (echo "gofmt needed:"; gofmt -l .; exit 1)

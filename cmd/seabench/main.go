@@ -13,6 +13,12 @@
 //	seabench -table 1 -cpuprofile cpu.out   # profile a hot table
 //	seabench -table all -timeout 2m         # bound the whole run
 //	seabench -solver rc -size 60            # time one registry solver
+//	seabench -serve -scale 0.5              # sustained-throughput serving run
+//
+// -serve drives the pkg/sea/serve layer at a sustained concurrent load of
+// mixed problem shapes (Table 1-style instances of order 100, 250, and 500
+// at -scale) and reports throughput, per-request allocations, the
+// shape-pool hit rate, and the per-shape pool statistics.
 //
 // -solver benchmarks a single solver from the pkg/sea registry on a
 // generated Table 1-style instance of order -size instead of running the
@@ -52,6 +58,7 @@ func main() {
 		eps        = flag.Float64("eps", 0, "override the per-table convergence tolerance")
 		bkmax      = flag.Int("bkmax", 900, "largest G order on which to run the B-K baseline (Table 7)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of formatted tables")
+		serveMode  = flag.Bool("serve", false, "run the sustained-throughput serving benchmark (pkg/sea/serve, mixed shapes, concurrent submitters) instead of the tables")
 		solver     = flag.String("solver", "", "time a single pkg/sea registry solver instead of the tables: "+strings.Join(sea.Solvers(), ", "))
 		size       = flag.Int("size", 100, "with -solver: order of the generated Table 1-style instance")
 		timeout    = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
@@ -128,6 +135,16 @@ func main() {
 	pool := parallel.NewPool(*procs)
 	defer pool.Close()
 	cfg.Runner = pool
+
+	if *serveMode {
+		if err := runServe(ctx, cfg); err != nil {
+			cleanup()
+			fmt.Fprintf(os.Stderr, "seabench: -serve: %v\n", err)
+			os.Exit(1)
+		}
+		cleanup()
+		return
+	}
 
 	if *solver != "" {
 		p := problems.Table1(*size, 1)

@@ -132,8 +132,8 @@ func main() {
 			fatal(err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "seasolve: %s converged=%v iterations=%d residual=%g objective=%g wall=%s\n",
-		name, sol.Converged, sol.Iterations, sol.Residual, sol.Objective, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "seasolve: %s status=%s converged=%v iterations=%d residual=%g objective=%g wall=%s\n",
+		name, sol.Status, sol.Converged, sol.Iterations, sol.Residual, sol.Objective, time.Since(start).Round(time.Millisecond))
 }
 
 // iterations reports how far a failed solve got (0 when no iterate exists).

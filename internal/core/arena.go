@@ -1,11 +1,18 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
 	"sea/internal/parallel"
 )
+
+// ErrArenaBusy is returned when a solve is handed an Arena that is already
+// backing a running solve — arenas are single-flight. Layers that multiplex
+// concurrent requests over arenas (pkg/sea/serve) must check one out per
+// request; this sentinel is the safety net when that discipline is violated.
+var ErrArenaBusy = errors.New("core: arena already backs a running solve")
 
 // Arena owns the reusable working state of repeated diagonal (or general)
 // solves: the full iterate/mirror/multiplier buffer set, the per-worker
@@ -51,10 +58,16 @@ func (a *Arena) acquire() error {
 		return nil
 	}
 	if !a.inUse.CompareAndSwap(false, true) {
-		return fmt.Errorf("core: Arena already backs a running solve; arenas are single-flight")
+		return fmt.Errorf("%w; arenas are single-flight", ErrArenaBusy)
 	}
 	return nil
 }
+
+// InUse reports whether the arena currently backs a running solve. It is a
+// point-in-time observation — by the time the caller acts the state may have
+// changed — so it is for diagnostics and double-checkout assertions, not for
+// synchronization.
+func (a *Arena) InUse() bool { return a != nil && a.inUse.Load() }
 
 func (a *Arena) release() {
 	if a != nil {

@@ -180,6 +180,11 @@ func (p *DiagonalProblem) Validate() error {
 	if len(p.X0) != mn {
 		return fmt.Errorf("core: len(X0) = %d, want %d", len(p.X0), mn)
 	}
+	for k, v := range p.X0 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: X0[%d,%d] = %v, want finite", k/p.N, k%p.N, v)
+		}
+	}
 	if len(p.Gamma) != mn {
 		return fmt.Errorf("core: len(Gamma) = %d, want %d", len(p.Gamma), mn)
 	}
@@ -211,8 +216,18 @@ func (p *DiagonalProblem) Validate() error {
 			}
 		}
 	}
-	if p.Kind != IntervalTotals && len(p.S0) != p.M {
-		return fmt.Errorf("core: len(S0) = %d, want %d", len(p.S0), p.M)
+	if p.Kind != IntervalTotals {
+		if len(p.S0) != p.M {
+			return fmt.Errorf("core: len(S0) = %d, want %d", len(p.S0), p.M)
+		}
+		if err := finiteTotals("S0", p.S0); err != nil {
+			return err
+		}
+		if p.Kind != Balanced {
+			if err := finiteTotals("D0", p.D0); err != nil {
+				return err
+			}
+		}
 	}
 
 	switch p.Kind {
@@ -284,6 +299,17 @@ func validInterval(name string, lo, hi []float64, n int) error {
 		}
 		if hi[i] < lo[i] || math.IsNaN(hi[i]) {
 			return fmt.Errorf("core: %w: %s interval %d is [%g,%g]", ErrInfeasible, name, i, lo[i], hi[i])
+		}
+	}
+	return nil
+}
+
+// finiteTotals rejects NaN or infinite prior totals (length mismatches are
+// caught by the per-Kind checks, so only the entries are verified here).
+func finiteTotals(name string, t []float64) error {
+	for i, v := range t {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: %s[%d] = %v, want finite", name, i, v)
 		}
 	}
 	return nil

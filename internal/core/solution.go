@@ -1,5 +1,43 @@
 package core
 
+// Status is a solve's explicit outcome, so callers need not infer it from
+// the (error, Converged, Iterations) triple. The zero value StatusUnknown
+// marks a Solution whose producer predates (or bypasses) the status
+// protocol; the pkg/sea facade fills it in for every registry solve.
+type Status int
+
+const (
+	// StatusUnknown: the producer did not classify the outcome.
+	StatusUnknown Status = iota
+	// StatusConverged: the convergence criterion was met.
+	StatusConverged
+	// StatusMaxIterations: the iteration limit was exhausted first; the
+	// Solution is the best iterate found (the error wraps ErrNotConverged).
+	StatusMaxIterations
+	// StatusCancelled: the context was cancelled or its deadline passed; the
+	// Solution is the last consistent iterate (the error is ctx.Err()).
+	StatusCancelled
+	// StatusSaturated: the serving layer rejected the request before any
+	// solve ran (admission control; the error wraps the facade's
+	// ErrSaturated). No solver sets this — only pkg/sea/serve.
+	StatusSaturated
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusConverged:
+		return "converged"
+	case StatusMaxIterations:
+		return "max-iterations"
+	case StatusCancelled:
+		return "cancelled"
+	case StatusSaturated:
+		return "saturated"
+	default:
+		return "unknown"
+	}
+}
+
 // Solution holds the result of a solve.
 type Solution struct {
 	// X is the matrix estimate (m×n row-major).
@@ -18,6 +56,8 @@ type Solution struct {
 	InnerIterations int
 	// Converged reports whether the convergence criterion was met.
 	Converged bool
+	// Status classifies the outcome explicitly; see Status.
+	Status Status
 	// Residual is the final value of the convergence measure.
 	Residual float64
 	// Objective is the objective value at X (and S, D).
@@ -30,3 +70,46 @@ type Solution struct {
 // Gap returns the duality gap Objective − DualValue (nonnegative up to
 // rounding; near zero at the optimum).
 func (s *Solution) Gap() float64 { return s.Objective - s.DualValue }
+
+// Clone returns a deep copy whose slices share no memory with s. It is how
+// a caller detaches an arena-backed Solution (which aliases arena memory
+// valid only until the next solve on that arena) from its arena.
+func (s *Solution) Clone() *Solution {
+	if s == nil {
+		return nil
+	}
+	out := &Solution{}
+	s.CopyInto(out)
+	return out
+}
+
+// CopyInto deep-copies s into dst, reusing dst's slice capacity when it
+// suffices — the zero-allocation steady-state path for serving loops that
+// drain many same-shape results into one caller-owned Solution.
+func (s *Solution) CopyInto(dst *Solution) {
+	dst.X = resizeF(dst.X, len(s.X))
+	dst.S = resizeF(dst.S, len(s.S))
+	dst.D = resizeF(dst.D, len(s.D))
+	copy(dst.X, s.X)
+	copy(dst.S, s.S)
+	copy(dst.D, s.D)
+	if s.Lambda == nil {
+		dst.Lambda = nil
+	} else {
+		dst.Lambda = resizeF(dst.Lambda, len(s.Lambda))
+		copy(dst.Lambda, s.Lambda)
+	}
+	if s.Mu == nil {
+		dst.Mu = nil
+	} else {
+		dst.Mu = resizeF(dst.Mu, len(s.Mu))
+		copy(dst.Mu, s.Mu)
+	}
+	dst.Iterations = s.Iterations
+	dst.InnerIterations = s.InnerIterations
+	dst.Converged = s.Converged
+	dst.Status = s.Status
+	dst.Residual = s.Residual
+	dst.Objective = s.Objective
+	dst.DualValue = s.DualValue
+}

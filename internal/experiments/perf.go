@@ -40,6 +40,14 @@ type PerfRecord struct {
 	// by the warm-started ns/op: values above 1 are the kernel warm start's
 	// contribution, isolated from arena reuse.
 	WarmstartAblation float64 `json:"warmstart_ablation,omitempty"`
+	// RequestsPerSec, set only on the "serve/" records, is the serving
+	// layer's sustained request throughput under concurrent mixed-shape
+	// load (see experiments.ServeSweep; for these records Procs is the
+	// server's MaxInFlight and NsPerOp the wall time per request).
+	RequestsPerSec float64 `json:"requests_per_sec,omitempty"`
+	// ShapeHitRate, set only on the "serve/" records, is the shape-pool hit
+	// fraction of the measured phase; steady state is 1.0.
+	ShapeHitRate float64 `json:"shape_hit_rate,omitempty"`
 }
 
 // PerfReport is the top-level BENCH_sea.json document.
@@ -211,5 +219,24 @@ func PerfSuite(ctx context.Context, cfg Config) (PerfReport, error) {
 			WarmstartAblation: float64(nowarmNs) / float64(warmNs),
 		})
 	}
+
+	// Serving-layer record: sustained mixed-shape throughput through
+	// pkg/sea/serve, all shape pools warm. The allocs_per_op of this record
+	// is the serving promise — at most 2 heap allocations per request on
+	// the steady-state hit path.
+	sr, err := ServeSweep(ctx, cfg)
+	if err != nil {
+		return report, fmt.Errorf("perf serve: %w", err)
+	}
+	report.Records = append(report.Records, PerfRecord{
+		Name:            "serve/mixed",
+		Procs:           sr.MaxInFlight,
+		NsPerOp:         sr.NsPerRequest,
+		AllocsPerOp:     sr.AllocsPerRequest,
+		Iterations:      int(sr.MeanIterations),
+		SpeedupVsSerial: 1,
+		RequestsPerSec:  sr.RequestsPerSec,
+		ShapeHitRate:    sr.HitRate,
+	})
 	return report, nil
 }

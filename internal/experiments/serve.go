@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"sea/internal/problems"
+	"sea/pkg/sea"
+	"sea/pkg/sea/serve"
+)
+
+// The serving benchmark's fixed geometry: eight concurrent submitters
+// round-robining over three problem shapes, four solves in flight at once.
+// The warm-up rounds fill every shape pool to MaxInFlight arenas so the
+// measured phase runs entirely on pool hits — the steady state a long-lived
+// serving process converges to.
+const (
+	serveSubmitters       = 8
+	serveReqsPerSubmitter = 24
+	serveMaxInFlight      = 4
+	serveWarmupRounds     = 3
+)
+
+// ServeResult is one sustained-throughput measurement of pkg/sea/serve.
+type ServeResult struct {
+	Submitters  int
+	MaxInFlight int
+	Sizes       []int // shape orders in the mix (square instances)
+	Requests    int   // measured requests (excludes warm-up)
+	Wall        time.Duration
+	// NsPerRequest is wall time divided by requests — the sustained
+	// per-request cost at this concurrency, not a single solve's latency.
+	NsPerRequest int64
+	// AllocsPerRequest is the measured phase's heap allocations divided by
+	// its requests; the steady-state shape-pool hit path budget is <= 2.
+	AllocsPerRequest uint64
+	RequestsPerSec   float64
+	// HitRate is the measured phase's shape-pool hit fraction (1.0 when the
+	// warm-up filled every pool, the expected steady state).
+	HitRate float64
+	// MeanIterations is the per-request solver iteration count.
+	MeanIterations float64
+	// Stats is the server's final snapshot (cumulative, including warm-up).
+	Stats serve.Stats
+}
+
+// ServeSweep drives the serving layer at a sustained load of mixed shapes
+// (Table 1-style instances of order 100, 250, and 500 at cfg.Scale) and
+// measures steady-state throughput, per-request allocations, and the
+// shape-pool hit rate. It is the data source for seabench -serve and the
+// "serve/mixed" BENCH_sea.json record.
+func ServeSweep(ctx context.Context, cfg Config) (ServeResult, error) {
+	sizes := []int{cfg.dim(100), cfg.dim(250), cfg.dim(500)}
+	probs := make([]*sea.Problem, len(sizes))
+	for i, n := range sizes {
+		p, err := sea.NewDiagonal(problems.Table1(n, uint64(n)))
+		if err != nil {
+			return ServeResult{}, fmt.Errorf("serve sweep %dx%d: %w", n, n, err)
+		}
+		probs[i] = p
+	}
+
+	o := sea.DefaultOptions()
+	o.Criterion = sea.MaxAbsDelta
+	o.Epsilon = cfg.eps(0.01)
+	o.MaxIterations = 500000
+	o.DisableWarmStart = cfg.NoWarm
+	srv, err := serve.NewServer(serve.Config{
+		Solver:      "sea",
+		MaxInFlight: serveMaxInFlight,
+		// A throughput run wants back-pressure, not rejections: the queue
+		// bound is sized so no request can ever be turned away.
+		MaxQueue:  serveSubmitters * serveReqsPerSubmitter,
+		MaxShapes: len(probs),
+		Options:   o,
+	})
+	if err != nil {
+		return ServeResult{}, fmt.Errorf("serve sweep: %w", err)
+	}
+	defer srv.Close()
+
+	// Warm-up: Prewarm provisions every shape pool to MaxInFlight arenas
+	// deterministically (concurrent warm-up traffic only grows a pool as far
+	// as the scheduler overlaps, which on few cores is not far); the extra
+	// rounds re-solve each arena so the kernel warm starts settle. The
+	// measured phase then runs entirely on warm pool hits.
+	for round := 0; round < serveWarmupRounds; round++ {
+		for _, p := range probs {
+			if err := srv.Prewarm(ctx, p, serveMaxInFlight); err != nil {
+				return ServeResult{}, fmt.Errorf("serve warm-up: %w", err)
+			}
+		}
+	}
+	warm := srv.Stats()
+
+	var wg sync.WaitGroup
+	errs := make([]error, serveSubmitters)
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for g := 0; g < serveSubmitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var out sea.Solution
+			for i := 0; i < serveReqsPerSubmitter; i++ {
+				if _, err := srv.SubmitInto(ctx, probs[(g+i)%len(probs)], nil, &out); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	for _, err := range errs {
+		if err != nil {
+			return ServeResult{}, fmt.Errorf("serve sweep: %w", err)
+		}
+	}
+
+	st := srv.Stats()
+	requests := serveSubmitters * serveReqsPerSubmitter
+	hits := st.ShapeHits - warm.ShapeHits
+	misses := st.ShapeMisses - warm.ShapeMisses
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	return ServeResult{
+		Submitters:       serveSubmitters,
+		MaxInFlight:      serveMaxInFlight,
+		Sizes:            sizes,
+		Requests:         requests,
+		Wall:             wall,
+		NsPerRequest:     wall.Nanoseconds() / int64(requests),
+		AllocsPerRequest: (ms1.Mallocs - ms0.Mallocs) / uint64(requests),
+		RequestsPerSec:   float64(requests) / wall.Seconds(),
+		HitRate:          hitRate,
+		MeanIterations:   float64(st.Solver.Iterations-warm.Solver.Iterations) / float64(requests),
+		Stats:            st,
+	}, nil
+}

@@ -172,8 +172,11 @@ type Solution struct {
 	Mu         []float64 `json:"mu,omitempty"`
 	Iterations int       `json:"iterations"`
 	Converged  bool      `json:"converged"`
-	Residual   float64   `json:"residual"`
-	Objective  float64   `json:"objective"`
+	// Status is the solve's explicit outcome ("converged",
+	// "max-iterations", "cancelled", "saturated", or "unknown").
+	Status    string  `json:"status"`
+	Residual  float64 `json:"residual"`
+	Objective float64 `json:"objective"`
 }
 
 // WriteSolutionJSON encodes a solution with indentation.
@@ -183,6 +186,7 @@ func WriteSolutionJSON(w io.Writer, sol *core.Solution) error {
 		Lambda: sol.Lambda, Mu: sol.Mu,
 		Iterations: sol.Iterations,
 		Converged:  sol.Converged,
+		Status:     sol.Status.String(),
 		Residual:   sol.Residual,
 		Objective:  sol.Objective,
 	}

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Gauge is a concurrent level indicator with a high-water mark — queue
+// depth, in-flight solves. Inc/Dec are safe from any goroutine; the
+// high-water mark is maintained with a CAS loop so it never undercounts.
+type Gauge struct {
+	cur, high atomic.Int64
+}
+
+// Inc raises the level by one and returns the new value.
+func (g *Gauge) Inc() int64 {
+	v := g.cur.Add(1)
+	for {
+		h := g.high.Load()
+		if v <= h || g.high.CompareAndSwap(h, v) {
+			return v
+		}
+	}
+}
+
+// Dec lowers the level by one.
+func (g *Gauge) Dec() { g.cur.Add(-1) }
+
+// Level returns the current level.
+func (g *Gauge) Level() int64 { return g.cur.Load() }
+
+// High returns the high-water mark.
+func (g *Gauge) High() int64 { return g.high.Load() }
+
+// Latency accumulates duration observations — count, sum, and maximum —
+// without locks, so the serving layer can record per-request solve and
+// queue-wait times from many goroutines at once.
+type Latency struct {
+	count, sum, max atomic.Int64
+}
+
+// Observe records one duration.
+func (l *Latency) Observe(d time.Duration) {
+	ns := int64(d)
+	l.count.Add(1)
+	l.sum.Add(ns)
+	for {
+		m := l.max.Load()
+		if ns <= m || l.max.CompareAndSwap(m, ns) {
+			return
+		}
+	}
+}
+
+// LatencySnapshot is an immutable copy of a Latency's aggregates.
+type LatencySnapshot struct {
+	Count int64
+	Mean  time.Duration
+	Max   time.Duration
+}
+
+// Snapshot returns the current aggregates.
+func (l *Latency) Snapshot() LatencySnapshot {
+	s := LatencySnapshot{Count: l.count.Load(), Max: time.Duration(l.max.Load())}
+	if s.Count > 0 {
+		s.Mean = time.Duration(l.sum.Load() / s.Count)
+	}
+	return s
+}
+
+func (s LatencySnapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%s max=%s", s.Count, s.Mean, s.Max)
+}

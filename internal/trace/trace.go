@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -108,6 +109,31 @@ func (t *writer) ObserveIteration(e Event) {
 	}
 	fmt.Fprintf(t.w, "%s: iter=%d residual=%s row=%s col=%s check=%s equil=%d ops=%d\n",
 		e.Solver, e.Iteration, res, e.RowPhase, e.ColPhase, e.CheckPhase, e.Equilibrations, e.Ops)
+}
+
+// synchronized serializes ObserveIteration calls with a mutex.
+type synchronized struct {
+	mu  sync.Mutex
+	obs Observer
+}
+
+// Synchronized wraps obs so that concurrent solves can share it: every
+// ObserveIteration is serialized under one mutex. The Observer contract only
+// requires safety within a single solve, so a serving layer that attaches
+// one observer to many in-flight solves must wrap it here (unless the
+// observer is documented concurrency-safe). A nil obs returns nil.
+func Synchronized(obs Observer) Observer {
+	if obs == nil {
+		return nil
+	}
+	return &synchronized{obs: obs}
+}
+
+// ObserveIteration implements Observer.
+func (s *synchronized) ObserveIteration(e Event) {
+	s.mu.Lock()
+	s.obs.ObserveIteration(e)
+	s.mu.Unlock()
 }
 
 // multi fans events out to several observers in order.

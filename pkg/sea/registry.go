@@ -2,6 +2,7 @@ package sea
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -30,7 +31,27 @@ type funcSolver struct {
 func (s funcSolver) Name() string        { return s.name }
 func (s funcSolver) Description() string { return s.desc }
 func (s funcSolver) Solve(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
-	return s.fn(ctx, p, o)
+	sol, err := s.fn(ctx, p, o)
+	finalizeStatus(sol, err)
+	return sol, err
+}
+
+// finalizeStatus stamps the explicit outcome onto a solution whose producer
+// left it unclassified, so every registry solve returns a Status without
+// each algorithm needing to know the protocol. Solutions that already carry
+// a status (custom solvers, the serving layer) are left alone.
+func finalizeStatus(sol *Solution, err error) {
+	if sol == nil || sol.Status != StatusUnknown {
+		return
+	}
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		sol.Status = StatusCancelled
+	case errors.Is(err, ErrNotConverged):
+		sol.Status = StatusMaxIterations
+	case err == nil && sol.Converged:
+		sol.Status = StatusConverged
+	}
 }
 
 // NewSolver wraps a plain function as a registrable Solver.
@@ -74,7 +95,7 @@ func Get(name string) (Solver, error) {
 	s, ok := registry.byName[name]
 	registry.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("sea: unknown solver %q (registered: %s)", name, strings.Join(Solvers(), ", "))
+		return nil, fmt.Errorf("%w: %q (registered: %s)", ErrUnknownSolver, name, strings.Join(Solvers(), ", "))
 	}
 	return s, nil
 }

@@ -9,10 +9,16 @@
 // matrix problem (its Section 5 compares SEA, RC and B-K head to head), and
 // the facade makes that literal:
 //
-//	p := sea.WrapDiagonal(diag)                        // or sea.WrapGeneral
+//	p, err := sea.NewDiagonal(diag)                    // or sea.NewGeneral
 //	ctx, cancel := context.WithTimeout(ctx, time.Minute)
 //	defer cancel()
 //	sol, err := sea.Solve(ctx, "sea", p, sea.DefaultOptions())
+//
+// Failures wrap the package's sentinel errors (ErrUnknownSolver,
+// ErrInvalidProblem, ErrNotConverged, ErrInfeasible, ErrSaturated) and every
+// registry solve stamps Solution.Status with the explicit outcome; see
+// errors.go and docs/API.md. For concurrent serving over pooled solver
+// state, see the pkg/sea/serve subpackage.
 //
 // Every solver accepts a context.Context and observes cancellation between
 // iterations, returning the last consistent iterate together with ctx.Err().
@@ -50,6 +56,8 @@ type (
 	GeneralProblem = core.GeneralProblem
 	// Kind selects the treatment of the row and column totals.
 	Kind = core.Kind
+	// Status classifies a solve's outcome (see Solution.Status).
+	Status = core.Status
 	// Trace is the pluggable per-iteration observer (Options.Trace).
 	Trace = trace.Observer
 	// TraceEvent is one observed iteration's progress report.
@@ -75,10 +83,13 @@ const (
 	DualGradient = core.DualGradient
 )
 
-// Sentinel errors, re-exported from the core.
-var (
-	ErrNotConverged = core.ErrNotConverged
-	ErrInfeasible   = core.ErrInfeasible
+// Solve outcome statuses; see Solution.Status and the Status type.
+const (
+	StatusUnknown       = core.StatusUnknown
+	StatusConverged     = core.StatusConverged
+	StatusMaxIterations = core.StatusMaxIterations
+	StatusCancelled     = core.StatusCancelled
+	StatusSaturated     = core.StatusSaturated
 )
 
 // Problem constructors, re-exported from the core.
@@ -112,25 +123,58 @@ type Problem struct {
 	General  *GeneralProblem
 }
 
-// WrapDiagonal wraps a diagonal problem for the registry.
+// NewDiagonal wraps a diagonal problem for the registry, validating it up
+// front so malformed problems fail at construction rather than inside Solve.
+// The returned error wraps ErrInvalidProblem.
+func NewDiagonal(d *DiagonalProblem) (*Problem, error) {
+	p := &Problem{Diagonal: d}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// NewGeneral wraps a general (dense-weight) problem for the registry,
+// validating it up front. The returned error wraps ErrInvalidProblem.
+func NewGeneral(g *GeneralProblem) (*Problem, error) {
+	p := &Problem{General: g}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// WrapDiagonal wraps a diagonal problem for the registry without validating.
+//
+// Deprecated: use NewDiagonal, which validates at construction.
 func WrapDiagonal(p *DiagonalProblem) *Problem { return &Problem{Diagonal: p} }
 
-// WrapGeneral wraps a general problem for the registry.
+// WrapGeneral wraps a general problem for the registry without validating.
+//
+// Deprecated: use NewGeneral, which validates at construction.
 func WrapGeneral(p *GeneralProblem) *Problem { return &Problem{General: p} }
 
 // Validate checks that exactly one representation is present and valid.
+// Every failure wraps ErrInvalidProblem (infeasibilities additionally wrap
+// ErrInfeasible through the representation's own validation).
 func (p *Problem) Validate() error {
 	switch {
 	case p == nil:
-		return fmt.Errorf("sea: nil problem")
+		return fmt.Errorf("%w: nil problem", ErrInvalidProblem)
 	case p.Diagonal == nil && p.General == nil:
-		return fmt.Errorf("sea: problem has neither a diagonal nor a general representation")
+		return fmt.Errorf("%w: neither a diagonal nor a general representation is set", ErrInvalidProblem)
 	case p.Diagonal != nil && p.General != nil:
-		return fmt.Errorf("sea: problem has both a diagonal and a general representation; set exactly one")
+		return fmt.Errorf("%w: both a diagonal and a general representation are set; set exactly one", ErrInvalidProblem)
 	case p.Diagonal != nil:
-		return p.Diagonal.Validate()
+		if err := p.Diagonal.Validate(); err != nil {
+			return fmt.Errorf("%w: %w", ErrInvalidProblem, err)
+		}
+		return nil
 	default:
-		return p.General.Validate(true)
+		if err := p.General.Validate(true); err != nil {
+			return fmt.Errorf("%w: %w", ErrInvalidProblem, err)
+		}
+		return nil
 	}
 }
 
@@ -152,7 +196,7 @@ func (p *Problem) asDiagonal(solver string) (*DiagonalProblem, error) {
 		return nil, err
 	}
 	if p.Diagonal == nil {
-		return nil, fmt.Errorf("sea: solver %q requires a diagonal problem; general problems carry dense weights it cannot use (try \"sea-general\" or \"rc\")", solver)
+		return nil, fmt.Errorf("%w: solver %q requires a diagonal problem; general problems carry dense weights it cannot use (try \"sea-general\" or \"rc\")", ErrInvalidProblem, solver)
 	}
 	return p.Diagonal, nil
 }

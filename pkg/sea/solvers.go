@@ -100,7 +100,7 @@ func solveRAS(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
 		x0, s0, d0, kind = p.General.X0, p.General.S0, p.General.D0, p.General.Kind
 	}
 	if kind != FixedTotals {
-		return nil, fmt.Errorf("sea: solver \"ras\" supports fixed totals only, got %v", kind)
+		return nil, fmt.Errorf("%w: solver \"ras\" supports fixed totals only, got %v", ErrInvalidProblem, kind)
 	}
 	res, rasErr := baseline.RAS(ctx, m, n, x0, s0, d0, o)
 	if res == nil {
