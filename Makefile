@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race serve-race bench bench-check fuzz fmt results check cmds cancel
+.PHONY: all build vet test race serve-race bench bench-check bench-multicore fuzz fmt results check cmds cancel
 
 all: check
 
@@ -16,10 +16,12 @@ test:
 	$(GO) test ./...
 
 # Race-check the scheduling substrate and everything built on it: the core
-# solvers, the baselines, and the public facade (whose cancellation suite
-# exercises pool teardown under contention).
+# solvers (including the batched equilibration kernel and its radix sorts,
+# whose per-worker batch buffers must stay unshared), the baselines, and the
+# public facade (whose cancellation suite exercises pool teardown under
+# contention).
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/baseline/... ./pkg/...
+	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/equilibrate/... ./internal/sortx/... ./internal/baseline/... ./pkg/...
 	$(GO) vet ./...
 
 # Build the three commands explicitly (CI smoke for the CLI layer).
@@ -50,6 +52,14 @@ bench-check: cmds
 	$(GO) run ./cmd/seabench -compare -threshold 0.25 BENCH_sea.json .bench_check.json; \
 	st=$$?; rm -f .bench_check.json; exit $$st
 
+# Multi-core scaling smoke: the perf suite's full procs sweep (1, 2, 4, 8)
+# at reduced scale and a single rep per record, just to prove the sweep and
+# the simulated-record path end to end. The committed BENCH_sea.json is
+# regenerated at full scale instead (see CONTRIBUTING.md).
+bench-multicore: cmds
+	$(GO) run ./cmd/seabench -table none -benchjson .bench_multicore.json -benchprocs 1,2,4,8 -benchreps 1 -scale 0.2
+	@cat .bench_multicore.json; rm -f .bench_multicore.json
+
 fuzz:
 	$(GO) test -fuzz=FuzzKernel -fuzztime=30s ./internal/equilibrate/
 
@@ -60,5 +70,5 @@ fmt:
 results:
 	$(GO) run ./cmd/seabench -table all -scale 1 -bkmax 900 | tee results_full.txt
 
-check: build vet test race serve-race cmds cancel bench-check
+check: build vet test race serve-race cmds cancel bench-check bench-multicore
 	@test -z "$$(gofmt -l .)" || (echo "gofmt needed:"; gofmt -l .; exit 1)

@@ -11,11 +11,14 @@ import (
 
 // runCompare implements `seabench -compare old.json new.json`: it prints a
 // per-record delta table between two PerfReports (as written by -benchjson)
-// and returns the number of regressions — records whose ns/op grew by more
-// than threshold (a fraction, e.g. 0.10 for 10%). Records present in only
-// one file are shown but never count as regressions; allocation counts are
-// reported for context and judged by the same threshold only when the old
-// record allocated at all.
+// keyed by (name, procs) and returns the number of regressions — records
+// whose ns/op grew by more than threshold (a fraction, e.g. 0.10 for 10%).
+// Records present in only one file are shown but never count as regressions.
+// Simulated records (procs beyond the machine's cores, marked "sim") are
+// judged like any other pair when both sides are simulated; a pair whose
+// simulated flag differs between the files was measured on machines with
+// different core counts, so its delta is informational ("mode") and exempt
+// from the regression count.
 func runCompare(oldPath, newPath string, threshold float64) int {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
@@ -45,33 +48,40 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 		seen[k] = true
 		or, ok := oldBy[k]
 		if !ok {
-			rows = append(rows, []string{nr.Name, fmt.Sprint(nr.Procs),
-				"-", fmtNs(nr.NsPerOp), "-", "new"})
+			rows = append(rows, []string{nr.Name, fmtProcs(nr.Procs, nr.Simulated),
+				"-", fmtNs(nr.NsPerOp), "-", fmtSpeedup(nr.SpeedupVsSerial), "new"})
 			continue
 		}
 		delta := float64(nr.NsPerOp-or.NsPerOp) / float64(or.NsPerOp)
 		verdict := "ok"
 		switch {
+		case or.Simulated != nr.Simulated:
+			// One side simulated, the other measured: the two numbers come
+			// from machines with different core counts and are not
+			// comparable as a regression signal.
+			verdict = "mode"
 		case delta > threshold:
 			verdict = "REGRESSION"
 			regressions++
 		case delta < -threshold:
 			verdict = "faster"
 		}
-		rows = append(rows, []string{nr.Name, fmt.Sprint(nr.Procs),
+		rows = append(rows, []string{nr.Name, fmtProcs(nr.Procs, nr.Simulated),
 			fmtNs(or.NsPerOp), fmtNs(nr.NsPerOp),
-			fmt.Sprintf("%+.1f%%", 100*delta), verdict})
+			fmt.Sprintf("%+.1f%%", 100*delta),
+			fmtSpeedup(or.SpeedupVsSerial) + " -> " + fmtSpeedup(nr.SpeedupVsSerial),
+			verdict})
 	}
 	for _, or := range oldRep.Records {
 		if k := (key{or.Name, or.Procs}); !seen[k] {
-			rows = append(rows, []string{or.Name, fmt.Sprint(or.Procs),
-				fmtNs(or.NsPerOp), "-", "-", "dropped"})
+			rows = append(rows, []string{or.Name, fmtProcs(or.Procs, or.Simulated),
+				fmtNs(or.NsPerOp), "-", "-", fmtSpeedup(or.SpeedupVsSerial), "dropped"})
 		}
 	}
 
 	report.Render(os.Stdout, fmt.Sprintf("Perf comparison: %s -> %s (threshold %.0f%%)",
 		oldPath, newPath, 100*threshold),
-		[]string{"record", "procs", "old ns/op", "new ns/op", "delta", "verdict"}, rows)
+		[]string{"record", "procs", "old ns/op", "new ns/op", "delta", "speedup", "verdict"}, rows)
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "seabench: %d record(s) regressed beyond %.0f%%\n",
 			regressions, 100*threshold)
@@ -92,6 +102,24 @@ func loadReport(path string) (experiments.PerfReport, error) {
 		return rep, fmt.Errorf("%s: no perf records", path)
 	}
 	return rep, nil
+}
+
+// fmtProcs renders a worker count, tagging simulated records (see
+// experiments.PerfRecord.Simulated).
+func fmtProcs(procs int, simulated bool) string {
+	if simulated {
+		return fmt.Sprintf("%d (sim)", procs)
+	}
+	return fmt.Sprint(procs)
+}
+
+// fmtSpeedup renders a speedup-vs-serial value; zero (absent in old files)
+// renders as "-".
+func fmtSpeedup(s float64) string {
+	if s == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", s)
 }
 
 func fmtNs(ns int64) string {

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sea/internal/experiments"
+)
+
+func writeReport(t *testing.T, dir, name string, recs []experiments.PerfRecord) string {
+	t.Helper()
+	rep := experiments.PerfReport{GoMaxProcs: 1, NumCPU: 1, Scale: 1, Records: recs}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func rec(name string, procs int, ns int64, sim bool) experiments.PerfRecord {
+	return experiments.PerfRecord{
+		Name: name, Procs: procs, NsPerOp: ns,
+		SpeedupVsSerial: 1, Simulated: sim,
+	}
+}
+
+// TestCompareKeysByNameAndProcs checks that records are matched per
+// (name, procs) pair: a regression at one worker count must be flagged even
+// when the same instance is fine at another.
+func TestCompareKeysByNameAndProcs(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", []experiments.PerfRecord{
+		rec("table1/diagonal500", 1, 1000, false),
+		rec("table1/diagonal500", 4, 400, false),
+	})
+	newPath := writeReport(t, dir, "new.json", []experiments.PerfRecord{
+		rec("table1/diagonal500", 1, 1010, false), // within threshold
+		rec("table1/diagonal500", 4, 900, false),  // > 10% slower at procs=4
+	})
+	if got := runCompare(oldPath, newPath, 0.10); got != 1 {
+		t.Fatalf("runCompare = %d regressions, want 1 (the procs=4 record)", got)
+	}
+}
+
+func TestCompareNoRegressions(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", []experiments.PerfRecord{
+		rec("a", 1, 1000, false),
+		rec("a", 2, 600, true),
+	})
+	newPath := writeReport(t, dir, "new.json", []experiments.PerfRecord{
+		rec("a", 1, 950, false),
+		rec("a", 2, 610, true),
+	})
+	if got := runCompare(oldPath, newPath, 0.10); got != 0 {
+		t.Fatalf("runCompare = %d regressions, want 0", got)
+	}
+}
+
+// TestCompareSimulatedModeMismatch: a pair whose Simulated flag differs was
+// produced on machines with different core counts; the delta is shown but
+// must not count as a regression.
+func TestCompareSimulatedModeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", []experiments.PerfRecord{
+		rec("a", 4, 400, false), // measured on a 4-core box
+	})
+	newPath := writeReport(t, dir, "new.json", []experiments.PerfRecord{
+		rec("a", 4, 900, true), // simulated on a 1-core box
+	})
+	if got := runCompare(oldPath, newPath, 0.10); got != 0 {
+		t.Fatalf("runCompare = %d regressions, want 0 for a simulated/measured mode mismatch", got)
+	}
+}
+
+// TestCompareNewAndDroppedRecords: records present in only one file are
+// reported but never regress.
+func TestCompareNewAndDroppedRecords(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", []experiments.PerfRecord{
+		rec("a", 1, 1000, false),
+		rec("dropped", 1, 500, false),
+	})
+	newPath := writeReport(t, dir, "new.json", []experiments.PerfRecord{
+		rec("a", 1, 1000, false),
+		rec("brand-new", 8, 125, true),
+	})
+	if got := runCompare(oldPath, newPath, 0.10); got != 0 {
+		t.Fatalf("runCompare = %d regressions, want 0", got)
+	}
+}
+
+func TestParseProcsList(t *testing.T) {
+	got, err := parseProcsList("1, 2,4,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("parseProcsList = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseProcsList = %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "0", "x", "1,-2", ","} {
+		if _, err := parseProcsList(bad); err == nil {
+			t.Fatalf("parseProcsList(%q) succeeded, want error", bad)
+		}
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -63,6 +64,8 @@ func main() {
 		size       = flag.Int("size", 100, "with -solver: order of the generated Table 1-style instance")
 		timeout    = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 		benchjson  = flag.String("benchjson", "", "also run the hot-path perf suite and write its records to this JSON file")
+		benchprocs = flag.String("benchprocs", "", "with -benchjson: comma-separated worker counts to sweep (default 1,2,4,8; counts above NumCPU are simulated)")
+		benchreps  = flag.Int("benchreps", 0, "with -benchjson: timed repetitions per perf record (0 = default)")
 		compare    = flag.Bool("compare", false, "compare two -benchjson files (usage: seabench -compare old.json new.json) and exit non-zero on regression")
 		threshold  = flag.Float64("threshold", 0.10, "with -compare: regression threshold as a fraction of old ns/op")
 		nowarm     = flag.Bool("nowarm", false, "disable the equilibration kernel's warm-started sort (ablation)")
@@ -129,7 +132,15 @@ func main() {
 		defer cancel()
 	}
 
-	cfg := experiments.Config{Scale: *scale, Procs: *procs, Epsilon: *eps, MaxBKDim: *bkmax, NoWarm: *nowarm}
+	cfg := experiments.Config{Scale: *scale, Procs: *procs, Epsilon: *eps, MaxBKDim: *bkmax, NoWarm: *nowarm, PerfReps: *benchreps}
+	if *benchprocs != "" {
+		list, err := parseProcsList(*benchprocs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seabench: -benchprocs: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.BenchProcs = list
+	}
 	// One persistent pool serves every solve of the run; the perf suite
 	// manages its own pools because it varies the worker count.
 	pool := parallel.NewPool(*procs)
@@ -447,4 +458,25 @@ func renderSpeedupFigure(rows []experiments.SpeedupRow, title string) {
 	}
 	report.Chart(os.Stdout, title, "CPUs", "speedup", xs, series)
 	fmt.Println()
+}
+
+// parseProcsList parses the -benchprocs value: comma-separated positive
+// worker counts, e.g. "1,2,4,8".
+func parseProcsList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("invalid worker count %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no worker counts in %q", s)
+	}
+	return out, nil
 }

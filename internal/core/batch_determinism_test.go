@@ -1,0 +1,155 @@
+package core
+
+import (
+	"context"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestBatchedMatchesUnbatchedAcrossProcs is the batched kernel's core-level
+// contract: for every worker count and batch chunk size — including the
+// degenerate one-subproblem-per-batch and everything-in-one-batch extremes —
+// the batched phases produce the same solution, bit for bit, as the
+// unbatched ablation path (Options.DisableBatch).
+func TestBatchedMatchesUnbatchedAcrossProcs(t *testing.T) {
+	p := determinismProblem(t)
+	opts := func() *Options {
+		o := DefaultOptions()
+		o.Criterion = MaxAbsDelta
+		o.Epsilon = 1e-6
+		return o
+	}
+
+	refOpts := opts()
+	refOpts.DisableBatch = true
+	ref, err := SolveDiagonal(context.Background(), p, refOpts)
+	if err != nil {
+		t.Fatalf("unbatched reference solve: %v", err)
+	}
+	if !ref.Converged {
+		t.Fatal("unbatched reference did not converge")
+	}
+
+	for _, procs := range []int{1, 2, 7, 16} {
+		for _, events := range []int{0, 1, 997, 1 << 20} {
+			o := opts()
+			o.Procs = procs
+			o.BatchEvents = events
+			sol, err := SolveDiagonal(context.Background(), p, o)
+			if err != nil {
+				t.Fatalf("procs=%d events=%d: %v", procs, events, err)
+			}
+			sameSolution(t, testName(procs, events), sol, ref)
+		}
+	}
+}
+
+func testName(procs, events int) string {
+	return "procs=" + itoa(procs) + "/events=" + itoa(events)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// onsetProblem builds an elastic instance whose dual descent takes well over
+// warmOnset iterations to converge (elastic totals couple the two phases
+// through the multipliers, so tight tolerances mean long runs).
+func onsetProblem(t *testing.T) *DiagonalProblem {
+	t.Helper()
+	m, n := 40, 60
+	rng := rand.New(rand.NewPCG(17, 23))
+	x0 := make([]float64, m*n)
+	gamma := make([]float64, m*n)
+	for k := range x0 {
+		x0[k] = rng.Float64() * 10
+		gamma[k] = 0.5 + rng.Float64()
+	}
+	s0 := make([]float64, m)
+	d0 := make([]float64, n)
+	alpha := make([]float64, m)
+	beta := make([]float64, n)
+	for i := range s0 {
+		s0[i] = 100 + rng.Float64()*50
+		alpha[i] = 0.05 + rng.Float64()*0.05
+	}
+	for j := range d0 {
+		d0[j] = 80 + rng.Float64()*40
+		beta[j] = 0.05 + rng.Float64()*0.05
+	}
+	p, err := NewElastic(m, n, x0, gamma, s0, alpha, d0, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestBatchedLongSolveWarmOnset drives the solve past the warm-start onset
+// (iterations > warmOnset without an arena) with a tight tolerance, so the
+// batched path exercises warm replays through the mid-solve State slots —
+// and still matches the unbatched path bit for bit.
+func TestBatchedLongSolveWarmOnset(t *testing.T) {
+	p := onsetProblem(t)
+	opts := func() *Options {
+		o := DefaultOptions()
+		o.Criterion = MaxAbsDelta
+		o.Epsilon = 1e-11
+		o.MaxIterations = 5000
+		return o
+	}
+
+	refOpts := opts()
+	refOpts.DisableBatch = true
+	ref, err := SolveDiagonal(context.Background(), p, refOpts)
+	if err != nil {
+		t.Fatalf("unbatched reference solve: %v", err)
+	}
+	if ref.Iterations <= warmOnset {
+		t.Fatalf("instance converged in %d iterations; the test needs > %d to engage warm onset",
+			ref.Iterations, warmOnset)
+	}
+
+	o := opts()
+	sol, err := SolveDiagonal(context.Background(), p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSolution(t, "batched-onset", sol, ref)
+}
+
+// TestBatchedArenaWarmBitExact runs back-to-back arena solves — the second
+// replays per-iteration warm slots through the batch — against unbatched
+// arena solves of the same sequence.
+func TestBatchedArenaWarmBitExact(t *testing.T) {
+	p := determinismProblem(t)
+	opts := func(disable bool) *Options {
+		o := DefaultOptions()
+		o.Criterion = MaxAbsDelta
+		o.Epsilon = 1e-6
+		o.DisableBatch = disable
+		o.Arena = NewArena()
+		return o
+	}
+	ob, ou := opts(false), opts(true)
+	for round := 0; round < 3; round++ {
+		want, err := SolveDiagonal(context.Background(), p, ou)
+		if err != nil {
+			t.Fatalf("round %d unbatched: %v", round, err)
+		}
+		got, err := SolveDiagonal(context.Background(), p, ob)
+		if err != nil {
+			t.Fatalf("round %d batched: %v", round, err)
+		}
+		sameSolution(t, "arena-round-"+itoa(round), got, want)
+	}
+}

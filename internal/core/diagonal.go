@@ -104,7 +104,14 @@ type diagState struct {
 	ownPool *parallel.Pool // set when the state created (and must close) its runner
 
 	workspaces []*equilibrate.Workspace
+	batches    []*equilibrate.Batch // per-worker batched-kernel buffers
 	errs       []error
+
+	// useBatch routes the phase bodies through the batched kernel (the
+	// default for the exact kernel); batchTarget is its per-chunk event
+	// budget. Both are re-resolved from Options on every solve.
+	useBatch    bool
+	batchTarget int
 
 	// Phase bodies are bound once per state, not per dispatch, so the hot
 	// loop creates no closures; curPH carries the cost-trace sink of the
@@ -200,8 +207,22 @@ func newDiagState(ctx context.Context, p *DiagonalProblem, o *Options) *diagStat
 	if procs < 1 {
 		procs = 1
 	}
+	st.useBatch = o.Kernel != KernelBisection && !o.DisableBatch
+	st.batchTarget = o.BatchEvents
+	if st.batchTarget <= 0 {
+		st.batchTarget = defaultBatchEvents
+	}
+	batchHint := 0
+	if st.useBatch {
+		// Budget plus one subproblem of overshoot (bounded rows build up to
+		// 2·maxDim events), so a batch never regrows mid-phase.
+		if batchHint = st.batchTarget; batchHint < 2*maxDim {
+			batchHint = 2 * maxDim
+		}
+	}
 	for len(st.workspaces) < procs {
 		st.workspaces = append(st.workspaces, equilibrate.NewWorkspace(maxDim))
+		st.batches = append(st.batches, equilibrate.NewBatch(batchHint))
 		st.errs = append(st.errs, nil)
 	}
 
@@ -391,8 +412,11 @@ const (
 )
 
 // statesFor returns the warm-start state array for the current iteration,
-// growing the slot table lazily; nil means solve cold this phase.
-func (st *diagState) statesFor(slots *[][]equilibrate.State, dim int) []equilibrate.State {
+// growing the slot table lazily; nil means solve cold this phase. nev > 0
+// pre-sizes fresh slots' permutation buffers from a single slab (the known
+// per-subproblem event count of unbounded problems), so engaging warm starts
+// mid-solve does not cost one allocation per subproblem.
+func (st *diagState) statesFor(slots *[][]equilibrate.State, dim, nev int) []equilibrate.State {
 	if !st.warm {
 		return nil
 	}
@@ -409,24 +433,70 @@ func (st *diagState) statesFor(slots *[][]equilibrate.State, dim int) []equilibr
 		*slots = append(*slots, nil)
 	}
 	if (*slots)[k] == nil {
-		(*slots)[k] = make([]equilibrate.State, dim)
+		sts := make([]equilibrate.State, dim)
+		equilibrate.PresizeStates(sts, nev)
+		(*slots)[k] = sts
 	}
 	return (*slots)[k]
+}
+
+// phaseEvents returns the exact per-subproblem event count of a phase with
+// nv variables per subproblem, or 0 when bounds make it data-dependent.
+func (st *diagState) phaseEvents(nv int) int {
+	if st.p.Upper == nil && st.p.Lower == nil {
+		return nv
+	}
+	return 0
 }
 
 // rowPhase solves the m independent row equilibrium subproblems in parallel,
 // updating x row-wise, λ, and rowSum.
 func (st *diagState) rowPhase(ph *PhaseCosts) error {
 	st.curPH = ph
-	st.curRowStates = st.statesFor(&st.rowStates, st.m)
+	st.curRowStates = st.statesFor(&st.rowStates, st.m, st.phaseEvents(st.n))
 	if err := st.runner.ForChunksCtx(st.ctx, st.p.M, st.rowBody); err != nil {
 		return err
 	}
 	return st.takeErr()
 }
 
+// defaultBatchEvents is the batched kernel's per-chunk event budget: enough
+// concatenated breakpoint events (16 bytes of key each) that the fused radix
+// amortizes its counting passes over many subproblems while the working set
+// (keys + ping-pong + canonical ≈ 3×16 B×budget) stays inside L2. See
+// docs/PERFORMANCE.md.
+const defaultBatchEvents = 1 << 12
+
+// batchRows returns the end of the batch starting at lo: as many subproblems
+// as fit the event budget (estimated at perRow events each), always at least
+// one.
+func batchRows(lo, hi, perRow, target int) int {
+	rows := target / perRow
+	if rows < 1 {
+		rows = 1
+	}
+	// Cap the subproblem count too: past this the per-segment metadata the
+	// batch streams (problem copies, offsets, results) outgrows the event
+	// data itself — the regime of very small subproblems, where huge batches
+	// stop paying (measured on the sparse table5/spe250 instances).
+	if rows > maxBatchRows {
+		rows = maxBatchRows
+	}
+	if end := lo + rows; end < hi {
+		return end
+	}
+	return hi
+}
+
+// maxBatchRows caps the subproblems per batch regardless of their size.
+const maxBatchRows = 128
+
 // rowChunk is the row-phase body for one worker's index range.
 func (st *diagState) rowChunk(chunk, lo, hi int) {
+	if st.useBatch {
+		st.rowChunkBatched(chunk, lo, hi)
+		return
+	}
 	p, o := st.p, st.o
 	n := st.n
 	ws := st.workspaces[chunk]
@@ -488,6 +558,90 @@ func (st *diagState) rowChunk(chunk, lo, hi int) {
 	}
 }
 
+// rowChunkBatched is the batched row-phase body: it walks [lo,hi) in
+// event-budget batches, accumulating each row's subproblem into the worker's
+// Batch and solving the whole group with the fused sort. Per-row outputs,
+// trace costs, and warm-start states are identical to rowChunk's — the batch
+// kernel is bit-exact — so the two bodies are interchangeable.
+func (st *diagState) rowChunkBatched(chunk, lo, hi int) {
+	p, o := st.p, st.o
+	n := st.n
+	b := st.batches[chunk]
+	ph := st.curPH
+	perRow := n
+	if p.Upper != nil {
+		perRow = 2 * n
+	}
+	for lo < hi {
+		end := batchRows(lo, hi, perRow, st.batchTarget)
+		b.Reset()
+		for i := lo; i < end; i++ {
+			x0 := p.X0[i*n : (i+1)*n]
+			a := st.aRow[i*n : (i+1)*n]
+			c := b.Coef(n)
+			for j := 0; j < n; j++ {
+				c[j] = x0[j] + a[j]*st.mu[j]
+			}
+			prob := equilibrate.Problem{C: c, A: a}
+			if p.Upper != nil {
+				prob.U = p.Upper[i*n : (i+1)*n]
+			}
+			if p.Lower != nil {
+				prob.L = p.Lower[i*n : (i+1)*n]
+			}
+			switch p.Kind {
+			case FixedTotals:
+				prob.R = p.S0[i]
+			case ElasticTotals:
+				prob.E = 0.5 / p.Alpha[i]
+				prob.R = p.S0[i]
+			case Balanced:
+				e := 0.5 / p.Alpha[i]
+				prob.E = e
+				prob.R = p.S0[i] - e*st.mu[i]
+			}
+			var est *equilibrate.State
+			if st.curRowStates != nil {
+				est = &st.curRowStates[i]
+			}
+			var err error
+			if p.Kind == IntervalTotals {
+				err = b.AddInterval(&prob, p.SLo[i], p.SHi[i], st.x[i*n:(i+1)*n], est)
+			} else {
+				err = b.Add(&prob, st.x[i*n:(i+1)*n], est)
+			}
+			if err != nil {
+				if st.errs[chunk] == nil {
+					st.errs[chunk] = fmt.Errorf("row %d: %w", i, err)
+				}
+				return
+			}
+		}
+		if bad, err := b.Solve(); err != nil {
+			if st.errs[chunk] == nil {
+				st.errs[chunk] = fmt.Errorf("row %d: %w", lo+bad, err)
+			}
+			return
+		}
+		var costSum int64
+		for i := lo; i < end; i++ {
+			res := b.Result(i - lo)
+			st.lambda[i] = res.Lambda
+			st.rowSum[i] = res.Total
+			cost := res.Ops + int64(2*n)
+			costSum += cost
+			if ph != nil {
+				ph.Row[i] = cost
+			}
+		}
+		if o.Counters != nil {
+			o.Counters.Equilibrations.Add(int64(end - lo))
+			o.Counters.Ops.Add(costSum)
+		}
+		lo = end
+	}
+}
+
 // colPhase solves the n independent column equilibrium subproblems in
 // parallel, updating x column-wise, μ, and colSum. Every array it touches
 // per column — the transposed prior, slopes and bounds, and the column-major
@@ -495,7 +649,7 @@ func (st *diagState) rowChunk(chunk, lo, hi int) {
 // folds the mirror back into the row-major iterate.
 func (st *diagState) colPhase(ph *PhaseCosts) error {
 	st.curPH = ph
-	st.curColStates = st.statesFor(&st.colStates, st.n)
+	st.curColStates = st.statesFor(&st.colStates, st.n, st.phaseEvents(st.m))
 	if err := st.runner.ForChunksCtx(st.ctx, st.p.N, st.colBody); err != nil {
 		return err
 	}
@@ -511,6 +665,10 @@ func (st *diagState) colPhase(ph *PhaseCosts) error {
 
 // colChunk is the column-phase body for one worker's index range.
 func (st *diagState) colChunk(chunk, lo, hi int) {
+	if st.useBatch {
+		st.colChunkBatched(chunk, lo, hi)
+		return
+	}
 	p, o := st.p, st.o
 	m := st.m
 	ws := st.workspaces[chunk]
@@ -570,6 +728,87 @@ func (st *diagState) colChunk(chunk, lo, hi int) {
 			o.Counters.Equilibrations.Add(1)
 			o.Counters.Ops.Add(cost)
 		}
+	}
+}
+
+// colChunkBatched is the batched column-phase body; see rowChunkBatched.
+func (st *diagState) colChunkBatched(chunk, lo, hi int) {
+	p, o := st.p, st.o
+	m := st.m
+	b := st.batches[chunk]
+	ph := st.curPH
+	perCol := m
+	if st.upperT != nil {
+		perCol = 2 * m
+	}
+	for lo < hi {
+		end := batchRows(lo, hi, perCol, st.batchTarget)
+		b.Reset()
+		for j := lo; j < end; j++ {
+			x0c := st.x0T[j*m : (j+1)*m]
+			a := st.aT[j*m : (j+1)*m]
+			c := b.Coef(m)
+			for i := 0; i < m; i++ {
+				c[i] = x0c[i] + a[i]*st.lambda[i]
+			}
+			prob := equilibrate.Problem{C: c, A: a}
+			if st.upperT != nil {
+				prob.U = st.upperT[j*m : (j+1)*m]
+			}
+			if st.lowerT != nil {
+				prob.L = st.lowerT[j*m : (j+1)*m]
+			}
+			switch p.Kind {
+			case FixedTotals:
+				prob.R = p.D0[j]
+			case ElasticTotals:
+				prob.E = 0.5 / p.Beta[j]
+				prob.R = p.D0[j]
+			case Balanced:
+				e := 0.5 / p.Alpha[j]
+				prob.E = e
+				prob.R = p.S0[j] - e*st.lambda[j]
+			}
+			var est *equilibrate.State
+			if st.curColStates != nil {
+				est = &st.curColStates[j]
+			}
+			xcol := st.xT[j*m : (j+1)*m]
+			var err error
+			if p.Kind == IntervalTotals {
+				err = b.AddInterval(&prob, p.DLo[j], p.DHi[j], xcol, est)
+			} else {
+				err = b.Add(&prob, xcol, est)
+			}
+			if err != nil {
+				if st.errs[chunk] == nil {
+					st.errs[chunk] = fmt.Errorf("column %d: %w", j, err)
+				}
+				return
+			}
+		}
+		if bad, err := b.Solve(); err != nil {
+			if st.errs[chunk] == nil {
+				st.errs[chunk] = fmt.Errorf("column %d: %w", lo+bad, err)
+			}
+			return
+		}
+		var costSum int64
+		for j := lo; j < end; j++ {
+			res := b.Result(j - lo)
+			st.mu[j] = res.Lambda
+			st.colSum[j] = res.Total
+			cost := res.Ops + int64(2*m)
+			costSum += cost
+			if ph != nil {
+				ph.Col[j] = cost
+			}
+		}
+		if o.Counters != nil {
+			o.Counters.Equilibrations.Add(int64(end - lo))
+			o.Counters.Ops.Add(costSum)
+		}
+		lo = end
 	}
 }
 

@@ -1,0 +1,436 @@
+package equilibrate
+
+import (
+	"fmt"
+	"math"
+
+	"sea/internal/sortx"
+)
+
+// Batch solves many exact-equilibration subproblems as one fused unit
+// instead of m independent sort-and-sweeps. Subproblems are accumulated with
+// Add/AddInterval — each contributes a contiguous segment of the shared
+// event array, with sort keys indexed into that concatenated array — and
+// Solve then runs:
+//
+//  1. warm replays: segments whose State carries a valid permutation gather
+//     their keys straight into their slot of the canonical array and repair
+//     drift with the budgeted insertion pass, exactly as the single path;
+//  2. one fused stable LSD radix over the *concatenated* keys of every cold
+//     segment (the per-segment XOR byte masks were folded during Add, so no
+//     extra pre-pass), followed by a single stable counting pass that
+//     distributes keys into their segment slots. Stability is what makes the
+//     segmentation free: after the position-byte passes, ties — including
+//     keys of different segments sharing a position — are in global build
+//     order, so distributing by segment preserves per-segment (position,
+//     build index) order, which IS the canonical order each slot needs. No
+//     per-segment fixup of any kind runs afterwards;
+//  3. a sweep and primal recovery per segment, in add order, over the exact
+//     same sweep code as the single path.
+//
+// Because the canonical sorted key array of each segment is unique (strict
+// total order) and every stage after the sort is shared code on identical
+// float values, batch results are bit-identical to per-subproblem SolveState
+// calls — batching, like warm starting, is purely a performance choice.
+//
+// The one observable difference is error *attribution* under multiple
+// simultaneous failures: Add surfaces validation and feasibility errors
+// immediately, before earlier segments' sweeps have run, so when subproblem
+// 3 would fail in its sweep and subproblem 5 in its pre-check, the batch
+// reports 5 where a sequential loop reports 3. Some subproblem fails either
+// way, and callers abort the phase on the first error in both designs.
+//
+// A Batch must not be shared between concurrent solves; allocate one per
+// worker. Buffers grow on demand and are retained across Reset.
+type Batch struct {
+	segs   []batchSeg
+	events []event     // concatenated, in add order
+	keys   []sortx.Key // build order, Idx global into events; clobbered by Solve
+	sorted []sortx.Key // canonical order, per-segment slots
+	alt    []sortx.Key // radix ping-pong / cold-key gather
+	alt2   []sortx.Key // second ping-pong buffer when warm slots force a gather
+	segOf  []int32     // global event index -> segment index
+	next   []int32     // per-segment write cursors of the distribution pass
+	coef   []float64   // Coef arena
+	b0     uint64      // XOR reference for the per-segment byte masks
+	b0set  bool
+}
+
+// batchSeg is one accumulated subproblem: a value copy of its Problem (the
+// referenced slices must stay valid until Solve), its output block, optional
+// warm-start State, and its [off, off+nev) window of the shared event array.
+type batchSeg struct {
+	p     Problem
+	x     []float64
+	st    *State
+	off   int32
+	nev   int32
+	diff  uint64 // OR of (key bits ^ first) over the segment's keys
+	first uint64 // Bits of the segment's first key (the diff reference)
+	lb    float64
+	warm  bool // this solve replayed its cached permutation
+	done  bool // solved at Add time (empty or slack-interval subproblem)
+	done2 bool // cold-sorted individually by Solve (insertion or own radix)
+	res   Result
+}
+
+// NewBatch returns an empty batch pre-sized for about hint concatenated
+// events per Solve (the caller's event budget plus one subproblem of
+// overshoot), so steady dispatching never grows buffers through repeated
+// append doubling. hint ≤ 0 starts empty; everything still grows on demand.
+func NewBatch(hint int) *Batch {
+	if hint <= 0 {
+		return &Batch{}
+	}
+	return &Batch{
+		segs:   make([]batchSeg, 0, 64),
+		events: make([]event, 0, hint),
+		keys:   make([]sortx.Key, 0, hint),
+		segOf:  make([]int32, 0, hint),
+		sorted: make([]sortx.Key, hint),
+		alt:    make([]sortx.Key, hint),
+		alt2:   make([]sortx.Key, hint),
+		coef:   make([]float64, 0, hint),
+	}
+}
+
+// Reset discards accumulated subproblems, keeping buffer capacity.
+func (b *Batch) Reset() {
+	b.segs = b.segs[:0]
+	b.events = b.events[:0]
+	b.keys = b.keys[:0]
+	b.segOf = b.segOf[:0]
+	b.coef = b.coef[:0]
+	b.b0set = false
+}
+
+// Len returns the number of subproblems added since the last Reset.
+func (b *Batch) Len() int { return len(b.segs) }
+
+// Result returns the i-th (in add order) subproblem's result. Valid only
+// after a successful Solve and until the next Reset.
+func (b *Batch) Result(i int) Result { return b.segs[i].res }
+
+// Coef returns a fresh n-length coefficient slice from the batch's arena,
+// valid until the next Reset — the batch analogue of Workspace.Scratch, for
+// callers that build each subproblem's linear term in place. Slices returned
+// earlier in the same batch stay valid even when the arena grows: segments
+// hold their own headers into the previous backing array.
+func (b *Batch) Coef(n int) []float64 {
+	off := len(b.coef)
+	if cap(b.coef)-off < n {
+		c := 2 * cap(b.coef)
+		if c < off+n {
+			c = off + n
+		}
+		b.coef = make([]float64, 0, c)
+		off = 0
+	}
+	b.coef = b.coef[:off+n]
+	return b.coef[off : off+n : off+n]
+}
+
+// Add appends one subproblem with output block x (length len(p.C)) and
+// optional warm-start State. It mirrors SolveState's validation and
+// feasibility pre-checks, so structural errors surface here rather than at
+// Solve. p's slices and x must stay valid until Solve returns.
+func (b *Batch) Add(p *Problem, x []float64, st *State) error {
+	if err := p.validate(x); err != nil {
+		return err
+	}
+	return b.add(p, x, st)
+}
+
+// validate is the shared argument check of SolveState and Batch.Add.
+func (p *Problem) validate(x []float64) error {
+	n := len(p.C)
+	if len(p.A) != n || (p.U != nil && len(p.U) != n) || (p.L != nil && len(p.L) != n) || len(x) != n {
+		return fmt.Errorf("equilibrate: inconsistent lengths (c=%d a=%d u=%d l=%d x=%d)",
+			len(p.C), len(p.A), len(p.U), len(p.L), len(x))
+	}
+	if p.E < 0 {
+		return fmt.Errorf("equilibrate: negative elastic slope %g", p.E)
+	}
+	return nil
+}
+
+// add is the shared tail of Add and AddInterval: fast paths, feasibility
+// pre-checks, the event build, and the byte-mask fold.
+func (b *Batch) add(p *Problem, x []float64, st *State) error {
+	n := len(p.C)
+	if n == 0 {
+		lambda, ops, err := p.emptyRoot()
+		if err != nil {
+			return err
+		}
+		b.segs = append(b.segs, batchSeg{p: *p, x: x, st: st, done: true,
+			res: Result{Lambda: lambda, Ops: ops}})
+		return nil
+	}
+	// Append the segment first and fill it through the pointer: batchSeg is
+	// large (it embeds a Problem copy), and building it on the stack first
+	// would copy it twice per subproblem.
+	b.segs = append(b.segs, batchSeg{p: *p, x: x, st: st})
+	seg := &b.segs[len(b.segs)-1]
+	seg.lb = p.sumLower()
+	if err := p.feasible(seg.lb); err != nil {
+		b.segs = b.segs[:len(b.segs)-1]
+		return err
+	}
+	off := len(b.events)
+	ev, keys, err := seg.p.appendEvents(b.events, b.keys)
+	if err != nil {
+		b.events, b.keys = ev[:off], keys[:off]
+		b.segs = b.segs[:len(b.segs)-1]
+		return err
+	}
+	b.events, b.keys = ev, keys
+	seg.off = int32(off)
+	seg.nev = int32(len(ev) - off)
+	if !b.b0set {
+		b.b0 = keys[off].Bits
+		b.b0set = true
+	}
+	// Fold the differing-byte mask over the fresh keys (still in cache) so
+	// neither sort mode needs a pre-pass. The reference is the segment's own
+	// first key, keeping the mask tight for the per-segment radix; the fused
+	// pass bridges to the batch-global reference b0 with one extra term per
+	// segment (k^b0 = (k^first)^(first^b0)). The event→segment map the fused
+	// distribution pass needs is NOT built here: most batches never take
+	// that route, so Solve fills it lazily for just the fused segments.
+	seg.first = keys[off].Bits
+	var diff uint64
+	for _, k := range keys[off:] {
+		diff |= k.Bits ^ seg.first
+	}
+	seg.diff = diff
+	return nil
+}
+
+// AddInterval appends one interval-total subproblem lo ≤ Σx ≤ hi — the
+// batched form of SolveIntervalState. The free solution at λ = 0 is computed
+// immediately; only a binding side contributes a segment to the batch.
+func (b *Batch) AddInterval(p *Problem, lo, hi float64, x []float64, st *State) error {
+	if p.E != 0 {
+		return fmt.Errorf("equilibrate: SolveInterval requires E = 0, got %g", p.E)
+	}
+	if !(lo <= hi) {
+		return fmt.Errorf("equilibrate: empty interval [%g, %g]", lo, hi)
+	}
+	if err := p.validate(x); err != nil {
+		return err
+	}
+	n := len(p.C)
+	var total float64
+	for j := 0; j < n; j++ {
+		v := p.clampVal(j, p.C[j])
+		x[j] = v
+		total += v
+	}
+	q := *p
+	switch {
+	case total > hi:
+		q.R = hi
+	case total < lo:
+		q.R = lo
+	default:
+		b.segs = append(b.segs, batchSeg{p: q, x: x, st: st, done: true,
+			res: Result{Lambda: 0, Total: total, Ops: int64(2 * n)}})
+		return nil
+	}
+	return b.add(&q, x, st)
+}
+
+// The cold-segment routing thresholds (vars only so the route benchmarks
+// can force each path; see BenchmarkBatchRoute and docs/PERFORMANCE.md):
+//
+//   - batchInsertionMax: at or below this event count a segment sorts by
+//     straight insertion in its slot. Lower than the single path's
+//     sortx.InsertionThreshold because the batch amortizes radix fixed
+//     costs across segments, moving the insertion/radix crossover down.
+//   - segRadixMin: from this event count a cold segment runs its own radix
+//     over the shared ping-pong buffers — its per-segment byte mask is
+//     tighter than any union and it skips the distribution pass, which
+//     beats the fused pass once the per-sort fixed costs amortize within
+//     the segment itself.
+//
+// Segments between the two join the fused radix + stable distribution pass.
+var (
+	batchInsertionMax = 48
+	segRadixMin       = 257
+)
+
+// Solve sorts and sweeps every pending segment. On success it returns
+// (-1, nil) and every Result is readable; on failure it returns the add-order
+// index of the failing subproblem with the error (earlier segments' States
+// may already be refreshed, exactly as a sequential loop would have left
+// them before aborting).
+func (b *Batch) Solve() (int, error) {
+	total := len(b.events)
+	b.sorted = growKeys(b.sorted, total)
+	keys := b.keys
+
+	// Stage 1: warm replays into each segment's slot of the canonical
+	// array, with the single path's counter and cooldown bookkeeping.
+	warm := 0
+	cold := total
+	for i := range b.segs {
+		seg := &b.segs[i]
+		if seg.done {
+			continue
+		}
+		st := seg.st
+		m := int(seg.nev)
+		if st != nil && st.nev == m && st.cool == 0 {
+			slot := b.sorted[seg.off : int(seg.off)+m]
+			if replayKeys(slot, keys, st.perm[:m], seg.off) {
+				st.FastSorts++
+				seg.warm = true
+				warm++
+				cold -= m
+				continue
+			}
+			st.FullSorts++
+			st.cool = replayCooldown
+			continue
+		}
+		if st != nil {
+			st.FullSorts++
+			if st.cool > 0 {
+				st.cool--
+			}
+		}
+	}
+
+	// Stage 2: sort the cold segments, each by the cheapest correct route.
+	// Segments at or below the insertion threshold use per-slot straight
+	// insertion (exactly the single path's choice); segments of at least
+	// segRadixMin events run their own radix over the shared ping-pong
+	// buffers — their per-segment byte masks are tighter than any union and
+	// they skip the distribution pass entirely; the small-but-not-tiny
+	// remainder, where per-sort fixed costs would dominate, is gathered into
+	// ONE fused radix over its concatenated keys followed by a single stable
+	// segment-distribution pass. Every route lands the same canonical
+	// per-slot order, so the choice is invisible in the results.
+	if cold > 0 {
+		fused := 0
+		for i := range b.segs {
+			seg := &b.segs[i]
+			if seg.done || seg.warm {
+				continue
+			}
+			m := int(seg.nev)
+			slot := b.sorted[seg.off : int(seg.off)+m]
+			switch {
+			case m <= batchInsertionMax:
+				copy(slot, keys[seg.off:int(seg.off)+m])
+				sortx.InsertionKeys(slot)
+				seg.done2 = true
+			case m >= segRadixMin:
+				// Radix in place over the build-order keys (clobbered by
+				// contract), ping-ponging against the canonical slot: an odd
+				// pass count ends in the slot for free, an even one copies.
+				res := sortx.RadixKeysMask(keys[seg.off:int(seg.off)+m], slot, seg.diff)
+				if &res[0] != &slot[0] {
+					copy(slot, res)
+				}
+				seg.done2 = true
+			default:
+				fused += m
+			}
+		}
+		if fused > 0 {
+			// Gather the remaining cold keys contiguously and bridge each
+			// segment's mask to the batch-global reference b0. The
+			// event→segment map is filled here, for just these segments —
+			// batches that never reach this route never pay for it.
+			b.alt = growKeys(b.alt, fused)
+			b.segOf = growInt32(b.segOf, total)
+			var diff uint64
+			g := b.alt[:0]
+			for i := range b.segs {
+				seg := &b.segs[i]
+				if seg.done || seg.warm || seg.done2 {
+					continue
+				}
+				g = append(g, keys[seg.off:seg.off+seg.nev]...)
+				for j := seg.off; j < seg.off+seg.nev; j++ {
+					b.segOf[j] = int32(i)
+				}
+				diff |= seg.diff | (seg.first ^ b.b0)
+			}
+			b.alt2 = growKeys(b.alt2, fused)
+			src := sortx.RadixKeysMask(g, b.alt2[:fused], diff)
+			// Final stable pass: distribute by segment into each slot. With
+			// ties already in global build order after the position-byte
+			// passes, stability makes every slot canonical by construction.
+			b.next = growInt32(b.next, len(b.segs))
+			next, segOf, sorted := b.next, b.segOf, b.sorted
+			for i := range b.segs {
+				next[i] = b.segs[i].off
+			}
+			for _, k := range src {
+				s := segOf[k.Idx]
+				sorted[next[s]] = k
+				next[s]++
+			}
+		}
+	}
+
+	// Stage 3: save states, sweep, and recover each block, in add order —
+	// shared code with the single path from here on.
+	for i := range b.segs {
+		seg := &b.segs[i]
+		if seg.done {
+			continue
+		}
+		m := int(seg.nev)
+		sk := b.sorted[int(seg.off) : int(seg.off)+m]
+		if st := seg.st; st != nil {
+			st.save(sk, seg.off)
+		}
+		p := &seg.p
+		ops := int64(7*m) + int64(float64(m)*math.Log2(float64(m)+1))
+		lambda, extra, err := p.sweep(b.events, sk, seg.lb, seg.st)
+		if err != nil {
+			return i, err
+		}
+		tot := p.recoverPrimal(seg.x, lambda)
+		seg.res = Result{Lambda: lambda, Total: tot, Ops: ops + extra + int64(2*len(p.C))}
+	}
+	return -1, nil
+}
+
+// growKeys returns buf resized to n, reallocating only when capacity is
+// short.
+func growKeys(buf []sortx.Key, n int) []sortx.Key {
+	if cap(buf) < n {
+		return make([]sortx.Key, n)
+	}
+	return buf[:n]
+}
+
+func growInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// PresizeStates gives each cold State in sts permutation capacity for nev
+// events, carved from one shared slab — engaging a phase's warm starts then
+// costs two allocations instead of one per subproblem (the table5/spe250
+// cold-solve alloc regression). States already carrying a permutation keep
+// it, and solves whose event count exceeds nev simply grow individually:
+// presizing is purely an allocation-count optimization.
+func PresizeStates(sts []State, nev int) {
+	if nev <= 0 || len(sts) == 0 {
+		return
+	}
+	slab := make([]int32, len(sts)*nev)
+	for i := range sts {
+		if cap(sts[i].perm) < nev {
+			sts[i].perm = slab[i*nev : i*nev : (i+1)*nev]
+		}
+	}
+}

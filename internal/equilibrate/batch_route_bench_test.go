@@ -1,0 +1,64 @@
+package equilibrate
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// benchBatch builds a cold batch of segs elastic subproblems of n breakpoints
+// each and solves it, with the route thresholds forced by the caller.
+func benchBatchRoutes(b *testing.B, n, segs, insMax, radixMin int) {
+	oldIns, oldMin := batchInsertionMax, segRadixMin
+	batchInsertionMax, segRadixMin = insMax, radixMin
+	defer func() { batchInsertionMax, segRadixMin = oldIns, oldMin }()
+
+	rng := rand.New(rand.NewPCG(1, 2))
+	ps := make([]Problem, segs)
+	xs := make([][]float64, segs)
+	for s := range ps {
+		c := make([]float64, n)
+		a := make([]float64, n)
+		for j := range c {
+			c[j] = rng.NormFloat64() * 100
+			a[j] = 0.5 + rng.Float64()
+		}
+		ps[s] = Problem{C: c, A: a, R: float64(n) * 0.3, E: 0}
+		xs[s] = make([]float64, n)
+	}
+	batch := NewBatch(n*segs + n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.Reset()
+		for s := range ps {
+			if err := batch.Add(&ps[s], xs[s], nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if idx, err := batch.Solve(); err != nil {
+			b.Fatalf("seg %d: %v", idx, err)
+		}
+	}
+}
+
+func BenchmarkBatchRoute(b *testing.B) {
+	for _, n := range []int{32, 64, 96, 128, 192, 256} {
+		segs := 4096 / n
+		b.Run("n="+itoa(n)+"/insertion", func(b *testing.B) { benchBatchRoutes(b, n, segs, 1<<30, 1<<30) })
+		b.Run("n="+itoa(n)+"/fused", func(b *testing.B) { benchBatchRoutes(b, n, segs, 0, 1<<30) })
+		b.Run("n="+itoa(n)+"/perseg", func(b *testing.B) { benchBatchRoutes(b, n, segs, 0, 0) })
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

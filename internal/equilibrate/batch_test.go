@@ -1,0 +1,384 @@
+package equilibrate
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// batchSlot is one subproblem tracked through the batched-vs-single property
+// test: the instance, its interval (when applicable), and one warm-start
+// State plus output block per path.
+type batchSlot struct {
+	c      warmCase
+	p      *Problem
+	lo, hi float64
+	stS    State // single path
+	stB    State // batched path
+	xS     []float64
+	xB     []float64
+	ties   bool
+}
+
+// batchSlots builds the adversarial mix: empty subproblems, single-
+// breakpoint rows, all-ties keys, sizes on both sides of the insertion/radix
+// threshold, every bound pattern, and interval totals — all in one batch.
+func batchSlots(rng *rand.Rand) []*batchSlot {
+	cases := []struct {
+		c    warmCase
+		ties bool
+	}{
+		{c: warmCase{name: "empty", n: 0, elastic: true}},
+		{c: warmCase{name: "single", n: 1}},
+		{c: warmCase{name: "ties-small", n: 12}, ties: true},
+		{c: warmCase{name: "ties-large", n: 200}, ties: true},
+		{c: warmCase{name: "fixed-small", n: 7}},
+		{c: warmCase{name: "fixed-large", n: 300}},
+		{c: warmCase{name: "elastic", n: 120, elastic: true}},
+		{c: warmCase{name: "bounded", n: 90, bounded: true}},
+		{c: warmCase{name: "box", n: 150, bounded: true, lowered: true}},
+		{c: warmCase{name: "interval", n: 110, bounded: true, interval: true}},
+		{c: warmCase{name: "empty-fixed", n: 0}},
+		{c: warmCase{name: "single-elastic", n: 1, elastic: true}},
+	}
+	slots := make([]*batchSlot, len(cases))
+	for i, tc := range cases {
+		s := &batchSlot{c: tc.c, ties: tc.ties, p: buildProblem(rng, tc.c)}
+		if tc.ties {
+			// Every breakpoint at the same position: all sort keys are
+			// equal, within the segment and across tied segments, so the
+			// fused radix's byte mask is empty and only stability separates
+			// build orders.
+			for j := 0; j < tc.c.n; j++ {
+				s.p.A[j] = 1
+				s.p.C[j] = 2.5
+			}
+			s.p.R = feasibleTarget(rng, s.p)
+		}
+		if tc.c.n == 0 && !tc.c.elastic {
+			s.p.R = 0 // the only feasible empty fixed-total subproblem
+		}
+		s.xS = make([]float64, tc.c.n)
+		s.xB = make([]float64, tc.c.n)
+		slots[i] = s
+	}
+	return slots
+}
+
+// perturb drifts a slot's instance the way SEA's outer iterations do —
+// usually small dual drift, occasionally a violent shake — identically for
+// both solve paths.
+func (s *batchSlot) perturb(rng *rand.Rand) {
+	scale := 0.05
+	if rng.Float64() < 0.2 {
+		scale = 20
+	}
+	for j := 0; j < s.c.n; j++ {
+		s.p.C[j] += rng.NormFloat64() * scale
+	}
+	if s.ties && rng.Float64() < 0.5 {
+		// Keep the all-ties structure through some perturbations.
+		for j := 0; j < s.c.n; j++ {
+			s.p.C[j] = s.p.C[0]
+		}
+	}
+	if s.c.n > 0 && rng.Float64() < 0.3 {
+		s.p.R = feasibleTarget(rng, s.p)
+	}
+	if s.c.interval {
+		mid := feasibleTarget(rng, s.p)
+		span := rng.Float64() * 10
+		s.lo, s.hi = mid-span, mid+span
+	}
+}
+
+// TestBatchBitIdenticalToSingle is the batched kernel's contract: over
+// random sequences of perturbed adversarial subproblems — solved one-by-one
+// through SolveState/SolveIntervalState on one side and through a Batch on
+// the other, with independent warm-start States on each side — every result,
+// primal block, op count, and warm-start counter is bit-identical, for batch
+// group sizes of 1 (degenerate), a few, and all-at-once (> number of
+// subproblems never splits).
+func TestBatchBitIdenticalToSingle(t *testing.T) {
+	for _, group := range []int{1, 4, 1 << 20} {
+		t.Run(groupName(group), func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(97, uint64(group)))
+			slots := batchSlots(rng)
+			ws := NewWorkspace(300)
+			b := NewBatch(0)
+			const steps = 30
+			for step := 0; step < steps; step++ {
+				for _, s := range slots {
+					s.perturb(rng)
+				}
+				// Single path.
+				type single struct {
+					res Result
+					err error
+				}
+				want := make([]single, len(slots))
+				for i, s := range slots {
+					if s.c.interval {
+						want[i].res, want[i].err = s.p.SolveIntervalState(s.lo, s.hi, s.xS, ws, &s.stS)
+					} else {
+						want[i].res, want[i].err = s.p.SolveState(s.xS, ws, &s.stS)
+					}
+					if want[i].err != nil {
+						t.Fatalf("step %d slot %s: single path error %v", step, s.c.name, want[i].err)
+					}
+				}
+				// Batched path, in groups.
+				for lo := 0; lo < len(slots); lo += group {
+					hi := lo + group
+					if hi > len(slots) {
+						hi = len(slots)
+					}
+					b.Reset()
+					for _, s := range slots[lo:hi] {
+						var err error
+						if s.c.interval {
+							err = b.AddInterval(s.p, s.lo, s.hi, s.xB, &s.stB)
+						} else {
+							err = b.Add(s.p, s.xB, &s.stB)
+						}
+						if err != nil {
+							t.Fatalf("step %d slot %s: Add error %v", step, s.c.name, err)
+						}
+					}
+					if bad, err := b.Solve(); err != nil {
+						t.Fatalf("step %d: batch Solve failed at %d: %v", step, lo+bad, err)
+					}
+					for k, s := range slots[lo:hi] {
+						got, w := b.Result(k), want[lo+k]
+						if got.Lambda != w.res.Lambda || got.Total != w.res.Total || got.Ops != w.res.Ops {
+							t.Fatalf("step %d slot %s: batch %+v, single %+v (must be bit-identical)",
+								step, s.c.name, got, w.res)
+						}
+					}
+				}
+				for _, s := range slots {
+					for j := range s.xS {
+						if s.xS[j] != s.xB[j] {
+							t.Fatalf("step %d slot %s: x[%d] single=%v batch=%v", step, s.c.name, j, s.xS[j], s.xB[j])
+						}
+					}
+					if s.stS.FastSorts != s.stB.FastSorts || s.stS.FullSorts != s.stB.FullSorts {
+						t.Fatalf("step %d slot %s: warm counters diverged (single %d/%d, batch %d/%d)",
+							step, s.c.name, s.stS.FastSorts, s.stS.FullSorts, s.stB.FastSorts, s.stB.FullSorts)
+					}
+					if s.stS.LastSeg != s.stB.LastSeg {
+						t.Fatalf("step %d slot %s: LastSeg single=%d batch=%d", step, s.c.name, s.stS.LastSeg, s.stB.LastSeg)
+					}
+				}
+			}
+			for _, s := range slots {
+				// The ties slots flip between two unrelated orderings by
+				// design, so their replays legitimately keep failing.
+				if s.c.n > 1 && !s.ties && s.stB.FastSorts == 0 {
+					t.Errorf("slot %s: batched warm path never replayed (%d full sorts)", s.c.name, s.stB.FullSorts)
+				}
+			}
+		})
+	}
+}
+
+func groupName(g int) string {
+	switch g {
+	case 1:
+		return "group-1"
+	case 1 << 20:
+		return "group-all"
+	default:
+		return "group-few"
+	}
+}
+
+// TestBatchColdNoStates runs the same comparison with nil States (the cold
+// path core uses before warm onset): all segments cold, pure fused radix.
+func TestBatchColdNoStates(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 3))
+	slots := batchSlots(rng)
+	ws := NewWorkspace(300)
+	b := NewBatch(0)
+	for step := 0; step < 10; step++ {
+		for _, s := range slots {
+			s.perturb(rng)
+		}
+		b.Reset()
+		for _, s := range slots {
+			var err error
+			if s.c.interval {
+				err = b.AddInterval(s.p, s.lo, s.hi, s.xB, nil)
+			} else {
+				err = b.Add(s.p, s.xB, nil)
+			}
+			if err != nil {
+				t.Fatalf("step %d slot %s: Add error %v", step, s.c.name, err)
+			}
+		}
+		if bad, err := b.Solve(); err != nil {
+			t.Fatalf("step %d: Solve failed at %d: %v", step, bad, err)
+		}
+		for i, s := range slots {
+			var want Result
+			var err error
+			if s.c.interval {
+				want, err = s.p.SolveIntervalState(s.lo, s.hi, s.xS, ws, nil)
+			} else {
+				want, err = s.p.SolveState(s.xS, ws, nil)
+			}
+			if err != nil {
+				t.Fatalf("step %d slot %s: single path error %v", step, s.c.name, err)
+			}
+			if got := b.Result(i); got != want {
+				t.Fatalf("step %d slot %s: batch %+v, single %+v", step, s.c.name, got, want)
+			}
+			for j := range s.xS {
+				if s.xS[j] != s.xB[j] {
+					t.Fatalf("step %d slot %s: x[%d] differs", step, s.c.name, j)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchAllTiesAcrossSegments puts every key of every segment at the same
+// position: the radix byte mask is identically zero, so the canonical order
+// of each slot comes purely from the stability of the segment-distribution
+// pass over the build order.
+func TestBatchAllTiesAcrossSegments(t *testing.T) {
+	for _, n := range []int{5, 40, 90} { // totals straddle InsertionThreshold
+		b := NewBatch(0)
+		ws := NewWorkspace(n)
+		xB := make([][]float64, 3)
+		for s := 0; s < 3; s++ {
+			p := &Problem{C: make([]float64, n), A: make([]float64, n), R: float64(n)}
+			for j := 0; j < n; j++ {
+				p.C[j] = 1.5
+				p.A[j] = 1
+			}
+			xB[s] = make([]float64, n)
+			if err := b.Add(p, xB[s], nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if bad, err := b.Solve(); err != nil {
+			t.Fatalf("n=%d: Solve failed at %d: %v", n, bad, err)
+		}
+		p := &Problem{C: make([]float64, n), A: make([]float64, n), R: float64(n)}
+		for j := 0; j < n; j++ {
+			p.C[j] = 1.5
+			p.A[j] = 1
+		}
+		x := make([]float64, n)
+		want, err := p.Solve(x, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 3; s++ {
+			if got := b.Result(s); got != want {
+				t.Fatalf("n=%d seg %d: batch %+v, single %+v", n, s, got, want)
+			}
+			for j := range x {
+				if xB[s][j] != x[j] {
+					t.Fatalf("n=%d seg %d: x[%d] differs", n, s, j)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchAddErrors: structural and feasibility failures surface at Add,
+// and the batch stays usable after a Reset.
+func TestBatchAddErrors(t *testing.T) {
+	b := NewBatch(0)
+	x2 := make([]float64, 2)
+	if err := b.Add(&Problem{C: []float64{1, 2}, A: []float64{1}}, x2, nil); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+	if err := b.Add(&Problem{C: []float64{1, 2}, A: []float64{1, 1}, E: -1}, x2, nil); err == nil {
+		t.Fatal("negative elastic slope not rejected")
+	}
+	if err := b.Add(&Problem{C: []float64{math.NaN(), 2}, A: []float64{1, 1}, R: 1}, x2, nil); err == nil {
+		t.Fatal("NaN breakpoint not rejected")
+	}
+	if err := b.Add(&Problem{C: []float64{1, 2}, A: []float64{1, 1}, U: []float64{1, 1}, R: 5}, x2, nil); err == nil {
+		t.Fatal("infeasible fixed total not rejected")
+	}
+	if err := b.AddInterval(&Problem{C: []float64{1, 2}, A: []float64{1, 1}}, 3, 1, x2, nil); err == nil {
+		t.Fatal("empty interval not rejected")
+	}
+	// After the failed adds the batch must still solve cleanly.
+	b.Reset()
+	if err := b.Add(&Problem{C: []float64{1, 2}, A: []float64{1, 1}, R: 2}, x2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if bad, err := b.Solve(); err != nil {
+		t.Fatalf("Solve after Reset failed at %d: %v", bad, err)
+	}
+	want, err := (&Problem{C: []float64{1, 2}, A: []float64{1, 1}, R: 2}).Solve(make([]float64, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Result(0); got != want {
+		t.Fatalf("post-Reset result %+v, want %+v", got, want)
+	}
+}
+
+// TestBatchSteadyZeroAlloc: once warm, Reset/Add/Solve cycles of stable
+// shapes allocate nothing — the property the core phases rely on for
+// 0-alloc steady solves.
+func TestBatchSteadyZeroAlloc(t *testing.T) {
+	const n, segs = 64, 8
+	b := NewBatch(segs * n)
+	probs := make([]*Problem, segs)
+	xs := make([][]float64, segs)
+	sts := make([]State, segs)
+	rng := rand.New(rand.NewPCG(5, 5))
+	for s := range probs {
+		probs[s] = buildProblem(rng, warmCase{n: n})
+		xs[s] = make([]float64, n)
+	}
+	run := func() {
+		b.Reset()
+		for s, p := range probs {
+			if err := b.Add(p, xs[s], &sts[s]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if bad, err := b.Solve(); err != nil {
+			t.Fatalf("Solve failed at %d: %v", bad, err)
+		}
+	}
+	run() // engage the warm states and any lazy growth
+	run()
+	if avg := testing.AllocsPerRun(20, run); avg != 0 {
+		t.Fatalf("steady batch cycle allocates %.1f objects/run, want 0", avg)
+	}
+}
+
+// TestPresizeStates: presized states absorb saves up to the slab capacity
+// without allocating, and solves exceeding it still work.
+func TestPresizeStates(t *testing.T) {
+	sts := make([]State, 4)
+	PresizeStates(sts, 16)
+	for i := range sts {
+		if cap(sts[i].perm) != 16 {
+			t.Fatalf("state %d: perm cap %d, want 16", i, cap(sts[i].perm))
+		}
+	}
+	// Saving beyond the slab capacity must grow independently, not spill
+	// into the neighbor's slab region.
+	rng := rand.New(rand.NewPCG(9, 9))
+	p := buildProblem(rng, warmCase{n: 32})
+	x := make([]float64, 32)
+	if _, err := p.SolveState(x, nil, &sts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if sts[0].nev != 32 {
+		t.Fatalf("state 0 nev = %d, want 32", sts[0].nev)
+	}
+	if cap(sts[1].perm) != 16 || sts[1].nev != 0 {
+		t.Fatal("neighbor state disturbed by out-of-slab growth")
+	}
+}

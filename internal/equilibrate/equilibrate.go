@@ -274,12 +274,8 @@ func (p *Problem) Solve(x []float64, ws *Workspace) (Result, error) {
 // choice.
 func (p *Problem) SolveState(x []float64, ws *Workspace, st *State) (Result, error) {
 	n := len(p.C)
-	if len(p.A) != n || (p.U != nil && len(p.U) != n) || (p.L != nil && len(p.L) != n) || len(x) != n {
-		return Result{}, fmt.Errorf("equilibrate: inconsistent lengths (c=%d a=%d u=%d l=%d x=%d)",
-			len(p.C), len(p.A), len(p.U), len(p.L), len(x))
-	}
-	if p.E < 0 {
-		return Result{}, fmt.Errorf("equilibrate: negative elastic slope %g", p.E)
+	if err := p.validate(x); err != nil {
+		return Result{}, err
 	}
 	if ws == nil {
 		ws = NewWorkspace(n)
@@ -290,16 +286,25 @@ func (p *Problem) SolveState(x []float64, ws *Workspace, st *State) (Result, err
 		return Result{}, err
 	}
 
-	// Recover the primal block and its total (branch-free clamp in the
-	// classical unbounded case).
+	total := p.recoverPrimal(x, lambda)
+	ops += int64(2 * n)
+	ws.note(n)
+	return Result{Lambda: lambda, Total: total, Ops: ops}, nil
+}
+
+// recoverPrimal writes the optimal block at lambda into x and returns its
+// total (branch-free clamp in the classical unbounded case).
+func (p *Problem) recoverPrimal(x []float64, lambda float64) float64 {
+	n := len(p.C)
 	var total float64
 	if p.L == nil && p.U == nil {
+		cs, as, xs := p.C[:n], p.A[:n], x[:n]
 		for j := 0; j < n; j++ {
-			v := p.C[j] + p.A[j]*lambda
+			v := cs[j] + as[j]*lambda
 			if v < 0 {
 				v = 0
 			}
-			x[j] = v
+			xs[j] = v
 			total += v
 		}
 	} else {
@@ -309,107 +314,27 @@ func (p *Problem) SolveState(x []float64, ws *Workspace, st *State) (Result, err
 			total += v
 		}
 	}
-	ops += int64(2 * n)
-	ws.note(n)
-	return Result{Lambda: lambda, Total: total, Ops: ops}, nil
+	return total
 }
 
-// findRoot locates λ with φ(λ) = R by the sorted-breakpoint sweep.
+// findRoot locates λ with φ(λ) = R by the sorted-breakpoint sweep. It is a
+// composition of the stages shared with the batched kernel (Batch): the
+// feasibility pre-checks, the event build, the canonical sort (warm replay or
+// cold), and the segment sweep — so the two paths stay bit-identical by
+// construction.
 func (p *Problem) findRoot(ws *Workspace, st *State) (lambda float64, ops int64, err error) {
 	n := len(p.C)
-
-	// Empty subproblem: only the elastic term remains.
 	if n == 0 {
-		if p.E > 0 {
-			return p.R / p.E, 1, nil
-		}
-		if p.R == 0 {
-			return 0, 1, nil
-		}
-		return 0, 1, ErrInfeasible
+		return p.emptyRoot()
+	}
+	lb := p.sumLower()
+	if err := p.feasible(lb); err != nil {
+		return 0, int64(n), err
 	}
 
-	// Feasibility pre-checks for fixed totals: the reachable range of Σx is
-	// [Σl, Σu]. With no explicit lower bounds Σl is identically zero.
-	var lb float64
-	if p.L != nil {
-		for _, l := range p.L {
-			lb += l
-		}
-	}
-	if p.E == 0 {
-		if p.R < lb-1e-9*(1+math.Abs(lb)) {
-			return 0, int64(n), ErrInfeasible
-		}
-		if p.U != nil {
-			var ub float64
-			for _, u := range p.U {
-				ub += u
-			}
-			if !math.IsInf(ub, 1) && p.R > ub {
-				return 0, int64(n), ErrInfeasible
-			}
-		}
-	}
-
-	// Build the event list: one activation event per term (where it leaves
-	// its lower bound), plus one saturation event per finite upper bound.
-	// The classical unbounded case (L = U = nil, by far the hottest) gets a
-	// branch-free build loop. Alongside each event goes its compact sort key;
-	// a -0.0 position is normalized to +0.0 so the key order agrees with
-	// float comparison (±0 tie under ==, split by their bit patterns).
-	// Positions must not be NaN — the canonical comparison is a total order
-	// only then — so NaN breakpoints (from NaN coefficients) are rejected
-	// here.
-	ev, keys := ws.events[:0], ws.keys[:0]
-	if p.L == nil && p.U == nil {
-		for j := 0; j < n; j++ {
-			a, c := p.A[j], p.C[j]
-			if !(a > 0) {
-				return 0, 0, fmt.Errorf("equilibrate: a[%d] = %g, want > 0", j, a)
-			}
-			pos := -c / a
-			if pos != pos {
-				return 0, 0, fmt.Errorf("equilibrate: NaN breakpoint at %d (c=%g, a=%g)", j, c, a)
-			}
-			if pos == 0 {
-				pos = 0
-			}
-			ev = append(ev, event{pos: pos, da: a, dc: c})
-			keys = append(keys, sortx.Key{Bits: sortx.FloatBits(pos), Idx: int32(j)})
-		}
-	} else {
-		for j := 0; j < n; j++ {
-			a, c := p.A[j], p.C[j]
-			if !(a > 0) {
-				return 0, 0, fmt.Errorf("equilibrate: a[%d] = %g, want > 0", j, a)
-			}
-			l := p.lower(j)
-			pos := (l - c) / a
-			if pos != pos {
-				return 0, 0, fmt.Errorf("equilibrate: NaN breakpoint at %d (c=%g, a=%g, l=%g)", j, c, a, l)
-			}
-			if pos == 0 {
-				pos = 0
-			}
-			keys = append(keys, sortx.Key{Bits: sortx.FloatBits(pos), Idx: int32(len(ev))})
-			ev = append(ev, event{pos: pos, da: a, dc: c - l})
-			if p.U != nil && !math.IsInf(p.U[j], 1) {
-				u := p.U[j]
-				if u < l {
-					return 0, 0, fmt.Errorf("equilibrate: bounds [%g, %g] empty at %d", l, u, j)
-				}
-				pos = (u - c) / a
-				if pos != pos {
-					return 0, 0, fmt.Errorf("equilibrate: NaN breakpoint at %d (c=%g, a=%g, u=%g)", j, c, a, u)
-				}
-				if pos == 0 {
-					pos = 0
-				}
-				keys = append(keys, sortx.Key{Bits: sortx.FloatBits(pos), Idx: int32(len(ev))})
-				ev = append(ev, event{pos: pos, da: -a, dc: u - c})
-			}
-		}
+	ev, keys, err := p.appendEvents(ws.events[:0], ws.keys[:0])
+	if err != nil {
+		return 0, 0, err
 	}
 	ws.events, ws.keys = ev, keys // keep grown capacity
 
@@ -424,10 +349,7 @@ func (p *Problem) findRoot(ws *Workspace, st *State) (lambda float64, ops int64,
 	var sk []sortx.Key
 	if st != nil && st.nev == m && st.cool == 0 {
 		sk = ws.ensureKeyAlt(m)
-		for k, id := range st.perm[:m] {
-			sk[k] = keys[id] // keys are in build order: keys[id].Idx == id
-		}
-		if sortx.InsertionBudgetKeys(sk) {
+		if replayKeys(sk, keys, st.perm[:m], 0) {
 			st.FastSorts++
 		} else {
 			// The drift outran the budget: discard the gather, sort from
@@ -446,28 +368,173 @@ func (p *Problem) findRoot(ws *Workspace, st *State) (lambda float64, ops int64,
 		}
 	}
 	if st != nil {
-		if cap(st.perm) < m {
-			st.perm = make([]int32, m)
-		}
-		st.perm = st.perm[:m]
-		for k, e := range sk {
-			st.perm[k] = e.Idx
-		}
-		st.nev = m
+		st.save(sk, 0)
 	}
 	// Charge the paper's cost model: linear build + sort + sweep. The warm
 	// fast path usually does less real work than n·log₂n; the charge keeps
 	// the paper's model so reported operation counts stay comparable.
 	ops = int64(7*m) + int64(float64(m)*math.Log2(float64(m)+1))
 
-	// Sweep segments left to right. Before the first event every term sits
-	// at its lower bound: φ(λ) = Σl + e·λ. On each segment φ agrees with
-	// the linear function inter + slope·λ; because φ is monotone
-	// nondecreasing, the first segment whose right-endpoint value reaches
-	// the target contains the root. The per-segment test is division-free —
-	// slope·right + inter ≥ R, one multiply-add per segment — and the single
-	// division happens once, at the root segment, clamped into the segment
-	// to stay robust to rounding at the boundaries.
+	lambda, extra, err := p.sweep(ev, sk, lb, st)
+	return lambda, ops + extra, err
+}
+
+// emptyRoot solves the n = 0 subproblem: only the elastic term remains.
+func (p *Problem) emptyRoot() (float64, int64, error) {
+	if p.E > 0 {
+		return p.R / p.E, 1, nil
+	}
+	if p.R == 0 {
+		return 0, 1, nil
+	}
+	return 0, 1, ErrInfeasible
+}
+
+// sumLower returns Σ_j l_j, identically zero with no explicit lower bounds.
+func (p *Problem) sumLower() float64 {
+	var lb float64
+	for _, l := range p.L {
+		lb += l
+	}
+	return lb
+}
+
+// feasible pre-checks a fixed total against the reachable range [Σl, Σu] of
+// Σx. Elastic totals are always feasible.
+func (p *Problem) feasible(lb float64) error {
+	if p.E != 0 {
+		return nil
+	}
+	if p.R < lb-1e-9*(1+math.Abs(lb)) {
+		return ErrInfeasible
+	}
+	if p.U != nil {
+		var ub float64
+		for _, u := range p.U {
+			ub += u
+		}
+		if !math.IsInf(ub, 1) && p.R > ub {
+			return ErrInfeasible
+		}
+	}
+	return nil
+}
+
+// appendEvents builds p's breakpoint events onto ev, with each sort key's
+// Idx set to its event's index in ev — the local build index for a single
+// solve starting from ev[:0], or the concatenated-array index when ev
+// already carries the events of earlier batch segments. One activation event
+// per term (where it leaves its lower bound), plus one saturation event per
+// finite upper bound. The classical unbounded case (L = U = nil, by far the
+// hottest) gets a branch-free build loop with the bounds checks hoisted. A
+// -0.0 position is normalized to +0.0 so the key order agrees with float
+// comparison (±0 tie under ==, split by their bit patterns). Positions must
+// not be NaN — the canonical comparison is a total order only then — so NaN
+// breakpoints (from NaN coefficients) are rejected here. On error the
+// returned slices may carry partial appends; callers truncate.
+func (p *Problem) appendEvents(ev []event, keys []sortx.Key) ([]event, []sortx.Key, error) {
+	n := len(p.C)
+	cs, as := p.C[:n], p.A[:n]
+	if p.L == nil && p.U == nil {
+		base := int32(len(ev))
+		for j := 0; j < n; j++ {
+			a, c := as[j], cs[j]
+			if !(a > 0) {
+				return ev, keys, fmt.Errorf("equilibrate: a[%d] = %g, want > 0", j, a)
+			}
+			pos := -c / a
+			if pos != pos {
+				return ev, keys, fmt.Errorf("equilibrate: NaN breakpoint at %d (c=%g, a=%g)", j, c, a)
+			}
+			if pos == 0 {
+				pos = 0
+			}
+			ev = append(ev, event{pos: pos, da: a, dc: c})
+			keys = append(keys, sortx.Key{Bits: sortx.FloatBits(pos), Idx: base + int32(j)})
+		}
+	} else {
+		for j := 0; j < n; j++ {
+			a, c := as[j], cs[j]
+			if !(a > 0) {
+				return ev, keys, fmt.Errorf("equilibrate: a[%d] = %g, want > 0", j, a)
+			}
+			l := p.lower(j)
+			pos := (l - c) / a
+			if pos != pos {
+				return ev, keys, fmt.Errorf("equilibrate: NaN breakpoint at %d (c=%g, a=%g, l=%g)", j, c, a, l)
+			}
+			if pos == 0 {
+				pos = 0
+			}
+			keys = append(keys, sortx.Key{Bits: sortx.FloatBits(pos), Idx: int32(len(ev))})
+			ev = append(ev, event{pos: pos, da: a, dc: c - l})
+			if p.U != nil && !math.IsInf(p.U[j], 1) {
+				u := p.U[j]
+				if u < l {
+					return ev, keys, fmt.Errorf("equilibrate: bounds [%g, %g] empty at %d", l, u, j)
+				}
+				pos = (u - c) / a
+				if pos != pos {
+					return ev, keys, fmt.Errorf("equilibrate: NaN breakpoint at %d (c=%g, a=%g, u=%g)", j, c, a, u)
+				}
+				if pos == 0 {
+					pos = 0
+				}
+				keys = append(keys, sortx.Key{Bits: sortx.FloatBits(pos), Idx: int32(len(ev))})
+				ev = append(ev, event{pos: pos, da: -a, dc: u - c})
+			}
+		}
+	}
+	return ev, keys, nil
+}
+
+// replayKeys gathers the build-order keys into dst following perm (segment-
+// local build indices; base is the offset of the segment's first key when
+// keys is a batch's concatenated array, 0 for a single solve) and repairs
+// coefficient drift with the budgeted nearly-sorted insertion pass,
+// reporting whether the budget held.
+func replayKeys(dst, keys []sortx.Key, perm []int32, base int32) bool {
+	for k, id := range perm {
+		dst[k] = keys[base+id] // keys are in build order: keys[base+id].Idx == base+id
+	}
+	return sortx.InsertionBudgetKeys(dst)
+}
+
+// save caches sk as the slot's sorted permutation, rebasing concatenated-
+// array indices of a batch (base > 0) back to segment-local build indices.
+func (st *State) save(sk []sortx.Key, base int32) {
+	m := len(sk)
+	if cap(st.perm) < m {
+		st.perm = make([]int32, m)
+	}
+	st.perm = st.perm[:m]
+	if base == 0 {
+		for k, e := range sk {
+			st.perm[k] = e.Idx
+		}
+	} else {
+		for k, e := range sk {
+			st.perm[k] = e.Idx - base
+		}
+	}
+	st.nev = m
+}
+
+// sweep walks the sorted segments left to right. Before the first event
+// every term sits at its lower bound: φ(λ) = Σl + e·λ. On each segment φ
+// agrees with the linear function inter + slope·λ; because φ is monotone
+// nondecreasing, the first segment whose right-endpoint value reaches the
+// target contains the root. The per-segment test is division-free —
+// slope·right + inter ≥ R, one multiply-add per segment — and the single
+// division happens once, at the root segment, clamped into the segment to
+// stay robust to rounding at the boundaries.
+//
+// ev may be a batch's concatenated event array: sk's Idx values index into
+// it directly, so the exact same code serves the single and batched paths.
+// The returned extra op count is the sweep's contribution to the cost model
+// (the segment index where the root landed).
+func (p *Problem) sweep(ev []event, sk []sortx.Key, lb float64, st *State) (lambda float64, extra int64, err error) {
+	m := len(sk)
 	slope := p.E
 	inter := lb // φ(λ) = inter + slope·λ on the current segment
 	prev := math.Inf(-1)
@@ -490,7 +557,7 @@ func (p *Problem) findRoot(ws *Workspace, st *State) (lambda float64, ops int64,
 				if st != nil {
 					st.LastSeg = k
 				}
-				return cand, ops + int64(k), nil
+				return cand, int64(k), nil
 			}
 		} else if inter == p.R {
 			// Flat segment exactly at the target (e.g. fixed total 0 with
@@ -501,12 +568,12 @@ func (p *Problem) findRoot(ws *Workspace, st *State) (lambda float64, ops int64,
 				st.LastSeg = k
 			}
 			if !math.IsInf(right, 1) {
-				return right, ops + int64(k), nil
+				return right, int64(k), nil
 			}
 			if !math.IsInf(prev, -1) {
-				return prev, ops + int64(k), nil
+				return prev, int64(k), nil
 			}
-			return 0, ops + int64(k), nil
+			return 0, int64(k), nil
 		}
 		if k < m {
 			slope += e.da
@@ -524,11 +591,11 @@ func (p *Problem) findRoot(ws *Workspace, st *State) (lambda float64, ops int64,
 			if st != nil {
 				st.LastSeg = m
 			}
-			return prev, ops, nil
+			return prev, 0, nil
 		}
-		return 0, ops, ErrInfeasible
+		return 0, 0, ErrInfeasible
 	}
-	return 0, ops, fmt.Errorf("equilibrate: internal error: no root found (R=%g)", p.R)
+	return 0, 0, fmt.Errorf("equilibrate: internal error: no root found (R=%g)", p.R)
 }
 
 // SolveInterval solves the subproblem with an interval total
@@ -556,9 +623,8 @@ func (p *Problem) SolveIntervalState(lo, hi float64, x []float64, ws *Workspace,
 		return Result{}, fmt.Errorf("equilibrate: empty interval [%g, %g]", lo, hi)
 	}
 	n := len(p.C)
-	if len(p.A) != n || (p.U != nil && len(p.U) != n) || (p.L != nil && len(p.L) != n) || len(x) != n {
-		return Result{}, fmt.Errorf("equilibrate: inconsistent lengths (c=%d a=%d u=%d l=%d x=%d)",
-			len(p.C), len(p.A), len(p.U), len(p.L), len(x))
+	if err := p.validate(x); err != nil {
+		return Result{}, err
 	}
 	// Free solution at λ = 0.
 	var total float64

@@ -41,6 +41,14 @@ type Config struct {
 	// ablation switch behind seabench -nowarm. The "/steady" records
 	// always measure both sides regardless.
 	NoWarm bool
+	// BenchProcs is the worker-count sweep for the perf suite's main
+	// records (seabench -benchprocs). Empty means the default {1, 2, 4, 8}.
+	// Counts above runtime.NumCPU produce simulated records (see
+	// PerfRecord.Simulated).
+	BenchProcs []int
+	// PerfReps overrides the perf suite's timed repetitions per record
+	// (seabench -benchreps); 0 means the default.
+	PerfReps int
 }
 
 // apply copies the execution-related Config fields into o.

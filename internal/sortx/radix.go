@@ -92,28 +92,53 @@ func RadixKeys(keys, scratch []Key) []Key {
 	for _, k := range keys {
 		diff |= k.Bits ^ b0
 	}
-	if diff == 0 {
+	return RadixKeysMask(keys, scratch, diff)
+}
+
+// RadixKeysMask is RadixKeys with the differing-byte mask precomputed by the
+// caller — batch kernels fold the XOR mask while building keys, saving the
+// pre-pass over data that has since left cache. diff must cover the pairwise
+// XORs of the keys' Bits (an OR of each key XOR any one fixed reference does,
+// since k1^k2 = (k1^ref)^(k2^ref)); byte positions absent from it are
+// constant across the input and skipped. A superset mask only costs extra
+// counting passes, never correctness. diff == 0 returns keys unchanged.
+func RadixKeysMask(keys, scratch []Key, diff uint64) []Key {
+	n := len(keys)
+	if n < 2 || diff == 0 {
 		return keys
 	}
-
-	var count [256]int32
-	src, dst := keys, scratch[:n]
+	// Collect the active byte planes, then fill every plane's histogram in
+	// a single read pass: a byte histogram is permutation-invariant, so the
+	// counts taken on the input array are valid for every later pass even
+	// though the keys have moved between the buffers by then. Each radix
+	// pass is thereby scatter-only — one stream over the keys instead of
+	// the count+scatter two — which matters once the key array outgrows L1
+	// (fused multi-subproblem batches; see internal/equilibrate.Batch).
+	var shifts [8]uint
+	np := 0
 	for shift := uint(0); shift < 64; shift += 8 {
-		if (diff>>shift)&0xff == 0 {
-			continue
+		if (diff>>shift)&0xff != 0 {
+			shifts[np] = shift
+			np++
 		}
-		for i := range count {
-			count[i] = 0
+	}
+	var counts [8][256]int32
+	for i := range keys {
+		b := keys[i].Bits
+		for p := 0; p < np; p++ {
+			counts[p][(b>>shifts[p])&0xff]++
 		}
-		for _, k := range src {
-			count[(k.Bits>>shift)&0xff]++
-		}
+	}
+	src, dst := keys[:n], scratch[:n]
+	for p := 0; p < np; p++ {
+		count := &counts[p]
 		var sum int32
 		for i := range count {
 			c := count[i]
 			count[i] = sum
 			sum += c
 		}
+		shift := shifts[p]
 		for _, k := range src {
 			b := (k.Bits >> shift) & 0xff
 			dst[count[b]] = k
