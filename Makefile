@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race serve-race bench bench-check bench-multicore fuzz fmt results check cmds cancel
+.PHONY: all build vet test race serve-race serve-http-race bench bench-check bench-multicore fuzz fmt results check cmds cancel
 
 all: check
 
@@ -24,9 +24,9 @@ race:
 	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/equilibrate/... ./internal/sortx/... ./internal/baseline/... ./pkg/...
 	$(GO) vet ./...
 
-# Build the three commands explicitly (CI smoke for the CLI layer).
+# Build the commands explicitly (CI smoke for the CLI layer).
 cmds:
-	$(GO) build ./cmd/seasolve ./cmd/seabench ./cmd/seagen
+	$(GO) build ./cmd/seasolve ./cmd/seabench ./cmd/seagen ./cmd/seaserved
 
 # The context-cancellation suite under the race detector: mid-solve cancels,
 # deadline expiry, and worker-pool leak checks.
@@ -37,6 +37,15 @@ cancel:
 # checkout/checkin, admission control, eviction, and Close draining.
 serve-race:
 	$(GO) test -race -count=1 ./pkg/sea/serve/...
+
+# The network front end under the race detector, uncached: the HTTP
+# transport's handler/job-store/shutdown suites (with the shared goroutine
+# leak checker) and the end-to-end battery that drives a real listener —
+# bit-exactness across shard counts, error mapping, saturation, job
+# lifecycle.
+serve-http-race:
+	$(GO) test -race -count=1 ./pkg/sea/serve/http/ ./internal/testutil/
+	$(GO) test -race -count=1 -run 'TestE2EHTTP' .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -70,5 +79,5 @@ fmt:
 results:
 	$(GO) run ./cmd/seabench -table all -scale 1 -bkmax 900 | tee results_full.txt
 
-check: build vet test race serve-race cmds cancel bench-check bench-multicore
+check: build vet test race serve-race serve-http-race cmds cancel bench-check bench-multicore
 	@test -z "$$(gofmt -l .)" || (echo "gofmt needed:"; gofmt -l .; exit 1)

@@ -11,7 +11,7 @@ import (
 
 // runCompare implements `seabench -compare old.json new.json`: it prints a
 // per-record delta table between two PerfReports (as written by -benchjson)
-// keyed by (name, procs) and returns the number of regressions — records
+// keyed by (name, procs, shards) and returns the number of regressions — records
 // whose ns/op grew by more than threshold (a fraction, e.g. 0.10 for 10%).
 // Records present in only one file are shown but never count as regressions.
 // Simulated records (procs beyond the machine's cores, marked "sim") are
@@ -32,23 +32,24 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 	}
 
 	type key struct {
-		name  string
-		procs int
+		name   string
+		procs  int
+		shards int
 	}
 	oldBy := map[key]experiments.PerfRecord{}
 	for _, r := range oldRep.Records {
-		oldBy[key{r.Name, r.Procs}] = r
+		oldBy[key{r.Name, r.Procs, r.Shards}] = r
 	}
 
 	regressions := 0
 	var rows [][]string
 	seen := map[key]bool{}
 	for _, nr := range newRep.Records {
-		k := key{nr.Name, nr.Procs}
+		k := key{nr.Name, nr.Procs, nr.Shards}
 		seen[k] = true
 		or, ok := oldBy[k]
 		if !ok {
-			rows = append(rows, []string{nr.Name, fmtProcs(nr.Procs, nr.Simulated),
+			rows = append(rows, []string{recordLabel(nr), fmtProcs(nr.Procs, nr.Simulated),
 				"-", fmtNs(nr.NsPerOp), "-", fmtSpeedup(nr.SpeedupVsSerial), "new"})
 			continue
 		}
@@ -66,15 +67,15 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 		case delta < -threshold:
 			verdict = "faster"
 		}
-		rows = append(rows, []string{nr.Name, fmtProcs(nr.Procs, nr.Simulated),
+		rows = append(rows, []string{recordLabel(nr), fmtProcs(nr.Procs, nr.Simulated),
 			fmtNs(or.NsPerOp), fmtNs(nr.NsPerOp),
 			fmt.Sprintf("%+.1f%%", 100*delta),
 			fmtSpeedup(or.SpeedupVsSerial) + " -> " + fmtSpeedup(nr.SpeedupVsSerial),
 			verdict})
 	}
 	for _, or := range oldRep.Records {
-		if k := (key{or.Name, or.Procs}); !seen[k] {
-			rows = append(rows, []string{or.Name, fmtProcs(or.Procs, or.Simulated),
+		if k := (key{or.Name, or.Procs, or.Shards}); !seen[k] {
+			rows = append(rows, []string{recordLabel(or), fmtProcs(or.Procs, or.Simulated),
 				fmtNs(or.NsPerOp), "-", "-", fmtSpeedup(or.SpeedupVsSerial), "dropped"})
 		}
 	}
@@ -102,6 +103,15 @@ func loadReport(path string) (experiments.PerfReport, error) {
 		return rep, fmt.Errorf("%s: no perf records", path)
 	}
 	return rep, nil
+}
+
+// recordLabel renders a record's name, tagging the shard count for the
+// sharded serving records so each (name, shards) pair reads as its own row.
+func recordLabel(r experiments.PerfRecord) string {
+	if r.Shards > 0 {
+		return fmt.Sprintf("%s[shards=%d]", r.Name, r.Shards)
+	}
+	return r.Name
 }
 
 // fmtProcs renders a worker count, tagging simulated records (see

@@ -96,6 +96,33 @@ func TestCompareNewAndDroppedRecords(t *testing.T) {
 	}
 }
 
+func recShards(name string, procs, shards int, ns int64) experiments.PerfRecord {
+	r := rec(name, procs, ns, false)
+	r.Shards = shards
+	return r
+}
+
+// TestCompareKeysByShards checks that the serve/http records are matched per
+// (name, procs, shards) triple: a regression at one shard count must be
+// flagged even when the same record is fine at another, and same-shards
+// pairs must match across files.
+func TestCompareKeysByShards(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", []experiments.PerfRecord{
+		recShards("serve/http", 8, 1, 1000),
+		recShards("serve/http", 8, 2, 1000),
+		recShards("serve/http", 8, 4, 1000),
+	})
+	newPath := writeReport(t, dir, "new.json", []experiments.PerfRecord{
+		recShards("serve/http", 8, 1, 1020), // within threshold
+		recShards("serve/http", 8, 2, 1500), // > 10% slower at shards=2
+		recShards("serve/http", 8, 4, 990),
+	})
+	if got := runCompare(oldPath, newPath, 0.10); got != 1 {
+		t.Fatalf("runCompare = %d regressions, want 1 (the shards=2 record)", got)
+	}
+}
+
 func TestParseProcsList(t *testing.T) {
 	got, err := parseProcsList("1, 2,4,8")
 	if err != nil {

@@ -14,11 +14,21 @@
 //	seabench -table all -timeout 2m         # bound the whole run
 //	seabench -solver rc -size 60            # time one registry solver
 //	seabench -serve -scale 0.5              # sustained-throughput serving run
+//	seabench -serve -http -shards 1,2,4     # HTTP front-end load run per shard count
 //
 // -serve drives the pkg/sea/serve layer at a sustained concurrent load of
 // mixed problem shapes (Table 1-style instances of order 100, 250, and 500
 // at -scale) and reports throughput, per-request allocations, the
 // shape-pool hit rate, and the per-shape pool statistics.
+//
+// -serve -http instead stands up the full network stack — a sharded
+// serve.ShardedServer behind the pkg/sea/serve/http transport on a loopback
+// listener — and drives POST /v1/solve with a closed-loop load (fixed client
+// connections, back-to-back requests, exact latency distribution) followed
+// by an open-loop overload probe (arrivals paced at 1.5x the measured
+// capacity) that demonstrates the admission control's load shedding. One
+// measurement per shard count in -shards; -requests and -conns size the
+// closed loop. These are the "serve/http" records of -benchjson output.
 //
 // -solver benchmarks a single solver from the pkg/sea registry on a
 // generated Table 1-style instance of order -size instead of running the
@@ -60,6 +70,10 @@ func main() {
 		bkmax      = flag.Int("bkmax", 900, "largest G order on which to run the B-K baseline (Table 7)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of formatted tables")
 		serveMode  = flag.Bool("serve", false, "run the sustained-throughput serving benchmark (pkg/sea/serve, mixed shapes, concurrent submitters) instead of the tables")
+		serveHTTP  = flag.Bool("http", false, "with -serve: drive the HTTP front end (pkg/sea/serve/http) on a loopback listener instead of the in-process layer; closed-loop throughput plus an open-loop overload probe per shard count")
+		httpShards = flag.String("shards", "", "with -serve -http: comma-separated shard counts to sweep (default 1,2,4)")
+		httpReqs   = flag.Int("requests", 0, "with -serve -http: closed-loop requests per shard count (0 = 100000 scaled by -scale, floor 2000)")
+		httpConns  = flag.Int("conns", 0, "with -serve -http: concurrent client connections (0 = 8)")
 		solver     = flag.String("solver", "", "time a single pkg/sea registry solver instead of the tables: "+strings.Join(sea.Solvers(), ", "))
 		size       = flag.Int("size", 100, "with -solver: order of the generated Table 1-style instance")
 		timeout    = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
@@ -132,7 +146,8 @@ func main() {
 		defer cancel()
 	}
 
-	cfg := experiments.Config{Scale: *scale, Procs: *procs, Epsilon: *eps, MaxBKDim: *bkmax, NoWarm: *nowarm, PerfReps: *benchreps}
+	cfg := experiments.Config{Scale: *scale, Procs: *procs, Epsilon: *eps, MaxBKDim: *bkmax, NoWarm: *nowarm, PerfReps: *benchreps,
+		HTTPRequests: *httpReqs, HTTPConns: *httpConns}
 	if *benchprocs != "" {
 		list, err := parseProcsList(*benchprocs)
 		if err != nil {
@@ -141,6 +156,14 @@ func main() {
 		}
 		cfg.BenchProcs = list
 	}
+	if *httpShards != "" {
+		list, err := parseProcsList(*httpShards)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seabench: -shards: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.HTTPShards = list
+	}
 	// One persistent pool serves every solve of the run; the perf suite
 	// manages its own pools because it varies the worker count.
 	pool := parallel.NewPool(*procs)
@@ -148,7 +171,11 @@ func main() {
 	cfg.Runner = pool
 
 	if *serveMode {
-		if err := runServe(ctx, cfg); err != nil {
+		run := runServe
+		if *serveHTTP {
+			run = runServeHTTP
+		}
+		if err := run(ctx, cfg); err != nil {
 			cleanup()
 			fmt.Fprintf(os.Stderr, "seabench: -serve: %v\n", err)
 			os.Exit(1)

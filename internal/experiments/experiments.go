@@ -49,6 +49,16 @@ type Config struct {
 	// PerfReps overrides the perf suite's timed repetitions per record
 	// (seabench -benchreps); 0 means the default.
 	PerfReps int
+	// HTTPRequests overrides the HTTP load generator's closed-loop request
+	// count per shard configuration (seabench -requests); 0 means the
+	// default 100000 scaled by Scale.
+	HTTPRequests int
+	// HTTPConns overrides the load generator's concurrent client
+	// connections (seabench -conns); 0 means the default 8.
+	HTTPConns int
+	// HTTPShards overrides the shard counts swept by the HTTP serving
+	// records (seabench -shards); empty means the default {1, 2, 4}.
+	HTTPShards []int
 }
 
 // apply copies the execution-related Config fields into o.

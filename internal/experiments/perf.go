@@ -50,6 +50,19 @@ type PerfRecord struct {
 	// ShapeHitRate, set only on the "serve/" records, is the shape-pool hit
 	// fraction of the measured phase; steady state is 1.0.
 	ShapeHitRate float64 `json:"shape_hit_rate,omitempty"`
+	// Shards, set only on the "serve/http" records, is the sharded server's
+	// inner Server count; seabench -compare keys these records by
+	// (name, procs, shards).
+	Shards int `json:"shards,omitempty"`
+	// P50Ms and P99Ms, set only on the "serve/http" records, are the
+	// closed-loop per-request latency quantiles in milliseconds (end to end
+	// through the HTTP transport; see experiments.HTTPLoadSweep).
+	P50Ms float64 `json:"p50_ms,omitempty"`
+	P99Ms float64 `json:"p99_ms,omitempty"`
+	// RejectedFraction, set only on the "serve/http" records, is the share
+	// of the open-loop overload probe's arrivals answered 429 — the
+	// admission-control saturation behavior at 1.5x capacity.
+	RejectedFraction float64 `json:"rejected_fraction,omitempty"`
 	// Simulated marks records whose Procs exceeds the machine's physical
 	// core count: the speedup comes from replaying the solve's recorded
 	// per-task cost trace on parsim's simulated N-processor machine
@@ -306,5 +319,28 @@ func PerfSuite(ctx context.Context, cfg Config) (PerfReport, error) {
 		RequestsPerSec:  sr.RequestsPerSec,
 		ShapeHitRate:    sr.HitRate,
 	})
+
+	// HTTP front-end records: the same serving layer behind the network
+	// transport, one record per shard count. NsPerOp here is mean wall per
+	// request end to end (TCP + JSON codec + routing + solve); the latency
+	// quantiles and the overload probe's rejected fraction ride along.
+	hl, err := HTTPLoadSweep(ctx, cfg)
+	if err != nil {
+		return report, fmt.Errorf("perf serve/http: %w", err)
+	}
+	for _, r := range hl {
+		report.Records = append(report.Records, PerfRecord{
+			Name:             "serve/http",
+			Procs:            r.Conns,
+			Shards:           r.Shards,
+			NsPerOp:          r.Wall.Nanoseconds() / int64(r.Requests),
+			SpeedupVsSerial:  1,
+			RequestsPerSec:   r.RequestsPerSec,
+			ShapeHitRate:     r.HitRate,
+			P50Ms:            float64(r.P50) / float64(time.Millisecond),
+			P99Ms:            float64(r.P99) / float64(time.Millisecond),
+			RejectedFraction: r.RejectedFraction,
+		})
+	}
 	return report, nil
 }

@@ -1,0 +1,97 @@
+package matio
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"sea/internal/core"
+	"sea/internal/problems"
+)
+
+// FuzzReadProblem hardens the JSON problem reader — the parser every
+// network-facing surface (the HTTP transport's request path, seasolve's
+// file input) funnels untrusted bytes through. Properties enforced:
+//
+//  1. ReadProblemJSON never panics, whatever the bytes.
+//  2. A problem that reads successfully re-encodes, and the encoding is a
+//     fixed point: read → write → read → write yields identical bytes
+//     (no drift from defaulting, no loss from omitted fields).
+//  3. Re-reading our own encoding never fails: everything WriteProblemJSON
+//     emits is accepted back.
+func FuzzReadProblem(f *testing.F) {
+	// Seed with real encodings from each example family the repo ships,
+	// covering the default-γ path (Gamma omitted) and the explicit one.
+	for _, p := range []*core.DiagonalProblem{
+		problems.Table1(8, 1),
+		problems.Table1(14, 3),
+		problems.RandomSAM(6, 2),
+		problems.IOTable(problems.IOSpec{Name: "fuzz", Sectors: 5, Density: 0.8, Variant: problems.IOGrowth10, Seed: 4}),
+		problems.MigrationProblem(problems.StandardMigrationSpecs()[0]),
+	} {
+		var buf bytes.Buffer
+		if err := WriteProblemJSON(&buf, p); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+
+	// Hand-written seeds: the non-fixed kinds, defaulted fields, and the
+	// malformed shapes the reader's guards exist for.
+	for _, s := range []string{
+		`{"kind":"fixed","m":2,"n":2,"x0":[1,2,3,4],"s0":[3,7],"d0":[4,6]}`,
+		`{"kind":"balanced","m":2,"n":2,"x0":[1,2,3,4],"alpha":[1,1]}`,
+		`{"kind":"elastic","m":2,"n":2,"x0":[1,2,3,4],"s0":[3,7],"d0":[4,6],"alpha":[1,1],"beta":[1,1]}`,
+		`{"kind":"interval","m":2,"n":2,"x0":[1,2,3,4],"alpha":[1,1],"slo":[1,1],"shi":[9,9],"dlo":[1,1],"dhi":[9,9]}`,
+		`{"m":1,"n":1,"x0":[1],"s0":[1],"d0":[1],"upper":[2],"lower":[0.5]}`,
+		`{}`,
+		`{"kind":"fixed"}`,
+		`{"kind":"nope","m":1,"n":1,"x0":[1]}`,
+		`{"m":-1,"n":2,"x0":[]}`,
+		`{"m":4611686018427387904,"n":4611686018427387904,"x0":[]}`,
+		`{"m":2,"n":2,"x0":[1,2,3]}`,
+		`{"m":1,"n":1,"x0":[1e999]}`,
+		`{"m":1,"n":1,"x0":[1],"gamma":[0]}`,
+		`{"m":1,"n":1,"x0":[1],"gamma":[-1]}`,
+		`not json at all`,
+		`[1,2,3]`,
+		`"a string"`,
+		``,
+	} {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadProblemJSON(bytes.NewReader(data))
+		if err != nil {
+			// Rejected input: the only contract is no panic.
+			return
+		}
+		// Accepted problems carry only finite numbers — JSON cannot encode
+		// NaN/Inf, and an accepted-then-unencodable problem would poison
+		// the HTTP transport's response path.
+		for _, vs := range [][]float64{p.X0, p.Gamma, p.S0, p.D0, p.Alpha, p.Beta} {
+			for _, v := range vs {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("accepted problem contains non-finite value %v", v)
+				}
+			}
+		}
+
+		var w1 bytes.Buffer
+		if err := WriteProblemJSON(&w1, p); err != nil {
+			t.Fatalf("write of accepted problem failed: %v", err)
+		}
+		p2, err := ReadProblemJSON(bytes.NewReader(w1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of own encoding failed: %v\nencoding:\n%s", err, w1.Bytes())
+		}
+		var w2 bytes.Buffer
+		if err := WriteProblemJSON(&w2, p2); err != nil {
+			t.Fatalf("second write failed: %v", err)
+		}
+		if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+			t.Fatalf("encoding is not a fixed point:\nfirst:\n%s\nsecond:\n%s", w1.Bytes(), w2.Bytes())
+		}
+	})
+}

@@ -100,7 +100,22 @@ func FromCore(p *core.DiagonalProblem) *Problem {
 }
 
 // ToCore converts the JSON container to a validated core problem.
+//
+// The dimensions are vetted before any defaulting allocates: the container
+// is decoded from untrusted bytes (files, HTTP bodies), and a huge claimed
+// M or N must fail cleanly rather than drive a multi-terabyte allocation.
+// Requiring len(X0) == M×N up front bounds every subsequent allocation by
+// the input's own size.
 func (j *Problem) ToCore() (*core.DiagonalProblem, error) {
+	if j.M <= 0 || j.N <= 0 {
+		return nil, fmt.Errorf("matio: invalid dimensions %d×%d", j.M, j.N)
+	}
+	if j.M > math.MaxInt/j.N {
+		return nil, fmt.Errorf("matio: dimensions %d×%d overflow", j.M, j.N)
+	}
+	if len(j.X0) != j.M*j.N {
+		return nil, fmt.Errorf("matio: len(x0) = %d, want m×n = %d", len(j.X0), j.M*j.N)
+	}
 	p := &core.DiagonalProblem{
 		M: j.M, N: j.N,
 		X0: j.X0, Gamma: j.Gamma,
@@ -179,9 +194,10 @@ type Solution struct {
 	Objective float64 `json:"objective"`
 }
 
-// WriteSolutionJSON encodes a solution with indentation.
-func WriteSolutionJSON(w io.Writer, sol *core.Solution) error {
-	out := Solution{
+// SolutionFromCore converts a solve result to its JSON container — the
+// wire encoding shared by cmd/seasolve and the HTTP transport.
+func SolutionFromCore(sol *core.Solution) *Solution {
+	return &Solution{
 		X: sol.X, S: sol.S, D: sol.D,
 		Lambda: sol.Lambda, Mu: sol.Mu,
 		Iterations: sol.Iterations,
@@ -190,7 +206,11 @@ func WriteSolutionJSON(w io.Writer, sol *core.Solution) error {
 		Residual:   sol.Residual,
 		Objective:  sol.Objective,
 	}
+}
+
+// WriteSolutionJSON encodes a solution with indentation.
+func WriteSolutionJSON(w io.Writer, sol *core.Solution) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	return enc.Encode(out)
+	return enc.Encode(SolutionFromCore(sol))
 }

@@ -54,6 +54,18 @@ func (c *Counters) Reset() {
 	c.ConvChecks.Store(0)
 }
 
+// Add returns the field-wise sum of two snapshots (shard-merged stats).
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	return Snapshot{
+		OuterIterations: s.OuterIterations + o.OuterIterations,
+		Iterations:      s.Iterations + o.Iterations,
+		Equilibrations:  s.Equilibrations + o.Equilibrations,
+		Ops:             s.Ops + o.Ops,
+		SerialOps:       s.SerialOps + o.SerialOps,
+		ConvChecks:      s.ConvChecks + o.ConvChecks,
+	}
+}
+
 func (s Snapshot) String() string {
 	return fmt.Sprintf("outer=%d iter=%d equil=%d ops=%d serialOps=%d checks=%d",
 		s.OuterIterations, s.Iterations, s.Equilibrations, s.Ops, s.SerialOps, s.ConvChecks)

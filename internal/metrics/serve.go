@@ -72,3 +72,18 @@ func (l *Latency) Snapshot() LatencySnapshot {
 func (s LatencySnapshot) String() string {
 	return fmt.Sprintf("n=%d mean=%s max=%s", s.Count, s.Mean, s.Max)
 }
+
+// Merge combines two snapshots: counts add, means combine count-weighted,
+// and the maximum wins — the aggregation a sharded server's merged view
+// needs.
+func (s LatencySnapshot) Merge(o LatencySnapshot) LatencySnapshot {
+	out := LatencySnapshot{Count: s.Count + o.Count, Max: s.Max}
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	if out.Count > 0 {
+		total := int64(s.Mean)*s.Count + int64(o.Mean)*o.Count
+		out.Mean = time.Duration(total / out.Count)
+	}
+	return out
+}

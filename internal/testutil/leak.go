@@ -1,0 +1,139 @@
+// Package testutil holds helpers shared across the repository's test
+// suites. The flagship is the goroutine-leak check used by the serving and
+// transport tests: layers whose whole job is starting and draining
+// goroutines (worker pools, admission queues, streamed HTTP responses) are
+// exactly the layers where a missed Wait shows up only as a slow leak.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// leakSettleTimeout is how long a test's goroutines get to drain after the
+// test body returns. Shutdown paths under test are synchronous (Close waits
+// on its WaitGroup), so the budget only absorbs scheduler lag — generous
+// here, since CI machines can be single-core and heavily loaded.
+const leakSettleTimeout = 10 * time.Second
+
+// CheckGoroutines snapshots the live goroutines and registers a cleanup
+// that fails the test if goroutines created during the test are still
+// running once it ends. Call it first thing in the test body:
+//
+//	func TestServerDrains(t *testing.T) {
+//		testutil.CheckGoroutines(t)
+//		...
+//	}
+//
+// The check polls until the settle timeout, so goroutines legitimately
+// mid-exit (a worker between its last channel receive and returning) do not
+// flake the test. Background goroutines owned by the runtime and the
+// testing framework are ignored.
+func CheckGoroutines(t testing.TB) {
+	t.Helper()
+	base := goroutineIDs()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(leakSettleTimeout)
+		var leaked []goroutine
+		for {
+			leaked = leakedSince(base)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		var sb strings.Builder
+		for _, g := range leaked {
+			fmt.Fprintf(&sb, "\n%s\n", g.stack)
+		}
+		t.Errorf("testutil: %d goroutine(s) leaked by this test:%s", len(leaked), sb.String())
+	})
+}
+
+// goroutine is one parsed entry of a full runtime stack dump.
+type goroutine struct {
+	id    string
+	stack string
+}
+
+// dumpGoroutines parses runtime.Stack(all=true) into individual records.
+func dumpGoroutines() []goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []goroutine
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		block = strings.TrimSpace(block)
+		if block == "" {
+			continue
+		}
+		// Header: "goroutine 123 [running]:"
+		header, _, _ := strings.Cut(block, "\n")
+		fields := strings.Fields(header)
+		if len(fields) < 2 || fields[0] != "goroutine" {
+			continue
+		}
+		out = append(out, goroutine{id: fields[1], stack: block})
+	}
+	return out
+}
+
+// goroutineIDs returns the set of currently live goroutine ids.
+func goroutineIDs() map[string]bool {
+	ids := make(map[string]bool)
+	for _, g := range dumpGoroutines() {
+		ids[g.id] = true
+	}
+	return ids
+}
+
+// leakedSince returns goroutines not alive at snapshot time and not on the
+// ignore list.
+func leakedSince(base map[string]bool) []goroutine {
+	var leaked []goroutine
+	for _, g := range dumpGoroutines() {
+		if base[g.id] || ignoredGoroutine(g.stack) {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	return leaked
+}
+
+// ignoredGoroutine reports whether the stack belongs to infrastructure the
+// test does not own: the testing framework, the runtime's own helpers, and
+// this package's check itself.
+func ignoredGoroutine(stack string) bool {
+	for _, marker := range []string{
+		"testing.tRunner(",
+		"testing.(*T).Run(",
+		"testing.runTests(",
+		"testing.Main(",
+		"runtime.goexit",
+		"runtime.gc",
+		"runtime.bgsweep",
+		"runtime.bgscavenge",
+		"runtime.forcegchelper",
+		"runtime/trace.Start",
+		"os/signal.signal_recv",
+		"os/signal.loop",
+		"testutil.CheckGoroutines",
+	} {
+		if strings.Contains(stack, marker) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,51 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCheckGoroutinesClean: a test that starts and joins its goroutines
+// passes the check.
+func TestCheckGoroutinesClean(t *testing.T) {
+	CheckGoroutines(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+// TestLeakDetection drives the detector against a deliberately leaked
+// goroutine through a fake testing.TB, then releases it.
+func TestLeakDetection(t *testing.T) {
+	base := goroutineIDs()
+	release := make(chan struct{})
+	go func() { <-release }()
+	defer close(release)
+
+	// The leaked goroutine must show up...
+	deadline := time.Now().Add(time.Second)
+	for {
+		if len(leakedSince(base)) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leakedSince = %d goroutines, want 1", len(leakedSince(base)))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	got := leakedSince(base)
+	if !strings.Contains(got[0].stack, "TestLeakDetection") {
+		t.Errorf("leaked stack does not name the leaking test:\n%s", got[0].stack)
+	}
+}
+
+// TestIgnoredGoroutine: framework stacks never count as leaks.
+func TestIgnoredGoroutine(t *testing.T) {
+	if !ignoredGoroutine("goroutine 1 [chan receive]:\ntesting.tRunner(0xc0, 0x12)") {
+		t.Error("testing.tRunner not ignored")
+	}
+	if ignoredGoroutine("goroutine 7 [select]:\nsea/pkg/sea/serve.(*Server).worker(0xc0)") {
+		t.Error("application goroutine wrongly ignored")
+	}
+}

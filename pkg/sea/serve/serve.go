@@ -174,7 +174,21 @@ func NewServer(cfg Config) (*Server, error) {
 // returned Solution is the best iterate, per the facade's contract.
 func (s *Server) Submit(ctx context.Context, p *sea.Problem, opts *sea.Options) (*sea.Solution, error) {
 	var out sea.Solution
-	filled, err := s.submit(ctx, p, opts, &out)
+	filled, err := s.submit(ctx, p, opts, &out, nil)
+	if !filled {
+		return nil, err
+	}
+	return &out, err
+}
+
+// SubmitTraced is Submit with a per-request trace observer layered onto the
+// server's configured options: the request solves exactly as a plain Submit
+// (same template, arena, runner), and obs additionally receives its
+// iteration events. The transport's streamed-trace jobs ride this path. obs
+// is synchronized by the server; a nil obs degrades to Submit.
+func (s *Server) SubmitTraced(ctx context.Context, p *sea.Problem, obs sea.Trace) (*sea.Solution, error) {
+	var out sea.Solution
+	filled, err := s.submit(ctx, p, nil, &out, obs)
 	if !filled {
 		return nil, err
 	}
@@ -191,7 +205,7 @@ func (s *Server) SubmitInto(ctx context.Context, p *sea.Problem, opts *sea.Optio
 	if into == nil {
 		return false, fmt.Errorf("serve: SubmitInto requires a non-nil destination")
 	}
-	return s.submit(ctx, p, opts, into)
+	return s.submit(ctx, p, opts, into, nil)
 }
 
 // Result is one problem's outcome in a SubmitAll batch.
@@ -243,8 +257,10 @@ func resultStatus(sol *sea.Solution, err error) sea.Status {
 	}
 }
 
-// submit is the request path: admission, checkout, solve, copy-out, checkin.
-func (s *Server) submit(ctx context.Context, p *sea.Problem, opts *sea.Options, into *sea.Solution) (filled bool, err error) {
+// submit is the request path: admission, checkout, solve, copy-out,
+// checkin. obs, when non-nil, is an extra per-request trace observer
+// layered onto whichever options the request resolves to.
+func (s *Server) submit(ctx context.Context, p *sea.Problem, opts *sea.Options, into *sea.Solution, obs sea.Trace) (filled bool, err error) {
 	key, err := requestKey(p)
 	if err != nil {
 		return false, err
@@ -311,6 +327,13 @@ func (s *Server) submit(ctx context.Context, p *sea.Problem, opts *sea.Options, 
 		if o.Counters == nil {
 			o.Counters = &s.counters
 		}
+		runOpts = &o
+	}
+	if obs != nil {
+		// Layer the per-request observer without disturbing the entry's
+		// prebuilt options (they are reused by the next checkout).
+		o := *runOpts
+		o.Trace = sea.MultiTrace(trace.Synchronized(obs), o.Trace)
 		runOpts = &o
 	}
 	runOpts.Runner = pool

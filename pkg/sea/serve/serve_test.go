@@ -5,11 +5,11 @@ import (
 	"errors"
 	"math"
 	"math/rand/v2"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
 
+	"sea/internal/testutil"
 	"sea/pkg/sea"
 )
 
@@ -55,19 +55,6 @@ func checkRowTotals(t *testing.T, p *sea.Problem, sol *sea.Solution) {
 		if math.Abs(rs-d.S0[i]) > 1e-4*(1+d.S0[i]) {
 			t.Fatalf("row %d total %g, want %g", i, rs, d.S0[i])
 		}
-	}
-}
-
-// waitGoroutines fails if the live goroutine count does not settle back to
-// the baseline — the leak detector for server-owned worker pools.
-func waitGoroutines(t *testing.T, baseline int) {
-	t.Helper()
-	deadline := time.Now().Add(2 * time.Second)
-	for runtime.NumGoroutine() > baseline {
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutine leak: %d live, baseline %d", runtime.NumGoroutine(), baseline)
-		}
-		time.Sleep(5 * time.Millisecond)
 	}
 }
 
@@ -118,7 +105,7 @@ func TestSubmitSolvesAndDetaches(t *testing.T) {
 // a warm hit rate once the pools are populated. Run under -race via
 // `make serve-race`.
 func TestConcurrentMixedShapes(t *testing.T) {
-	baseline := runtime.NumGoroutine()
+	testutil.CheckGoroutines(t)
 	s, err := NewServer(Config{MaxInFlight: 4, MaxQueue: 64, Procs: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -176,7 +163,6 @@ func TestConcurrentMixedShapes(t *testing.T) {
 	}
 
 	s.Close()
-	waitGoroutines(t, baseline)
 }
 
 // TestSaturationRejects: with one in-flight slot and a queue of one, a
@@ -373,7 +359,7 @@ func TestShapeEviction(t *testing.T) {
 // TestCloseRejectsAndDrains: Close is idempotent, waits for in-flight work,
 // and later submissions fail with ErrClosed.
 func TestCloseRejectsAndDrains(t *testing.T) {
-	baseline := runtime.NumGoroutine()
+	testutil.CheckGoroutines(t)
 	s, err := NewServer(Config{MaxInFlight: 2, Procs: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -387,7 +373,6 @@ func TestCloseRejectsAndDrains(t *testing.T) {
 	if _, err := s.Submit(context.Background(), p, nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
-	waitGoroutines(t, baseline)
 }
 
 // TestPrewarmFillsPool: Prewarm provisions the full per-shape free-list

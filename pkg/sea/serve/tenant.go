@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"sea/pkg/sea"
+)
+
+// ErrTenantQuota is wrapped by ShardedServer submissions rejected by the
+// per-tenant admission gate: the tenant is at its in-flight cap and its
+// waiting queue is full. It always wraps sea.ErrSaturated too, so transports
+// that only branch on the facade sentinel keep working.
+var ErrTenantQuota = errors.New("serve: tenant over quota")
+
+// tenantKey is the context key for the requesting tenant's name.
+type tenantKey struct{}
+
+// WithTenant tags ctx with the requesting tenant's name. The sharded
+// server's per-tenant quotas and fair queueing key on it; an untagged
+// context belongs to the anonymous tenant "".
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// TenantFromContext returns the tenant name set by WithTenant ("" when
+// unset).
+func TenantFromContext(ctx context.Context) string {
+	t, _ := ctx.Value(tenantKey{}).(string)
+	return t
+}
+
+// tenantGate is the per-tenant fair admission gate layered above the
+// shards' own MaxInFlight/bounded-queue admission control. Each tenant may
+// hold at most maxInFlight grants at once; a tenant at its cap waits in its
+// own FIFO queue (bounded by maxQueue), and releases grant waiting tenants
+// in round-robin rotation so one heavy tenant can neither starve the others
+// nor occupy every queue slot.
+type tenantGate struct {
+	maxInFlight int // grants a single tenant may hold (0 disables the gate)
+	maxQueue    int // waiters a single tenant may park
+
+	mu       sync.Mutex
+	inflight map[string]int
+	waiters  map[string][]chan struct{} // per-tenant FIFO of parked requests
+	rotation []string                   // round-robin order over tenants with waiters
+	next     int                        // rotation cursor
+}
+
+// newTenantGate returns a gate enforcing the given per-tenant caps; both
+// <= 0 values are normalized (maxInFlight <= 0 disables the gate entirely,
+// maxQueue <= 0 means a waiting queue as deep as the in-flight cap).
+func newTenantGate(maxInFlight, maxQueue int) *tenantGate {
+	if maxInFlight <= 0 {
+		return nil
+	}
+	if maxQueue <= 0 {
+		maxQueue = maxInFlight
+	}
+	return &tenantGate{
+		maxInFlight: maxInFlight,
+		maxQueue:    maxQueue,
+		inflight:    make(map[string]int),
+		waiters:     make(map[string][]chan struct{}),
+	}
+}
+
+// acquire admits one request for tenant, blocking in the tenant's FIFO
+// queue while the tenant is at its in-flight cap. It returns ErrTenantQuota
+// (wrapping sea.ErrSaturated) when the tenant's queue is also full, ctx.Err()
+// when the caller gives up, and ErrClosed when done closes first.
+func (g *tenantGate) acquire(ctx context.Context, tenant string, done <-chan struct{}) error {
+	g.mu.Lock()
+	if g.inflight[tenant] < g.maxInFlight {
+		g.inflight[tenant]++
+		g.mu.Unlock()
+		return nil
+	}
+	if len(g.waiters[tenant]) >= g.maxQueue {
+		g.mu.Unlock()
+		return fmt.Errorf("%w: %w: tenant %q at %d in flight with %d queued",
+			sea.ErrSaturated, ErrTenantQuota, tenant, g.maxInFlight, g.maxQueue)
+	}
+	grant := make(chan struct{})
+	if len(g.waiters[tenant]) == 0 {
+		g.rotation = append(g.rotation, tenant)
+	}
+	g.waiters[tenant] = append(g.waiters[tenant], grant)
+	g.mu.Unlock()
+
+	select {
+	case <-grant:
+		return nil
+	case <-ctx.Done():
+		if g.abandon(tenant, grant) {
+			return ctx.Err()
+		}
+		// The grant raced the cancellation and won; keep it so the
+		// release accounting stays balanced, then hand it back.
+		g.release(tenant)
+		return ctx.Err()
+	case <-done:
+		if g.abandon(tenant, grant) {
+			return ErrClosed
+		}
+		g.release(tenant)
+		return ErrClosed
+	}
+}
+
+// abandon removes a parked waiter that gave up; it reports false when the
+// waiter had already been granted (the caller then owns a grant).
+func (g *tenantGate) abandon(tenant string, grant chan struct{}) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	q := g.waiters[tenant]
+	for i, w := range q {
+		if w == grant {
+			g.waiters[tenant] = append(q[:i:i], q[i+1:]...)
+			if len(g.waiters[tenant]) == 0 {
+				delete(g.waiters, tenant)
+				g.dropFromRotation(tenant)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// release returns tenant's grant and wakes the next waiting tenant in
+// round-robin order (FIFO within a tenant).
+func (g *tenantGate) release(tenant string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.inflight[tenant] > 1 {
+		g.inflight[tenant]--
+	} else {
+		delete(g.inflight, tenant)
+	}
+	// Rotate over tenants with parked waiters, starting at the cursor, and
+	// grant the first one still under its cap.
+	for range g.rotation {
+		if g.next >= len(g.rotation) {
+			g.next = 0
+		}
+		cand := g.rotation[g.next]
+		if g.inflight[cand] >= g.maxInFlight {
+			g.next++
+			continue
+		}
+		q := g.waiters[cand]
+		grant := q[0]
+		if len(q) == 1 {
+			delete(g.waiters, cand)
+			g.dropFromRotation(cand)
+			// dropFromRotation keeps the cursor on the element after cand,
+			// so the rotation resumes past the tenant just served.
+		} else {
+			g.waiters[cand] = q[1:]
+			g.next++
+		}
+		g.inflight[cand]++
+		close(grant)
+		return
+	}
+}
+
+// dropFromRotation removes tenant from the round-robin order, keeping the
+// cursor pointing at the element that followed it. Caller holds mu.
+func (g *tenantGate) dropFromRotation(tenant string) {
+	for i, name := range g.rotation {
+		if name != tenant {
+			continue
+		}
+		g.rotation = append(g.rotation[:i:i], g.rotation[i+1:]...)
+		if g.next > i {
+			g.next--
+		}
+		if g.next >= len(g.rotation) {
+			g.next = 0
+		}
+		return
+	}
+}
+
+// snapshot reports the gate's current occupancy for Stats.
+func (g *tenantGate) snapshot() (tenants int, inflight, queued int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, n := range g.inflight {
+		inflight += n
+	}
+	for _, q := range g.waiters {
+		queued += len(q)
+	}
+	seen := make(map[string]bool, len(g.inflight)+len(g.waiters))
+	for t := range g.inflight {
+		seen[t] = true
+	}
+	for t := range g.waiters {
+		seen[t] = true
+	}
+	return len(seen), inflight, queued
+}
