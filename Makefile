@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race serve-race serve-http-race bench bench-check bench-multicore fuzz fmt results check cmds cancel
+.PHONY: all build vet test race serve-race serve-http-race bench bench-check bench-multicore bench-sparse fuzz fmt results check cmds cancel
 
 all: check
 
@@ -16,12 +16,12 @@ test:
 	$(GO) test ./...
 
 # Race-check the scheduling substrate and everything built on it: the core
-# solvers (including the batched equilibration kernel and its radix sorts,
-# whose per-worker batch buffers must stay unshared), the baselines, and the
-# public facade (whose cancellation suite exercises pool teardown under
-# contention).
+# solvers (including the batched equilibration kernel, its radix sorts, and
+# the CSR column-mirror scatter whose per-column writes must stay disjoint),
+# the baselines, the sparse wire codec, and the public facade (whose
+# cancellation suite exercises pool teardown under contention).
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/equilibrate/... ./internal/sortx/... ./internal/baseline/... ./pkg/...
+	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/equilibrate/... ./internal/sortx/... ./internal/baseline/... ./internal/matio/... ./pkg/...
 	$(GO) vet ./...
 
 # Build the commands explicitly (CI smoke for the CLI layer).
@@ -61,6 +61,16 @@ bench-check: cmds
 	$(GO) run ./cmd/seabench -compare -threshold 0.25 BENCH_sea.json .bench_check.json; \
 	st=$$?; rm -f .bench_check.json; exit $$st
 
+# Sparse-tier perf snapshot: the CSR storage guards (bit-exact equivalence
+# with the densified form, steady-state allocation flatness) plus a filtered
+# perf-suite run regenerating just the sparse/ records. The committed
+# BENCH_sea.json is regenerated unfiltered by bench-check; this target is the
+# quick iteration loop for sparse hot-path work.
+bench-sparse: cmds
+	$(GO) test -count=1 -run 'TestCSRMatchesDensifiedAcrossProcs|TestCSRSteadyStateAllocs' ./internal/core/
+	$(GO) run ./cmd/seabench -table none -benchjson .bench_sparse.json -benchfilter sparse/
+	@cat .bench_sparse.json; rm -f .bench_sparse.json
+
 # Multi-core scaling smoke: the perf suite's full procs sweep (1, 2, 4, 8)
 # at reduced scale and a single rep per record, just to prove the sweep and
 # the simulated-record path end to end. The committed BENCH_sea.json is
@@ -79,5 +89,5 @@ fmt:
 results:
 	$(GO) run ./cmd/seabench -table all -scale 1 -bkmax 900 | tee results_full.txt
 
-check: build vet test race serve-race serve-http-race cmds cancel bench-check bench-multicore
+check: build vet test race serve-race serve-http-race cmds cancel bench-check bench-multicore bench-sparse
 	@test -z "$$(gofmt -l .)" || (echo "gofmt needed:"; gofmt -l .; exit 1)

@@ -11,14 +11,17 @@ import (
 
 // runCompare implements `seabench -compare old.json new.json`: it prints a
 // per-record delta table between two PerfReports (as written by -benchjson)
-// keyed by (name, procs, shards) and returns the number of regressions — records
-// whose ns/op grew by more than threshold (a fraction, e.g. 0.10 for 10%).
-// Records present in only one file are shown but never count as regressions.
+// keyed by (name, procs, shards) and returns the number of failures — the
+// regressions (records whose ns/op grew by more than threshold, a fraction,
+// e.g. 0.10 for 10%) plus the missing records. A key present only in the new
+// file prints an explicit "new" line and is benign — coverage grew. A key
+// present only in the old file prints an explicit "missing" line and counts
+// as a failure: a benchmark that silently disappears is how perf gates rot.
 // Simulated records (procs beyond the machine's cores, marked "sim") are
 // judged like any other pair when both sides are simulated; a pair whose
 // simulated flag differs between the files was measured on machines with
 // different core counts, so its delta is informational ("mode") and exempt
-// from the regression count.
+// from the failure count.
 func runCompare(oldPath, newPath string, threshold float64) int {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
@@ -51,6 +54,8 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 		if !ok {
 			rows = append(rows, []string{recordLabel(nr), fmtProcs(nr.Procs, nr.Simulated),
 				"-", fmtNs(nr.NsPerOp), "-", fmtSpeedup(nr.SpeedupVsSerial), "new"})
+			fmt.Fprintf(os.Stderr, "seabench: new record %s procs=%d shards=%d (absent from %s)\n",
+				nr.Name, nr.Procs, nr.Shards, oldPath)
 			continue
 		}
 		delta := float64(nr.NsPerOp-or.NsPerOp) / float64(or.NsPerOp)
@@ -73,10 +78,14 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 			fmtSpeedup(or.SpeedupVsSerial) + " -> " + fmtSpeedup(nr.SpeedupVsSerial),
 			verdict})
 	}
+	missing := 0
 	for _, or := range oldRep.Records {
 		if k := (key{or.Name, or.Procs, or.Shards}); !seen[k] {
+			missing++
 			rows = append(rows, []string{recordLabel(or), fmtProcs(or.Procs, or.Simulated),
-				fmtNs(or.NsPerOp), "-", "-", fmtSpeedup(or.SpeedupVsSerial), "dropped"})
+				fmtNs(or.NsPerOp), "-", "-", fmtSpeedup(or.SpeedupVsSerial), "missing"})
+			fmt.Fprintf(os.Stderr, "seabench: missing record %s procs=%d shards=%d (present in %s, absent from %s)\n",
+				or.Name, or.Procs, or.Shards, oldPath, newPath)
 		}
 	}
 
@@ -87,7 +96,10 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 		fmt.Fprintf(os.Stderr, "seabench: %d record(s) regressed beyond %.0f%%\n",
 			regressions, 100*threshold)
 	}
-	return regressions
+	if missing > 0 {
+		fmt.Fprintf(os.Stderr, "seabench: %d record(s) missing from %s\n", missing, newPath)
+	}
+	return regressions + missing
 }
 
 func loadReport(path string) (experiments.PerfReport, error) {

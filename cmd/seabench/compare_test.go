@@ -79,20 +79,36 @@ func TestCompareSimulatedModeMismatch(t *testing.T) {
 	}
 }
 
-// TestCompareNewAndDroppedRecords: records present in only one file are
-// reported but never regress.
-func TestCompareNewAndDroppedRecords(t *testing.T) {
+// TestCompareNewAndMissingRecords: a key present only in the new file is
+// benign (coverage grew), but a key that vanished from the new file counts
+// as a failure so the perf gate cannot rot by silently dropping benchmarks.
+func TestCompareNewAndMissingRecords(t *testing.T) {
 	dir := t.TempDir()
 	oldPath := writeReport(t, dir, "old.json", []experiments.PerfRecord{
 		rec("a", 1, 1000, false),
-		rec("dropped", 1, 500, false),
+		rec("vanished", 1, 500, false),
 	})
 	newPath := writeReport(t, dir, "new.json", []experiments.PerfRecord{
 		rec("a", 1, 1000, false),
 		rec("brand-new", 8, 125, true),
 	})
+	if got := runCompare(oldPath, newPath, 0.10); got != 1 {
+		t.Fatalf("runCompare = %d failures, want 1 (the missing record)", got)
+	}
+}
+
+// TestCompareNewOnlyRecordsPass: growth alone must not fail the gate.
+func TestCompareNewOnlyRecordsPass(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", []experiments.PerfRecord{
+		rec("a", 1, 1000, false),
+	})
+	newPath := writeReport(t, dir, "new.json", []experiments.PerfRecord{
+		rec("a", 1, 1000, false),
+		rec("sparse/diagonal10k", 1, 125, false),
+	})
 	if got := runCompare(oldPath, newPath, 0.10); got != 0 {
-		t.Fatalf("runCompare = %d regressions, want 0", got)
+		t.Fatalf("runCompare = %d failures, want 0 for new-only records", got)
 	}
 }
 

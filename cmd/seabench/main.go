@@ -80,6 +80,7 @@ func main() {
 		benchjson  = flag.String("benchjson", "", "also run the hot-path perf suite and write its records to this JSON file")
 		benchprocs = flag.String("benchprocs", "", "with -benchjson: comma-separated worker counts to sweep (default 1,2,4,8; counts above NumCPU are simulated)")
 		benchreps  = flag.Int("benchreps", 0, "with -benchjson: timed repetitions per perf record (0 = default)")
+		benchfilt  = flag.String("benchfilter", "", "with -benchjson: only measure records whose name contains this substring (e.g. sparse/); the committed BENCH_sea.json must be regenerated unfiltered because -compare counts missing records as failures")
 		compare    = flag.Bool("compare", false, "compare two -benchjson files (usage: seabench -compare old.json new.json) and exit non-zero on regression")
 		threshold  = flag.Float64("threshold", 0.10, "with -compare: regression threshold as a fraction of old ns/op")
 		nowarm     = flag.Bool("nowarm", false, "disable the equilibration kernel's warm-started sort (ablation)")
@@ -147,7 +148,7 @@ func main() {
 	}
 
 	cfg := experiments.Config{Scale: *scale, Procs: *procs, Epsilon: *eps, MaxBKDim: *bkmax, NoWarm: *nowarm, PerfReps: *benchreps,
-		HTTPRequests: *httpReqs, HTTPConns: *httpConns}
+		BenchFilter: *benchfilt, HTTPRequests: *httpReqs, HTTPConns: *httpConns}
 	if *benchprocs != "" {
 		list, err := parseProcsList(*benchprocs)
 		if err != nil {

@@ -63,11 +63,24 @@ type diagState struct {
 	p   *DiagonalProblem
 	o   *Options
 
-	m, n  int    // cached problem shape (the arena reuse key)
+	m, n  int    // cached problem shape (the arena reuse key, with nv)
+	nv    int    // stored cells per per-cell buffer: m·n dense, nnz CSR
 	arena *Arena // nil when not reusing
 
-	x        []float64 // current matrix iterate, m×n row-major
-	xT       []float64 // column-major mirror, n×m: xT[j*m+i] = x[i*n+j]
+	// pat is the problem's CSR pattern (nil for dense storage). The column
+	// mirror below is the CSC view of the same support, rebuilt whenever an
+	// adopted state sees a different pattern: cscPtr[j]..cscPtr[j+1] are
+	// column j's stored positions in the mirror arrays, cscRow their row
+	// indices, and cscPos the permutation from mirror position back to CSR
+	// position — the sparse replacement for the dense blocked transpose.
+	pat    *Pattern
+	cscPtr []int
+	cscRow []int32
+	cscPos []int32
+	cscTmp []int // per-column cursor scratch for buildCSC
+
+	x        []float64 // current matrix iterate in storage order (row-major / CSR)
+	xT       []float64 // column-major mirror: dense n×m, or CSC order for CSR
 	xPrev    []float64 // previous checked iterate (MaxAbsDelta only)
 	lambda   []float64 // row multipliers λ_i
 	mu       []float64 // column multipliers μ_j
@@ -75,13 +88,13 @@ type diagState struct {
 	colSum   []float64 // Σ_i x_ij as returned by the latest column phase
 	checkBuf []float64 // per-row scratch for the parallel convergence check
 
-	aRow       []float64 // slopes a_ij = 1/(2γ_ij), m×n row-major
-	aT         []float64 // aRow transposed, n×m
-	x0T        []float64 // p.X0 transposed; refreshX0T re-syncs it when X0 mutates
-	upperT     []float64 // p.Upper transposed, nil when unbounded
-	lowerT     []float64 // p.Lower transposed, nil when absent
+	aRow       []float64 // slopes a_ij = 1/(2γ_ij), storage order
+	aT         []float64 // aRow in column-mirror order
+	x0T        []float64 // p.X0 in column-mirror order; refreshX0T re-syncs it when X0 mutates
+	upperT     []float64 // p.Upper in column-mirror order, nil when unbounded
+	lowerT     []float64 // p.Lower in column-mirror order, nil when absent
 	supplyBuf  []float64 // supplies scratch for checkConvergence, hoisted off the hot loop
-	checkTasks []int64   // shared parallel-check trace costs (every entry is n)
+	checkTasks []int64   // shared parallel-check trace costs (row i's entry is its stored width)
 
 	// rowStates[k][i] / colStates[k][j] carry the kernel's warm-start
 	// permutation for row i / column j, bucketed by iteration slot k (see
@@ -141,24 +154,26 @@ func newDiagState(ctx context.Context, p *DiagonalProblem, o *Options) *diagStat
 		maxDim = n
 	}
 
+	nv := p.Nnz()
 	ar := o.Arena
 	var st *diagState
-	if ar != nil && ar.st != nil && ar.st.m == m && ar.st.n == n {
+	if ar != nil && ar.st != nil && ar.st.m == m && ar.st.n == n &&
+		ar.st.nv == nv && (ar.st.pat != nil) == (p.Pattern != nil) {
 		st = ar.st
 		st.reset()
 	} else {
 		st = &diagState{
-			m: m, n: n,
-			x:         make([]float64, m*n),
-			xT:        make([]float64, m*n),
+			m: m, n: n, nv: nv,
+			x:         make([]float64, nv),
+			xT:        make([]float64, nv),
 			lambda:    make([]float64, m),
 			mu:        make([]float64, n),
 			rowSum:    make([]float64, m),
 			colSum:    make([]float64, n),
 			checkBuf:  make([]float64, m),
-			aRow:      make([]float64, m*n),
-			aT:        make([]float64, m*n),
-			x0T:       make([]float64, m*n),
+			aRow:      make([]float64, nv),
+			aT:        make([]float64, nv),
+			x0T:       make([]float64, nv),
 			supplyBuf: make([]float64, m),
 		}
 		st.bindBodies()
@@ -174,7 +189,7 @@ func newDiagState(ctx context.Context, p *DiagonalProblem, o *Options) *diagStat
 		copy(st.mu, o.Mu0)
 	}
 	if o.Criterion == MaxAbsDelta && st.xPrev == nil {
-		st.xPrev = make([]float64, m*n)
+		st.xPrev = make([]float64, nv)
 	}
 
 	st.runner = o.Runner
@@ -228,28 +243,104 @@ func newDiagState(ctx context.Context, p *DiagonalProblem, o *Options) *diagStat
 
 	// Data-dependent constants, recomputed on every solve (an adopted state
 	// may carry a different problem with the same shape).
+	if st.pat != p.Pattern {
+		// The column mirror and the per-row check costs are functions of the
+		// support, not the values; rebuild them only when the pattern itself
+		// changes under an adopted state.
+		st.pat = p.Pattern
+		st.checkTasks = nil
+		if st.pat != nil {
+			st.buildCSC()
+		}
+	}
 	for k, g := range p.Gamma {
 		st.aRow[k] = 0.5 / g
 	}
-	st.runner.ForChunks(m, st.aTBody)
+	if st.pat == nil {
+		st.runner.ForChunks(m, st.aTBody)
+	} else {
+		st.runner.ForChunks(n, st.aTBody)
+	}
 	st.refreshX0T()
 	if p.Upper != nil {
-		if st.upperT == nil {
-			st.upperT = make([]float64, m*n)
-		}
-		mat.Transpose(st.upperT, p.Upper, m, n)
+		st.upperT = resizeF(st.upperT, nv)
+		st.mirror(st.upperT, p.Upper)
 	} else {
 		st.upperT = nil
 	}
 	if p.Lower != nil {
-		if st.lowerT == nil {
-			st.lowerT = make([]float64, m*n)
-		}
-		mat.Transpose(st.lowerT, p.Lower, m, n)
+		st.lowerT = resizeF(st.lowerT, nv)
+		st.mirror(st.lowerT, p.Lower)
 	} else {
 		st.lowerT = nil
 	}
 	return st
+}
+
+// mirror writes src's column-mirror image into dst: a dense transpose, or a
+// CSC-order gather for CSR storage.
+func (st *diagState) mirror(dst, src []float64) {
+	if st.pat == nil {
+		mat.Transpose(dst, src, st.m, st.n)
+		return
+	}
+	st.gatherCSC(dst, src, 0, st.n)
+}
+
+// rowSpan returns row i's index range into the storage-order per-cell arrays.
+func (st *diagState) rowSpan(i int) (int, int) {
+	if st.pat == nil {
+		return i * st.n, (i + 1) * st.n
+	}
+	return st.pat.RowPtr[i], st.pat.RowPtr[i+1]
+}
+
+// buildCSC derives the CSC view of st.pat by counting sort: one pass counts
+// column occupancy, a prefix sum places the column starts, and a row-major
+// sweep fills cscRow/cscPos — which therefore list each column's entries in
+// ascending row order, exactly the order the dense column phase reads them.
+func (st *diagState) buildCSC() {
+	pt := st.pat
+	m, n, nnz := st.m, st.n, pt.Nnz()
+	st.cscPtr = resizeI(st.cscPtr, n+1)
+	st.cscTmp = resizeI(st.cscTmp, n)
+	st.cscRow = resizeI32(st.cscRow, nnz)
+	st.cscPos = resizeI32(st.cscPos, nnz)
+	clear(st.cscTmp)
+	for _, j := range pt.ColIdx {
+		st.cscTmp[j]++
+	}
+	st.cscPtr[0] = 0
+	for j := 0; j < n; j++ {
+		st.cscPtr[j+1] = st.cscPtr[j] + st.cscTmp[j]
+		st.cscTmp[j] = st.cscPtr[j]
+	}
+	for i := 0; i < m; i++ {
+		for k := pt.RowPtr[i]; k < pt.RowPtr[i+1]; k++ {
+			j := pt.ColIdx[k]
+			q := st.cscTmp[j]
+			st.cscRow[q] = int32(i)
+			st.cscPos[q] = int32(k)
+			st.cscTmp[j] = q + 1
+		}
+	}
+}
+
+// gatherCSC fills the column-mirror positions of columns [loCol,hiCol) from a
+// storage-order source array.
+func (st *diagState) gatherCSC(dst, src []float64, loCol, hiCol int) {
+	for q := st.cscPtr[loCol]; q < st.cscPtr[hiCol]; q++ {
+		dst[q] = src[st.cscPos[q]]
+	}
+}
+
+// scatterCSC is the inverse of gatherCSC: it folds the column-mirror values of
+// columns [loCol,hiCol) back into a storage-order destination. Distinct
+// columns touch disjoint storage positions, so parallel bands never race.
+func (st *diagState) scatterCSC(dst, src []float64, loCol, hiCol int) {
+	for q := st.cscPtr[loCol]; q < st.cscPtr[hiCol]; q++ {
+		dst[st.cscPos[q]] = src[q]
+	}
 }
 
 // reset clears the per-solve scalars of an adopted state. Everything not
@@ -272,28 +363,43 @@ func (st *diagState) reset() {
 func (st *diagState) bindBodies() {
 	st.rowBody = st.rowChunk
 	st.colBody = st.colChunk
+	// The transpose-flavored bodies are chunked over source rows when dense
+	// and over columns of the CSC mirror when sparse; newDiagState and
+	// refreshX0T dispatch over the matching dimension.
 	st.aTBody = func(_, lo, hi int) {
-		mat.TransposeRange(st.aT, st.aRow, st.m, st.n, lo, hi)
+		if st.pat == nil {
+			mat.TransposeRange(st.aT, st.aRow, st.m, st.n, lo, hi)
+			return
+		}
+		st.gatherCSC(st.aT, st.aRow, lo, hi)
 	}
 	st.x0TBody = func(_, lo, hi int) {
-		mat.TransposeRange(st.x0T, st.p.X0, st.m, st.n, lo, hi)
+		if st.pat == nil {
+			mat.TransposeRange(st.x0T, st.p.X0, st.m, st.n, lo, hi)
+			return
+		}
+		st.gatherCSC(st.x0T, st.p.X0, lo, hi)
 	}
 	st.reconcileBody = func(_, lo, hi int) {
-		mat.TransposeRange(st.x, st.xT, st.n, st.m, lo, hi)
+		if st.pat == nil {
+			mat.TransposeRange(st.x, st.xT, st.n, st.m, lo, hi)
+			return
+		}
+		st.scatterCSC(st.x, st.xT, lo, hi)
 	}
 	st.deltaBody = func(_, lo, hi int) {
-		n := st.n
 		for i := lo; i < hi; i++ {
-			row := st.x[i*n : (i+1)*n]
-			prev := st.xPrev[i*n : (i+1)*n]
+			s, e := st.rowSpan(i)
+			row := st.x[s:e]
+			prev := st.xPrev[s:e]
 			st.checkBuf[i] = mat.MaxAbsDiff(row, prev)
 			copy(prev, row)
 		}
 	}
 	st.sumBody = func(_, lo, hi int) {
-		n := st.n
 		for i := lo; i < hi; i++ {
-			st.rowSum[i] = mat.Sum(st.x[i*n : (i+1)*n])
+			s, e := st.rowSpan(i)
+			st.rowSum[i] = mat.Sum(st.x[s:e])
 		}
 	}
 }
@@ -313,7 +419,11 @@ func (st *diagState) close() {
 // linear-term update, whose diagonalization rewrites X0 before every column
 // phase.
 func (st *diagState) refreshX0T() {
-	st.runner.ForChunks(st.m, st.x0TBody)
+	if st.pat == nil {
+		st.runner.ForChunks(st.m, st.x0TBody)
+		return
+	}
+	st.runner.ForChunks(st.n, st.x0TBody)
 }
 
 // run executes the alternating phases until convergence, cancellation, or
@@ -441,9 +551,10 @@ func (st *diagState) statesFor(slots *[][]equilibrate.State, dim, nev int) []equ
 }
 
 // phaseEvents returns the exact per-subproblem event count of a phase with
-// nv variables per subproblem, or 0 when bounds make it data-dependent.
+// nv variables per subproblem, or 0 when it is data-dependent — bounds make
+// it value-dependent, CSR storage makes it vary per subproblem.
 func (st *diagState) phaseEvents(nv int) int {
-	if st.p.Upper == nil && st.p.Lower == nil {
+	if st.pat == nil && st.p.Upper == nil && st.p.Lower == nil {
 		return nv
 	}
 	return 0
@@ -493,6 +604,10 @@ const maxBatchRows = 128
 
 // rowChunk is the row-phase body for one worker's index range.
 func (st *diagState) rowChunk(chunk, lo, hi int) {
+	if st.pat != nil {
+		st.rowChunkSparse(chunk, lo, hi)
+		return
+	}
 	if st.useBatch {
 		st.rowChunkBatched(chunk, lo, hi)
 		return
@@ -665,6 +780,10 @@ func (st *diagState) colPhase(ph *PhaseCosts) error {
 
 // colChunk is the column-phase body for one worker's index range.
 func (st *diagState) colChunk(chunk, lo, hi int) {
+	if st.pat != nil {
+		st.colChunkSparse(chunk, lo, hi)
+		return
+	}
 	if st.useBatch {
 		st.colChunkBatched(chunk, lo, hi)
 		return
@@ -898,24 +1017,25 @@ func (st *diagState) demands(dst []float64) {
 // (the enhancement the paper suggests in Section 4.2).
 func (st *diagState) checkConvergence(ph *PhaseCosts) bool {
 	p, o := st.p, st.o
-	m, n := p.M, p.N
+	m := p.M
 	var serialOps int64
 	if o.ParallelConvCheck {
 		serialOps = int64(2 * m)
 		if ph != nil {
-			// Every check task costs exactly n ops, every iteration, so all
-			// traced phases share one read-only cost slice instead of
-			// allocating a fresh one per check.
+			// Every check task scans exactly its row's stored width (n dense,
+			// row nnz sparse), every iteration, so all traced phases share one
+			// read-only cost slice instead of allocating a fresh one per check.
 			if st.checkTasks == nil {
 				st.checkTasks = make([]int64, m)
 				for i := range st.checkTasks {
-					st.checkTasks[i] = int64(n)
+					s, e := st.rowSpan(i)
+					st.checkTasks[i] = int64(e - s)
 				}
 			}
 			ph.Check = st.checkTasks
 		}
 	} else {
-		serialOps = int64(m*n + 2*m)
+		serialOps = int64(st.nv + 2*m)
 	}
 	if o.Counters != nil {
 		o.Counters.ConvChecks.Add(1)
@@ -978,7 +1098,7 @@ func (st *diagState) solution() *Solution {
 	var sol *Solution
 	var s, d []float64
 	if ar := st.arena; ar != nil {
-		ar.solX = resizeF(ar.solX, p.M*p.N)
+		ar.solX = resizeF(ar.solX, st.nv)
 		ar.solS = resizeF(ar.solS, p.M)
 		ar.solD = resizeF(ar.solD, p.N)
 		ar.solLambda = resizeF(ar.solLambda, p.M)

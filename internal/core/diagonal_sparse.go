@@ -1,0 +1,346 @@
+package core
+
+import (
+	"fmt"
+
+	"sea/internal/equilibrate"
+)
+
+// Sparse (CSR) phase bodies. Each row subproblem works on the row's stored
+// segment of the flat per-cell arrays; each column subproblem works on the
+// CSC mirror segment built by buildCSC. Structural zeros never enter a
+// kernel call, so per-iteration cost is O(nnz) — and because the kernel
+// skips pinned (u = l) variables, a densified copy of the same problem walks
+// a bit-identical event stream and produces bit-identical iterates.
+
+// rowChunkSparse is the CSR row-phase body for one worker's index range.
+func (st *diagState) rowChunkSparse(chunk, lo, hi int) {
+	if st.useBatch {
+		st.rowChunkBatchedSparse(chunk, lo, hi)
+		return
+	}
+	p, o := st.p, st.o
+	pt := st.pat
+	ws := st.workspaces[chunk]
+	ph := st.curPH
+	for i := lo; i < hi; i++ {
+		s, e := pt.RowPtr[i], pt.RowPtr[i+1]
+		w := e - s
+		x0 := p.X0[s:e]
+		a := st.aRow[s:e]
+		cols := pt.ColIdx[s:e]
+		c, _ := ws.Scratch(w)
+		for t := 0; t < w; t++ {
+			c[t] = x0[t] + a[t]*st.mu[cols[t]]
+		}
+		prob := equilibrate.Problem{C: c, A: a}
+		if p.Upper != nil {
+			prob.U = p.Upper[s:e]
+		}
+		if p.Lower != nil {
+			prob.L = p.Lower[s:e]
+		}
+		switch p.Kind {
+		case FixedTotals:
+			prob.R = p.S0[i]
+		case ElasticTotals:
+			prob.E = 0.5 / p.Alpha[i]
+			prob.R = p.S0[i]
+		case Balanced:
+			el := 0.5 / p.Alpha[i]
+			prob.E = el
+			prob.R = p.S0[i] - el*st.mu[i]
+		}
+		var est *equilibrate.State
+		if st.curRowStates != nil {
+			est = &st.curRowStates[i]
+		}
+		var res equilibrate.Result
+		var err error
+		if p.Kind == IntervalTotals {
+			res, err = prob.SolveIntervalState(p.SLo[i], p.SHi[i], st.x[s:e], ws, est)
+		} else if o.Kernel == KernelBisection {
+			res, err = prob.SolveBisection(st.x[s:e], o.KernelTol)
+		} else {
+			res, err = prob.SolveState(st.x[s:e], ws, est)
+		}
+		if err != nil {
+			if st.errs[chunk] == nil {
+				st.errs[chunk] = fmt.Errorf("row %d: %w", i, err)
+			}
+			return
+		}
+		st.lambda[i] = res.Lambda
+		st.rowSum[i] = res.Total
+		cost := res.Ops + int64(2*w)
+		if ph != nil {
+			ph.Row[i] = cost
+		}
+		if o.Counters != nil {
+			o.Counters.Equilibrations.Add(1)
+			o.Counters.Ops.Add(cost)
+		}
+	}
+}
+
+// sparseBatchEnd returns the end of the batch starting at lo: as many
+// subproblems as fit the event budget given their actual stored widths
+// (spans(k) returning subproblem k's storage segment), always at least one,
+// capped at maxBatchRows.
+func sparseBatchEnd(lo, hi, perEntry, target int, spans func(int) (int, int)) int {
+	events := 0
+	end := lo
+	for end < hi {
+		s, e := spans(end)
+		ev := perEntry * (e - s)
+		if end > lo && (events+ev > target || end-lo >= maxBatchRows) {
+			break
+		}
+		events += ev
+		end++
+	}
+	return end
+}
+
+// rowChunkBatchedSparse is the batched CSR row-phase body; like
+// rowChunkBatched it is bit-exact with the solo body, so batching is purely
+// a throughput decision. Batches are sized by cumulative row nnz, not row
+// count, so skewed supports cannot blow the event budget.
+func (st *diagState) rowChunkBatchedSparse(chunk, lo, hi int) {
+	p, o := st.p, st.o
+	pt := st.pat
+	b := st.batches[chunk]
+	ph := st.curPH
+	perEntry := 1
+	if p.Upper != nil {
+		perEntry = 2
+	}
+	rowSpan := func(i int) (int, int) { return pt.RowPtr[i], pt.RowPtr[i+1] }
+	for lo < hi {
+		end := sparseBatchEnd(lo, hi, perEntry, st.batchTarget, rowSpan)
+		b.Reset()
+		for i := lo; i < end; i++ {
+			s, e := pt.RowPtr[i], pt.RowPtr[i+1]
+			w := e - s
+			x0 := p.X0[s:e]
+			a := st.aRow[s:e]
+			cols := pt.ColIdx[s:e]
+			c := b.Coef(w)
+			for t := 0; t < w; t++ {
+				c[t] = x0[t] + a[t]*st.mu[cols[t]]
+			}
+			prob := equilibrate.Problem{C: c, A: a}
+			if p.Upper != nil {
+				prob.U = p.Upper[s:e]
+			}
+			if p.Lower != nil {
+				prob.L = p.Lower[s:e]
+			}
+			switch p.Kind {
+			case FixedTotals:
+				prob.R = p.S0[i]
+			case ElasticTotals:
+				prob.E = 0.5 / p.Alpha[i]
+				prob.R = p.S0[i]
+			case Balanced:
+				el := 0.5 / p.Alpha[i]
+				prob.E = el
+				prob.R = p.S0[i] - el*st.mu[i]
+			}
+			var est *equilibrate.State
+			if st.curRowStates != nil {
+				est = &st.curRowStates[i]
+			}
+			var err error
+			if p.Kind == IntervalTotals {
+				err = b.AddInterval(&prob, p.SLo[i], p.SHi[i], st.x[s:e], est)
+			} else {
+				err = b.Add(&prob, st.x[s:e], est)
+			}
+			if err != nil {
+				if st.errs[chunk] == nil {
+					st.errs[chunk] = fmt.Errorf("row %d: %w", i, err)
+				}
+				return
+			}
+		}
+		if bad, err := b.Solve(); err != nil {
+			if st.errs[chunk] == nil {
+				st.errs[chunk] = fmt.Errorf("row %d: %w", lo+bad, err)
+			}
+			return
+		}
+		var costSum int64
+		for i := lo; i < end; i++ {
+			res := b.Result(i - lo)
+			st.lambda[i] = res.Lambda
+			st.rowSum[i] = res.Total
+			cost := res.Ops + int64(2*(pt.RowPtr[i+1]-pt.RowPtr[i]))
+			costSum += cost
+			if ph != nil {
+				ph.Row[i] = cost
+			}
+		}
+		if o.Counters != nil {
+			o.Counters.Equilibrations.Add(int64(end - lo))
+			o.Counters.Ops.Add(costSum)
+		}
+		lo = end
+	}
+}
+
+// colChunkSparse is the CSR column-phase body for one worker's index range,
+// working entirely on the CSC mirror.
+func (st *diagState) colChunkSparse(chunk, lo, hi int) {
+	if st.useBatch {
+		st.colChunkBatchedSparse(chunk, lo, hi)
+		return
+	}
+	p, o := st.p, st.o
+	ws := st.workspaces[chunk]
+	ph := st.curPH
+	for j := lo; j < hi; j++ {
+		s, e := st.cscPtr[j], st.cscPtr[j+1]
+		w := e - s
+		x0c := st.x0T[s:e]
+		a := st.aT[s:e]
+		rows := st.cscRow[s:e]
+		c, _ := ws.Scratch(w)
+		for t := 0; t < w; t++ {
+			c[t] = x0c[t] + a[t]*st.lambda[rows[t]]
+		}
+		prob := equilibrate.Problem{C: c, A: a}
+		if st.upperT != nil {
+			prob.U = st.upperT[s:e]
+		}
+		if st.lowerT != nil {
+			prob.L = st.lowerT[s:e]
+		}
+		switch p.Kind {
+		case FixedTotals:
+			prob.R = p.D0[j]
+		case ElasticTotals:
+			prob.E = 0.5 / p.Beta[j]
+			prob.R = p.D0[j]
+		case Balanced:
+			el := 0.5 / p.Alpha[j]
+			prob.E = el
+			prob.R = p.S0[j] - el*st.lambda[j]
+		}
+		var est *equilibrate.State
+		if st.curColStates != nil {
+			est = &st.curColStates[j]
+		}
+		xcol := st.xT[s:e]
+		var res equilibrate.Result
+		var err error
+		if p.Kind == IntervalTotals {
+			res, err = prob.SolveIntervalState(p.DLo[j], p.DHi[j], xcol, ws, est)
+		} else if o.Kernel == KernelBisection {
+			res, err = prob.SolveBisection(xcol, o.KernelTol)
+		} else {
+			res, err = prob.SolveState(xcol, ws, est)
+		}
+		if err != nil {
+			if st.errs[chunk] == nil {
+				st.errs[chunk] = fmt.Errorf("column %d: %w", j, err)
+			}
+			return
+		}
+		st.mu[j] = res.Lambda
+		st.colSum[j] = res.Total
+		cost := res.Ops + int64(2*w)
+		if ph != nil {
+			ph.Col[j] = cost
+		}
+		if o.Counters != nil {
+			o.Counters.Equilibrations.Add(1)
+			o.Counters.Ops.Add(cost)
+		}
+	}
+}
+
+// colChunkBatchedSparse is the batched CSR column-phase body; see
+// rowChunkBatchedSparse.
+func (st *diagState) colChunkBatchedSparse(chunk, lo, hi int) {
+	p, o := st.p, st.o
+	b := st.batches[chunk]
+	ph := st.curPH
+	perEntry := 1
+	if st.upperT != nil {
+		perEntry = 2
+	}
+	colSpan := func(j int) (int, int) { return st.cscPtr[j], st.cscPtr[j+1] }
+	for lo < hi {
+		end := sparseBatchEnd(lo, hi, perEntry, st.batchTarget, colSpan)
+		b.Reset()
+		for j := lo; j < end; j++ {
+			s, e := st.cscPtr[j], st.cscPtr[j+1]
+			w := e - s
+			x0c := st.x0T[s:e]
+			a := st.aT[s:e]
+			rows := st.cscRow[s:e]
+			c := b.Coef(w)
+			for t := 0; t < w; t++ {
+				c[t] = x0c[t] + a[t]*st.lambda[rows[t]]
+			}
+			prob := equilibrate.Problem{C: c, A: a}
+			if st.upperT != nil {
+				prob.U = st.upperT[s:e]
+			}
+			if st.lowerT != nil {
+				prob.L = st.lowerT[s:e]
+			}
+			switch p.Kind {
+			case FixedTotals:
+				prob.R = p.D0[j]
+			case ElasticTotals:
+				prob.E = 0.5 / p.Beta[j]
+				prob.R = p.D0[j]
+			case Balanced:
+				el := 0.5 / p.Alpha[j]
+				prob.E = el
+				prob.R = p.S0[j] - el*st.lambda[j]
+			}
+			var est *equilibrate.State
+			if st.curColStates != nil {
+				est = &st.curColStates[j]
+			}
+			xcol := st.xT[s:e]
+			var err error
+			if p.Kind == IntervalTotals {
+				err = b.AddInterval(&prob, p.DLo[j], p.DHi[j], xcol, est)
+			} else {
+				err = b.Add(&prob, xcol, est)
+			}
+			if err != nil {
+				if st.errs[chunk] == nil {
+					st.errs[chunk] = fmt.Errorf("column %d: %w", j, err)
+				}
+				return
+			}
+		}
+		if bad, err := b.Solve(); err != nil {
+			if st.errs[chunk] == nil {
+				st.errs[chunk] = fmt.Errorf("column %d: %w", lo+bad, err)
+			}
+			return
+		}
+		var costSum int64
+		for j := lo; j < end; j++ {
+			res := b.Result(j - lo)
+			st.mu[j] = res.Lambda
+			st.colSum[j] = res.Total
+			cost := res.Ops + int64(2*(st.cscPtr[j+1]-st.cscPtr[j]))
+			costSum += cost
+			if ph != nil {
+				ph.Col[j] = cost
+			}
+		}
+		if o.Counters != nil {
+			o.Counters.Equilibrations.Add(int64(end - lo))
+			o.Counters.Ops.Add(costSum)
+		}
+		lo = end
+	}
+}

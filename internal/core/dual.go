@@ -13,15 +13,31 @@ import "math"
 func DualValue(p *DiagonalProblem, lambda, mu []float64) float64 {
 	m, n := p.M, p.N
 	var z float64
-	for i := 0; i < m; i++ {
-		li := lambda[i]
-		for j := 0; j < n; j++ {
-			k := i*n + j
-			t := li + mu[j]
-			g := p.Gamma[k]
-			xh := p.clampEntry(k, p.X0[k]+t/(2*g))
-			dev := xh - p.X0[k]
-			z += g*dev*dev - t*xh
+	if pt := p.Pattern; pt != nil {
+		// Structural zeros are pinned in [0,0]: their minimizer is 0, their
+		// deviation 0, so they contribute exactly nothing — skipping them is
+		// an identity, not an approximation.
+		for i := 0; i < m; i++ {
+			li := lambda[i]
+			for k := pt.RowPtr[i]; k < pt.RowPtr[i+1]; k++ {
+				t := li + mu[pt.ColIdx[k]]
+				g := p.Gamma[k]
+				xh := p.clampEntry(k, p.X0[k]+t/(2*g))
+				dev := xh - p.X0[k]
+				z += g*dev*dev - t*xh
+			}
+		}
+	} else {
+		for i := 0; i < m; i++ {
+			li := lambda[i]
+			for j := 0; j < n; j++ {
+				k := i*n + j
+				t := li + mu[j]
+				g := p.Gamma[k]
+				xh := p.clampEntry(k, p.X0[k]+t/(2*g))
+				dev := xh - p.X0[k]
+				z += g*dev*dev - t*xh
+			}
 		}
 	}
 	switch p.Kind {
@@ -68,15 +84,26 @@ func intervalSupport(lambda, lo, hi float64) float64 {
 
 // DualPrimal recovers the Lagrangian-minimizing primal point X(λ,μ), S(λ,μ),
 // D(λ,μ) of equations (23a–c)/(40a–b) — the point the equilibration phases
-// manipulate implicitly. x must have length M·N; s length M; d length N.
+// manipulate implicitly. x must have length p.Nnz() (M·N dense, stored order
+// for CSR); s length M; d length N.
 func DualPrimal(p *DiagonalProblem, lambda, mu, x, s, d []float64) {
 	m, n := p.M, p.N
-	for i := 0; i < m; i++ {
-		li := lambda[i]
-		for j := 0; j < n; j++ {
-			k := i*n + j
-			g := p.Gamma[k]
-			x[k] = p.clampEntry(k, p.X0[k]+(li+mu[j])/(2*g))
+	if pt := p.Pattern; pt != nil {
+		for i := 0; i < m; i++ {
+			li := lambda[i]
+			for k := pt.RowPtr[i]; k < pt.RowPtr[i+1]; k++ {
+				g := p.Gamma[k]
+				x[k] = p.clampEntry(k, p.X0[k]+(li+mu[pt.ColIdx[k]])/(2*g))
+			}
+		}
+	} else {
+		for i := 0; i < m; i++ {
+			li := lambda[i]
+			for j := 0; j < n; j++ {
+				k := i*n + j
+				g := p.Gamma[k]
+				x[k] = p.clampEntry(k, p.X0[k]+(li+mu[j])/(2*g))
+			}
 		}
 	}
 	switch p.Kind {
@@ -99,6 +126,23 @@ func DualPrimal(p *DiagonalProblem, lambda, mu, x, s, d []float64) {
 		// The dual-consistent total asserts a multiplier's binding bound
 		// (see intervalTarget), so the ∂ζ components measure both interval
 		// violation and complementarity failure.
+		if pt := p.Pattern; pt != nil {
+			for i := 0; i < m; i++ {
+				var rs float64
+				for k := pt.RowPtr[i]; k < pt.RowPtr[i+1]; k++ {
+					rs += x[k]
+				}
+				s[i] = intervalTarget(lambda[i], rs, p.SLo[i], p.SHi[i])
+			}
+			clear(d)
+			for k, v := range x {
+				d[pt.ColIdx[k]] += v
+			}
+			for j := 0; j < n; j++ {
+				d[j] = intervalTarget(mu[j], d[j], p.DLo[j], p.DHi[j])
+			}
+			return
+		}
 		for i := 0; i < m; i++ {
 			var rs float64
 			for j := 0; j < n; j++ {
@@ -122,10 +166,27 @@ func DualPrimal(p *DiagonalProblem, lambda, mu, x, s, d []float64) {
 // stopping criterion (27)/(43)/(52).
 func DualResiduals(p *DiagonalProblem, lambda, mu, gradL, gradM []float64) {
 	m, n := p.M, p.N
-	x := make([]float64, m*n)
+	x := make([]float64, p.Nnz())
 	s := make([]float64, m)
 	d := make([]float64, n)
 	DualPrimal(p, lambda, mu, x, s, d)
+	if pt := p.Pattern; pt != nil {
+		for i := 0; i < m; i++ {
+			var rs float64
+			for k := pt.RowPtr[i]; k < pt.RowPtr[i+1]; k++ {
+				rs += x[k]
+			}
+			gradL[i] = s[i] - rs
+		}
+		clear(gradM)
+		for k, v := range x {
+			gradM[pt.ColIdx[k]] += v
+		}
+		for j := 0; j < n; j++ {
+			gradM[j] = d[j] - gradM[j]
+		}
+		return
+	}
 	for i := 0; i < m; i++ {
 		var rs float64
 		for j := 0; j < n; j++ {

@@ -86,23 +86,35 @@ func CheckKKT(p *DiagonalProblem, sol *Solution) KKTReport {
 		}
 	}
 
-	// Stationarity in x (20): grad = 2γ(x−x⁰) − λ_i − μ_j.
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			k := i*n + j
-			grad := 2*p.Gamma[k]*(sol.X[k]-p.X0[k]) - sol.Lambda[i] - sol.Mu[j]
-			scale := 1 + math.Abs(sol.Lambda[i]) + math.Abs(sol.Mu[j]) + 2*p.Gamma[k]*math.Abs(p.X0[k])
-			var viol float64
-			switch {
-			case sol.X[k] <= lowerOf(k)+activeTol*scale:
-				viol = math.Max(0, -grad) // at lower bound: grad ≥ 0
-			case p.Upper != nil && sol.X[k] >= p.Upper[k]-activeTol*scale:
-				viol = math.Max(0, grad) // at upper bound: grad ≤ 0
-			default:
-				viol = math.Abs(grad)
+	// Stationarity in x (20): grad = 2γ(x−x⁰) − λ_i − μ_j. Structural zeros
+	// of a CSR problem are pinned in [0,0] — both bounds active, so every
+	// gradient sign is admissible and they impose no condition to check.
+	statAt := func(i, j, k int) {
+		grad := 2*p.Gamma[k]*(sol.X[k]-p.X0[k]) - sol.Lambda[i] - sol.Mu[j]
+		scale := 1 + math.Abs(sol.Lambda[i]) + math.Abs(sol.Mu[j]) + 2*p.Gamma[k]*math.Abs(p.X0[k])
+		var viol float64
+		switch {
+		case sol.X[k] <= lowerOf(k)+activeTol*scale:
+			viol = math.Max(0, -grad) // at lower bound: grad ≥ 0
+		case p.Upper != nil && sol.X[k] >= p.Upper[k]-activeTol*scale:
+			viol = math.Max(0, grad) // at upper bound: grad ≤ 0
+		default:
+			viol = math.Abs(grad)
+		}
+		if viol > r.MaxStationarity {
+			r.MaxStationarity = viol
+		}
+	}
+	if pt := p.Pattern; pt != nil {
+		for i := 0; i < m; i++ {
+			for k := pt.RowPtr[i]; k < pt.RowPtr[i+1]; k++ {
+				statAt(i, int(pt.ColIdx[k]), k)
 			}
-			if viol > r.MaxStationarity {
-				r.MaxStationarity = viol
+		}
+	} else {
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				statAt(i, j, i*n+j)
 			}
 		}
 	}

@@ -32,11 +32,21 @@ func (st *diagState) boundMultipliers() {
 
 	m, n := st.p.M, st.p.N
 	uf := graphx.NewUnionFind(m + n)
-	for i := 0; i < m; i++ {
-		row := st.x[i*n : (i+1)*n]
-		for j, v := range row {
-			if v > 0 {
-				uf.Union(i, m+j)
+	if pt := st.pat; pt != nil {
+		for i := 0; i < m; i++ {
+			for k := pt.RowPtr[i]; k < pt.RowPtr[i+1]; k++ {
+				if st.x[k] > 0 {
+					uf.Union(i, m+int(pt.ColIdx[k]))
+				}
+			}
+		}
+	} else {
+		for i := 0; i < m; i++ {
+			row := st.x[i*n : (i+1)*n]
+			for j, v := range row {
+				if v > 0 {
+					uf.Union(i, m+j)
+				}
 			}
 		}
 	}

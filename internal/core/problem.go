@@ -92,13 +92,22 @@ type DiagonalProblem struct {
 	// math.Inf(1).
 	SLo, SHi, DLo, DHi []float64
 
-	// Upper, if non-nil, holds upper bounds u_ij > 0 (m×n row-major; use
-	// math.Inf(1) for unbounded entries). Lower, if non-nil, holds lower
-	// bounds 0 ≤ l_ij ≤ u_ij, replacing the plain nonnegativity constraint
-	// (4). Together they are the full Ohuchi–Kaji (1984) box extension; the
-	// classical problem leaves both nil.
+	// Upper, if non-nil, holds upper bounds u_ij ≥ 0 (use math.Inf(1) for
+	// unbounded entries; u_ij equal to the lower bound pins the cell).
+	// Lower, if non-nil, holds lower bounds 0 ≤ l_ij ≤ u_ij, replacing the
+	// plain nonnegativity constraint (4). Together they are the full
+	// Ohuchi–Kaji (1984) box extension; the classical problem leaves both
+	// nil.
 	Upper []float64
 	Lower []float64
+
+	// Pattern, if non-nil, switches the per-cell arrays (X0, Gamma, Upper,
+	// Lower) to CSR storage: each has length Pattern.Nnz() and is indexed by
+	// stored position instead of i·n+j. Cells outside the pattern are
+	// structurally zero — pinned at x = 0 — and are skipped by both solve
+	// phases. See Storage, Sparsify, and Densify. Solutions of a CSR problem
+	// carry X in the same stored order (length nnz).
+	Pattern *Pattern
 
 	Kind Kind
 }
@@ -171,48 +180,62 @@ func NewInterval(m, n int, x0, gamma, slo, shi, dlo, dhi []float64) (*DiagonalPr
 const totalsImbalanceTol = 1e-8
 
 // Validate checks dimensions, weight positivity and, for fixed totals,
-// feasibility of the transportation polytope.
+// feasibility of the transportation polytope. For CSR problems the pattern's
+// structural invariants (row-pointer monotonicity, ordered and deduplicated
+// column indices) are checked first and every per-cell array must have
+// length nnz.
 func (p *DiagonalProblem) Validate() error {
 	if p.M <= 0 || p.N <= 0 {
 		return fmt.Errorf("core: invalid dimensions %d×%d", p.M, p.N)
 	}
-	mn := p.M * p.N
-	if len(p.X0) != mn {
-		return fmt.Errorf("core: len(X0) = %d, want %d", len(p.X0), mn)
+	nv := p.M * p.N
+	if p.Pattern != nil {
+		if err := p.Pattern.Validate(p.M, p.N); err != nil {
+			return err
+		}
+		nv = p.Pattern.Nnz()
+	}
+	if len(p.X0) != nv {
+		return fmt.Errorf("core: len(X0) = %d, want %d", len(p.X0), nv)
 	}
 	for k, v := range p.X0 {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("core: X0[%d,%d] = %v, want finite", k/p.N, k%p.N, v)
+			i, j := p.cell(k)
+			return fmt.Errorf("core: X0[%d,%d] = %v, want finite", i, j, v)
 		}
 	}
-	if len(p.Gamma) != mn {
-		return fmt.Errorf("core: len(Gamma) = %d, want %d", len(p.Gamma), mn)
+	if len(p.Gamma) != nv {
+		return fmt.Errorf("core: len(Gamma) = %d, want %d", len(p.Gamma), nv)
 	}
 	for k, g := range p.Gamma {
 		if !(g > 0) || math.IsInf(g, 1) || math.IsNaN(g) {
-			return fmt.Errorf("core: Gamma[%d,%d] = %v, want finite positive", k/p.N, k%p.N, g)
+			i, j := p.cell(k)
+			return fmt.Errorf("core: Gamma[%d,%d] = %v, want finite positive", i, j, g)
 		}
 	}
 	if p.Upper != nil {
-		if len(p.Upper) != mn {
-			return fmt.Errorf("core: len(Upper) = %d, want %d", len(p.Upper), mn)
+		if len(p.Upper) != nv {
+			return fmt.Errorf("core: len(Upper) = %d, want %d", len(p.Upper), nv)
 		}
 		for k, u := range p.Upper {
-			if !(u > 0) {
-				return fmt.Errorf("core: Upper[%d,%d] = %v, want positive", k/p.N, k%p.N, u)
+			if !(u >= 0) {
+				i, j := p.cell(k)
+				return fmt.Errorf("core: Upper[%d,%d] = %v, want nonnegative", i, j, u)
 			}
 		}
 	}
 	if p.Lower != nil {
-		if len(p.Lower) != mn {
-			return fmt.Errorf("core: len(Lower) = %d, want %d", len(p.Lower), mn)
+		if len(p.Lower) != nv {
+			return fmt.Errorf("core: len(Lower) = %d, want %d", len(p.Lower), nv)
 		}
 		for k, l := range p.Lower {
 			if l < 0 || math.IsNaN(l) {
-				return fmt.Errorf("core: Lower[%d,%d] = %v, want >= 0", k/p.N, k%p.N, l)
+				i, j := p.cell(k)
+				return fmt.Errorf("core: Lower[%d,%d] = %v, want >= 0", i, j, l)
 			}
 			if p.Upper != nil && l > p.Upper[k] {
-				return fmt.Errorf("core: %w: empty box [%g,%g] at (%d,%d)", ErrInfeasible, l, p.Upper[k], k/p.N, k%p.N)
+				i, j := p.cell(k)
+				return fmt.Errorf("core: %w: empty box [%g,%g] at (%d,%d)", ErrInfeasible, l, p.Upper[k], i, j)
 			}
 		}
 	}
@@ -370,16 +393,39 @@ func (p *DiagonalProblem) clampEntry(k int, v float64) float64 {
 	return v
 }
 
-// RowSums computes Σ_j x_ij into dst (length M).
+// cell maps a stored position k to its (row, column) coordinates in either
+// storage layout; used by diagnostics and error messages.
+func (p *DiagonalProblem) cell(k int) (i, j int) {
+	if p.Pattern != nil {
+		return p.Pattern.Cell(k)
+	}
+	return k / p.N, k % p.N
+}
+
+// RowSums computes Σ_j x_ij into dst (length M). x is in the problem's
+// storage order (length m·n dense, nnz CSR).
 func (p *DiagonalProblem) RowSums(x, dst []float64) {
+	if pt := p.Pattern; pt != nil {
+		for i := 0; i < p.M; i++ {
+			dst[i] = mat.Sum(x[pt.RowPtr[i]:pt.RowPtr[i+1]])
+		}
+		return
+	}
 	for i := 0; i < p.M; i++ {
 		dst[i] = mat.Sum(x[i*p.N : (i+1)*p.N])
 	}
 }
 
-// ColSums computes Σ_i x_ij into dst (length N).
+// ColSums computes Σ_i x_ij into dst (length N). x is in the problem's
+// storage order.
 func (p *DiagonalProblem) ColSums(x, dst []float64) {
 	mat.Fill(dst, 0)
+	if pt := p.Pattern; pt != nil {
+		for k, v := range x {
+			dst[pt.ColIdx[k]] += v
+		}
+		return
+	}
 	for i := 0; i < p.M; i++ {
 		row := x[i*p.N : (i+1)*p.N]
 		for j, v := range row {

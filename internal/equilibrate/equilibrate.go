@@ -459,6 +459,18 @@ func (p *Problem) appendEvents(ev []event, keys []sortx.Key) ([]event, []sortx.K
 				return ev, keys, fmt.Errorf("equilibrate: a[%d] = %g, want > 0", j, a)
 			}
 			l := p.lower(j)
+			if p.U != nil && p.U[j] == l && !math.IsInf(l, 0) {
+				// Pinned variable (u = l): x_j ≡ l for every λ, already
+				// counted in Σl by sumLower, so it contributes no events.
+				// Skipping it — rather than emitting a coincident
+				// activation/saturation pair whose dc contributions cancel
+				// only in exact arithmetic — keeps the event stream (and
+				// hence the sweep's floating-point trajectory) identical to
+				// a problem that omits the variable entirely. That identity
+				// is what makes a densified CSR problem solve bit-identically
+				// to its sparse form.
+				continue
+			}
 			pos := (l - c) / a
 			if pos != pos {
 				return ev, keys, fmt.Errorf("equilibrate: NaN breakpoint at %d (c=%g, a=%g, l=%g)", j, c, a, l)

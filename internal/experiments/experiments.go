@@ -49,6 +49,13 @@ type Config struct {
 	// PerfReps overrides the perf suite's timed repetitions per record
 	// (seabench -benchreps); 0 means the default.
 	PerfReps int
+	// BenchFilter, when non-empty, restricts the perf suite to records whose
+	// name contains this substring (seabench -benchfilter): instance records
+	// match by instance name, the serving sweeps by "serve/mixed" and
+	// "serve/http". Empty runs the full suite — the committed BENCH_sea.json
+	// must be regenerated unfiltered, because seabench -compare counts
+	// records missing from the new file as failures.
+	BenchFilter string
 	// HTTPRequests overrides the HTTP load generator's closed-loop request
 	// count per shard configuration (seabench -requests); 0 means the
 	// default 100000 scaled by Scale.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"sea/internal/core"
@@ -63,6 +64,19 @@ type PerfRecord struct {
 	// of the open-loop overload probe's arrivals answered 429 — the
 	// admission-control saturation behavior at 1.5x capacity.
 	RejectedFraction float64 `json:"rejected_fraction,omitempty"`
+	// Nnz, set on the CSR-storage ("sparse/") records, is the instance's
+	// stored-cell count: per-iteration cost and solve-time heap bytes scale
+	// with it rather than with m·n (docs/PERFORMANCE.md, memory model).
+	Nnz int `json:"nnz,omitempty"`
+	// NsPerIter is NsPerOp divided by Iterations — the per-iteration wall
+	// cost, the unit in which the sparse records' O(nnz) scaling claim is
+	// stated.
+	NsPerIter int64 `json:"ns_per_iter,omitempty"`
+	// BytesPerOp, set on the Procs = 1 instance records, is the total heap
+	// bytes allocated by one cold solve (runtime.MemStats TotalAlloc delta:
+	// solver state, arena, kernel scratch). For CSR instances it is the
+	// resident-footprint figure that must stay proportional to nnz.
+	BytesPerOp uint64 `json:"bytes_per_op,omitempty"`
 	// Simulated marks records whose Procs exceeds the machine's physical
 	// core count: the speedup comes from replaying the solve's recorded
 	// per-task cost trace on parsim's simulated N-processor machine
@@ -167,6 +181,25 @@ func PerfSuite(ctx context.Context, cfg Config) (PerfReport, error) {
 		{"table5/spe250", func() (*core.DiagonalProblem, error) {
 			return spe.Generate(cfg.dim(250), cfg.dim(250), 6).ToConstrainedMatrix()
 		}, core.DualGradient, 0.01},
+		// The sparse tiers: CSR storage on cyclic-band supports at ~1%
+		// density. diagonal10k is the headline O(nnz) claim — m = n = 10⁴,
+		// where a dense representation would be 10⁸ cells but only ~10⁶ are
+		// stored — and sam2000 covers the Balanced kind's sparse path.
+		{"sparse/diagonal10k", func() (*core.DiagonalProblem, error) {
+			n := cfg.dim(10000)
+			return problems.SparseTable1(n, problems.SparseBand(n), 1), nil
+		}, core.MaxAbsDelta, 0.01},
+		{"sparse/sam2000", func() (*core.DiagonalProblem, error) {
+			n := cfg.dim(2000)
+			return problems.SparseSAM(n, problems.SparseBand(n), 7), nil
+		}, core.RelBalance, 0.001},
+	}
+
+	// matches applies cfg.BenchFilter (seabench -benchfilter): an empty
+	// filter keeps everything, so unfiltered runs always emit the full suite
+	// that the strict-missing -compare gate expects.
+	matches := func(name string) bool {
+		return cfg.BenchFilter == "" || strings.Contains(name, cfg.BenchFilter)
 	}
 
 	procsList := benchProcs(cfg.BenchProcs)
@@ -182,9 +215,16 @@ func PerfSuite(ctx context.Context, cfg Config) (PerfReport, error) {
 		Scale:         cfg.Scale,
 	}
 	for _, inst := range instances {
+		if !matches(inst.name) {
+			continue
+		}
 		p, err := inst.build()
 		if err != nil {
 			return report, fmt.Errorf("perf %s: %w", inst.name, err)
+		}
+		nnz := 0
+		if p.Pattern != nil {
+			nnz = p.Pattern.Nnz()
 		}
 		baseOpts := func() *core.Options {
 			o := core.DefaultOptions()
@@ -198,12 +238,19 @@ func PerfSuite(ctx context.Context, cfg Config) (PerfReport, error) {
 		// backs the simulated records for worker counts beyond the
 		// physical cores; it doubles as the page-faulting warm-up.
 		tr := &core.CostTrace{}
+		var coldBytes uint64
 		{
 			o := baseOpts()
 			o.CostTrace = tr
+			var msA, msB runtime.MemStats
+			runtime.ReadMemStats(&msA)
 			if _, err := core.SolveDiagonal(ctx, p, o); err != nil {
 				return report, fmt.Errorf("perf %s trace: %w", inst.name, err)
 			}
+			runtime.ReadMemStats(&msB)
+			// TotalAlloc is monotonic, so the delta is everything this cold
+			// solve allocated: solver state, pool, and kernel scratch.
+			coldBytes = msB.TotalAlloc - msA.TotalAlloc
 		}
 		simSerial := parsim.DefaultMachine(1).Execute(tr)
 
@@ -218,13 +265,16 @@ func PerfSuite(ctx context.Context, cfg Config) (PerfReport, error) {
 				// simulated machine instead and mark the record.
 				simN := parsim.DefaultMachine(procs).Execute(tr)
 				speedup := float64(simSerial) / float64(simN)
+				simNs := int64(float64(serialNs) / speedup)
 				report.Records = append(report.Records, PerfRecord{
 					Name:            inst.name,
 					Procs:           procs,
-					NsPerOp:         int64(float64(serialNs) / speedup),
+					NsPerOp:         simNs,
 					AllocsPerOp:     serialAllocs,
 					Iterations:      steadyIters,
 					SpeedupVsSerial: speedup,
+					Nnz:             nnz,
+					NsPerIter:       perIter(simNs, steadyIters),
 					Simulated:       true,
 				})
 				continue
@@ -268,14 +318,20 @@ func PerfSuite(ctx context.Context, cfg Config) (PerfReport, error) {
 			if serialNs > 0 {
 				speedup = float64(serialNs) / float64(nsPerOp)
 			}
-			report.Records = append(report.Records, PerfRecord{
+			rec := PerfRecord{
 				Name:            inst.name,
 				Procs:           procs,
 				NsPerOp:         nsPerOp,
 				AllocsPerOp:     allocs,
 				Iterations:      sol.Iterations,
 				SpeedupVsSerial: speedup,
-			})
+				Nnz:             nnz,
+				NsPerIter:       perIter(nsPerOp, sol.Iterations),
+			}
+			if procs == 1 {
+				rec.BytesPerOp = coldBytes
+			}
+			report.Records = append(report.Records, rec)
 		}
 
 		// Steady-state serving record: repeated same-shape solves on one
@@ -298,6 +354,8 @@ func PerfSuite(ctx context.Context, cfg Config) (PerfReport, error) {
 			Iterations:        steadyIters,
 			SpeedupVsSerial:   float64(serialNs) / float64(warmNs),
 			WarmstartAblation: float64(nowarmNs) / float64(warmNs),
+			Nnz:               nnz,
+			NsPerIter:         perIter(warmNs, steadyIters),
 		})
 	}
 
@@ -305,42 +363,54 @@ func PerfSuite(ctx context.Context, cfg Config) (PerfReport, error) {
 	// pkg/sea/serve, all shape pools warm. The allocs_per_op of this record
 	// is the serving promise — at most 2 heap allocations per request on
 	// the steady-state hit path.
-	sr, err := ServeSweep(ctx, cfg)
-	if err != nil {
-		return report, fmt.Errorf("perf serve: %w", err)
+	if matches("serve/mixed") {
+		sr, err := ServeSweep(ctx, cfg)
+		if err != nil {
+			return report, fmt.Errorf("perf serve: %w", err)
+		}
+		report.Records = append(report.Records, PerfRecord{
+			Name:            "serve/mixed",
+			Procs:           sr.MaxInFlight,
+			NsPerOp:         sr.NsPerRequest,
+			AllocsPerOp:     sr.AllocsPerRequest,
+			Iterations:      int(sr.MeanIterations),
+			SpeedupVsSerial: 1,
+			RequestsPerSec:  sr.RequestsPerSec,
+			ShapeHitRate:    sr.HitRate,
+		})
 	}
-	report.Records = append(report.Records, PerfRecord{
-		Name:            "serve/mixed",
-		Procs:           sr.MaxInFlight,
-		NsPerOp:         sr.NsPerRequest,
-		AllocsPerOp:     sr.AllocsPerRequest,
-		Iterations:      int(sr.MeanIterations),
-		SpeedupVsSerial: 1,
-		RequestsPerSec:  sr.RequestsPerSec,
-		ShapeHitRate:    sr.HitRate,
-	})
 
 	// HTTP front-end records: the same serving layer behind the network
 	// transport, one record per shard count. NsPerOp here is mean wall per
 	// request end to end (TCP + JSON codec + routing + solve); the latency
 	// quantiles and the overload probe's rejected fraction ride along.
-	hl, err := HTTPLoadSweep(ctx, cfg)
-	if err != nil {
-		return report, fmt.Errorf("perf serve/http: %w", err)
-	}
-	for _, r := range hl {
-		report.Records = append(report.Records, PerfRecord{
-			Name:             "serve/http",
-			Procs:            r.Conns,
-			Shards:           r.Shards,
-			NsPerOp:          r.Wall.Nanoseconds() / int64(r.Requests),
-			SpeedupVsSerial:  1,
-			RequestsPerSec:   r.RequestsPerSec,
-			ShapeHitRate:     r.HitRate,
-			P50Ms:            float64(r.P50) / float64(time.Millisecond),
-			P99Ms:            float64(r.P99) / float64(time.Millisecond),
-			RejectedFraction: r.RejectedFraction,
-		})
+	if matches("serve/http") {
+		hl, err := HTTPLoadSweep(ctx, cfg)
+		if err != nil {
+			return report, fmt.Errorf("perf serve/http: %w", err)
+		}
+		for _, r := range hl {
+			report.Records = append(report.Records, PerfRecord{
+				Name:             "serve/http",
+				Procs:            r.Conns,
+				Shards:           r.Shards,
+				NsPerOp:          r.Wall.Nanoseconds() / int64(r.Requests),
+				SpeedupVsSerial:  1,
+				RequestsPerSec:   r.RequestsPerSec,
+				ShapeHitRate:     r.HitRate,
+				P50Ms:            float64(r.P50) / float64(time.Millisecond),
+				P99Ms:            float64(r.P99) / float64(time.Millisecond),
+				RejectedFraction: r.RejectedFraction,
+			})
+		}
 	}
 	return report, nil
+}
+
+// perIter is the per-iteration wall cost backing PerfRecord.NsPerIter.
+func perIter(ns int64, iters int) int64 {
+	if iters <= 0 {
+		return 0
+	}
+	return ns / int64(iters)
 }

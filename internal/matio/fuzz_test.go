@@ -28,6 +28,8 @@ func FuzzReadProblem(f *testing.F) {
 		problems.RandomSAM(6, 2),
 		problems.IOTable(problems.IOSpec{Name: "fuzz", Sectors: 5, Density: 0.8, Variant: problems.IOGrowth10, Seed: 4}),
 		problems.MigrationProblem(problems.StandardMigrationSpecs()[0]),
+		problems.SparseTable1(9, 3, 5),
+		problems.SparseSAM(7, 3, 6),
 	} {
 		var buf bytes.Buffer
 		if err := WriteProblemJSON(&buf, p); err != nil {
@@ -57,6 +59,20 @@ func FuzzReadProblem(f *testing.F) {
 		`[1,2,3]`,
 		`"a string"`,
 		``,
+		// Sparse triplet encodings: a valid minimal CSR problem, then the
+		// malformed shapes the sparse guards reject — triplet/value length
+		// disagreement, totals not sized to the claimed dimensions (the
+		// allocation bound), non-canonical order, and stray triplets on a
+		// dense encoding.
+		`{"kind":"fixed","storage":"csr","m":2,"n":2,"rows":[0,0,1],"cols":[0,1,1],"x0":[1,2,3],"s0":[3,3],"d0":[1,5]}`,
+		`{"kind":"balanced","storage":"csr","m":2,"n":2,"rows":[0,1],"cols":[1,0],"x0":[2,2],"s0":[2,2],"alpha":[1,1]}`,
+		`{"kind":"interval","storage":"csr","m":2,"n":2,"rows":[0,1],"cols":[0,1],"x0":[1,1],"slo":[0,0],"shi":[9,9],"dlo":[0,0],"dhi":[9,9]}`,
+		`{"kind":"fixed","storage":"csr","m":2,"n":2,"rows":[0,1],"cols":[0,1],"x0":[1],"s0":[1,1],"d0":[1,1]}`,
+		`{"kind":"fixed","storage":"csr","m":4611686018427387904,"n":2,"rows":[0],"cols":[0],"x0":[1],"s0":[1],"d0":[1,0]}`,
+		`{"kind":"fixed","storage":"csr","m":2,"n":2,"rows":[1,0],"cols":[0,0],"x0":[1,2],"s0":[1,2],"d0":[1,2]}`,
+		`{"kind":"fixed","storage":"csr","m":2,"n":2,"rows":[0,0],"cols":[1,1],"x0":[1,2],"s0":[1,2],"d0":[1,2]}`,
+		`{"kind":"fixed","storage":"coo","m":1,"n":1,"x0":[1],"s0":[1],"d0":[1]}`,
+		`{"kind":"fixed","m":1,"n":1,"rows":[0],"cols":[0],"x0":[1],"s0":[1],"d0":[1]}`,
 	} {
 		f.Add([]byte(s))
 	}

@@ -66,18 +66,29 @@ func WriteMatrixCSV(w io.Writer, m, n int, data []float64) error {
 // Matrices are row-major flat arrays with explicit dimensions. Omitted
 // Gamma defaults to the chi-square weighting 1/max(x⁰, 0.1); omitted
 // Alpha/Beta (for elastic problems) default to 1.
+//
+// With Storage "csr" the per-cell arrays (x0, gamma, upper, lower) carry one
+// entry per stored cell instead of m×n, and the parallel rows/cols arrays
+// give each stored cell's coordinates in canonical order: row-major, column
+// strictly increasing within a row. The writer emits exactly that order, and
+// the reader rejects any other, so read→write→read is a fixed point.
 type Problem struct {
-	Kind  string    `json:"kind"` // "fixed", "elastic", "balanced" or "interval"
-	M     int       `json:"m"`
-	N     int       `json:"n"`
-	X0    []float64 `json:"x0"`
-	Gamma []float64 `json:"gamma,omitempty"`
-	S0    []float64 `json:"s0,omitempty"`
-	D0    []float64 `json:"d0,omitempty"`
-	Alpha []float64 `json:"alpha,omitempty"`
-	Beta  []float64 `json:"beta,omitempty"`
-	Upper []float64 `json:"upper,omitempty"`
-	Lower []float64 `json:"lower,omitempty"`
+	Kind string `json:"kind"` // "fixed", "elastic", "balanced" or "interval"
+	M    int    `json:"m"`
+	N    int    `json:"n"`
+	// Storage selects the per-cell layout: "" or "dense" for row-major m×n
+	// arrays, "csr" for support-only arrays indexed by rows/cols triplets.
+	Storage string    `json:"storage,omitempty"`
+	Rows    []int     `json:"rows,omitempty"`
+	Cols    []int     `json:"cols,omitempty"`
+	X0      []float64 `json:"x0"`
+	Gamma   []float64 `json:"gamma,omitempty"`
+	S0      []float64 `json:"s0,omitempty"`
+	D0      []float64 `json:"d0,omitempty"`
+	Alpha   []float64 `json:"alpha,omitempty"`
+	Beta    []float64 `json:"beta,omitempty"`
+	Upper   []float64 `json:"upper,omitempty"`
+	Lower   []float64 `json:"lower,omitempty"`
 	// Interval-totals bounds (kind "interval").
 	SLo []float64 `json:"slo,omitempty"`
 	SHi []float64 `json:"shi,omitempty"`
@@ -96,6 +107,10 @@ func FromCore(p *core.DiagonalProblem) *Problem {
 		Upper: p.Upper, Lower: p.Lower,
 		SLo: p.SLo, SHi: p.SHi, DLo: p.DLo, DHi: p.DHi,
 	}
+	if p.Pattern != nil {
+		out.Storage = core.CSR.String()
+		out.Rows, out.Cols = p.Pattern.Triplets()
+	}
 	return out
 }
 
@@ -110,11 +125,26 @@ func (j *Problem) ToCore() (*core.DiagonalProblem, error) {
 	if j.M <= 0 || j.N <= 0 {
 		return nil, fmt.Errorf("matio: invalid dimensions %d×%d", j.M, j.N)
 	}
-	if j.M > math.MaxInt/j.N {
-		return nil, fmt.Errorf("matio: dimensions %d×%d overflow", j.M, j.N)
-	}
-	if len(j.X0) != j.M*j.N {
-		return nil, fmt.Errorf("matio: len(x0) = %d, want m×n = %d", len(j.X0), j.M*j.N)
+	sparse := false
+	switch j.Storage {
+	case "", "dense":
+		if j.Rows != nil || j.Cols != nil {
+			return nil, fmt.Errorf("matio: rows/cols present without storage \"csr\"")
+		}
+		if j.M > math.MaxInt/j.N {
+			return nil, fmt.Errorf("matio: dimensions %d×%d overflow", j.M, j.N)
+		}
+		if len(j.X0) != j.M*j.N {
+			return nil, fmt.Errorf("matio: len(x0) = %d, want m×n = %d", len(j.X0), j.M*j.N)
+		}
+	case "csr":
+		sparse = true
+		if len(j.X0) != len(j.Rows) || len(j.Cols) != len(j.Rows) {
+			return nil, fmt.Errorf("matio: csr arrays disagree: len(x0) = %d, len(rows) = %d, len(cols) = %d",
+				len(j.X0), len(j.Rows), len(j.Cols))
+		}
+	default:
+		return nil, fmt.Errorf("matio: unknown storage %q", j.Storage)
 	}
 	p := &core.DiagonalProblem{
 		M: j.M, N: j.N,
@@ -123,6 +153,27 @@ func (j *Problem) ToCore() (*core.DiagonalProblem, error) {
 		Alpha: j.Alpha, Beta: j.Beta,
 		Upper: j.Upper, Lower: j.Lower,
 		SLo: j.SLo, SHi: j.SHi, DLo: j.DLo, DHi: j.DHi,
+	}
+	if sparse {
+		// Building the pattern allocates a RowPtr of length M+1 from an
+		// untrusted claimed M, so bound M (and N) by arrays the problem must
+		// carry anyway — the kind's own total vectors — before allocating.
+		rowLen, colLen := len(j.S0), len(j.D0)
+		switch j.Kind {
+		case "balanced":
+			colLen = len(j.S0)
+		case "interval":
+			rowLen, colLen = len(j.SLo), len(j.DLo)
+		}
+		if rowLen != j.M || colLen != j.N {
+			return nil, fmt.Errorf("matio: csr problem needs its totals sized to %d×%d (got %d row-side, %d column-side)",
+				j.M, j.N, rowLen, colLen)
+		}
+		pt, err := core.NewPatternFromTriplets(j.M, j.N, j.Rows, j.Cols)
+		if err != nil {
+			return nil, fmt.Errorf("matio: %w", err)
+		}
+		p.Pattern = pt
 	}
 	switch j.Kind {
 	case "fixed", "":

@@ -1,0 +1,174 @@
+package matio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"sea/internal/core"
+	"sea/internal/problems"
+)
+
+// sparseExamples builds one small CSR problem per kind via the generators and
+// conversions the repo ships.
+func sparseExamples(t *testing.T) map[string]*core.DiagonalProblem {
+	t.Helper()
+	out := map[string]*core.DiagonalProblem{
+		"fixed":    problems.SparseTable1(12, 3, 1),
+		"balanced": problems.SparseSAM(10, 3, 2),
+	}
+
+	// An interval CSR problem and a bounded one come from sparsifying dense
+	// instances whose zero cells are pinned.
+	n := 6
+	x0 := make([]float64, n*n)
+	gamma := make([]float64, n*n)
+	upper := make([]float64, n*n)
+	for k := range x0 {
+		gamma[k] = 1
+		if k%3 == 0 {
+			upper[k] = 0 // structural zero
+			continue
+		}
+		x0[k] = float64(k%7) + 0.5
+		upper[k] = math.Inf(1)
+	}
+	slo := make([]float64, n)
+	shi := make([]float64, n)
+	dlo := make([]float64, n)
+	dhi := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			slo[i] += 0.5 * x0[i*n+j]
+			shi[i] += 2 * x0[i*n+j]
+			dlo[j] += 0.5 * x0[i*n+j]
+			dhi[j] += 2 * x0[i*n+j]
+		}
+	}
+	dense := &core.DiagonalProblem{
+		M: n, N: n, X0: x0, Gamma: gamma, Upper: upper,
+		SLo: slo, SHi: shi, DLo: dlo, DHi: dhi,
+		Kind: core.IntervalTotals,
+	}
+	sp, err := dense.Sparsify()
+	if err != nil {
+		t.Fatalf("sparsify interval example: %v", err)
+	}
+	if sp.Pattern == nil || sp.Pattern.Nnz() == n*n {
+		t.Fatal("interval example did not sparsify")
+	}
+	out["interval"] = sp
+	return out
+}
+
+// TestSparseProblemJSONRoundTrip: a CSR problem's JSON encoding carries the
+// triplets, reads back to the same pattern and values, and is a fixed point
+// (read → write → read → write yields identical bytes).
+func TestSparseProblemJSONRoundTrip(t *testing.T) {
+	for name, p := range sparseExamples(t) {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteProblemJSON(&buf, p); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), `"storage": "csr"`) {
+				t.Fatalf("encoding lacks the csr storage marker:\n%s", buf.String())
+			}
+			q, err := ReadProblemJSON(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("read back: %v", err)
+			}
+			if q.Pattern == nil {
+				t.Fatal("read back a dense problem from a csr encoding")
+			}
+			if q.Pattern.Nnz() != p.Pattern.Nnz() {
+				t.Fatalf("nnz %d, want %d", q.Pattern.Nnz(), p.Pattern.Nnz())
+			}
+			for i := range p.Pattern.RowPtr {
+				if q.Pattern.RowPtr[i] != p.Pattern.RowPtr[i] {
+					t.Fatalf("RowPtr[%d] = %d, want %d", i, q.Pattern.RowPtr[i], p.Pattern.RowPtr[i])
+				}
+			}
+			for k := range p.Pattern.ColIdx {
+				if q.Pattern.ColIdx[k] != p.Pattern.ColIdx[k] {
+					t.Fatalf("ColIdx[%d] = %d, want %d", k, q.Pattern.ColIdx[k], p.Pattern.ColIdx[k])
+				}
+				if q.X0[k] != p.X0[k] || q.Gamma[k] != p.Gamma[k] {
+					t.Fatalf("cell %d values drifted in round trip", k)
+				}
+			}
+			// Fixed point after one read: defaulting may add fields (e.g. an
+			// interval problem gains unit alpha), but from then on
+			// read → write must be stable byte for byte.
+			var w1 bytes.Buffer
+			if err := WriteProblemJSON(&w1, q); err != nil {
+				t.Fatal(err)
+			}
+			q2, err := ReadProblemJSON(bytes.NewReader(w1.Bytes()))
+			if err != nil {
+				t.Fatalf("re-read of own encoding failed: %v", err)
+			}
+			var w2 bytes.Buffer
+			if err := WriteProblemJSON(&w2, q2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+				t.Fatalf("csr encoding is not a fixed point:\nfirst:\n%s\nsecond:\n%s", w1.Bytes(), w2.Bytes())
+			}
+		})
+	}
+}
+
+// TestSparseProblemJSONRejects covers the reader's sparse guards: every
+// malformed shape must fail cleanly (and before any dimension-sized
+// allocation driven by untrusted M/N).
+func TestSparseProblemJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"rows without csr storage": `{"kind":"fixed","m":2,"n":2,"rows":[0],"cols":[0],"x0":[1,2,3,4],"s0":[3,7],"d0":[4,6]}`,
+		"unknown storage":          `{"kind":"fixed","storage":"coo","m":2,"n":2,"x0":[1,2,3,4],"s0":[3,7],"d0":[4,6]}`,
+		"nnz length disagreement":  `{"kind":"fixed","storage":"csr","m":2,"n":2,"rows":[0,1],"cols":[0,1],"x0":[1],"s0":[1,1],"d0":[1,1]}`,
+		"cols shorter than rows":   `{"kind":"fixed","storage":"csr","m":2,"n":2,"rows":[0,1],"cols":[0],"x0":[1,2],"s0":[1,2],"d0":[1,2]}`,
+		"totals not sized to m":    `{"kind":"fixed","storage":"csr","m":99999999,"n":2,"rows":[0,1],"cols":[0,1],"x0":[1,2],"s0":[1,2],"d0":[1,2]}`,
+		"balanced totals missing":  `{"kind":"balanced","storage":"csr","m":2,"n":2,"rows":[0,1],"cols":[0,1],"x0":[1,2],"alpha":[1,1]}`,
+		"interval bounds missing":  `{"kind":"interval","storage":"csr","m":2,"n":2,"rows":[0,1],"cols":[0,1],"x0":[1,2]}`,
+		"triplets out of order":    `{"kind":"fixed","storage":"csr","m":2,"n":2,"rows":[1,0],"cols":[0,0],"x0":[1,2],"s0":[1,2],"d0":[1,2]}`,
+		"duplicate triplet":        `{"kind":"fixed","storage":"csr","m":2,"n":2,"rows":[0,0],"cols":[1,1],"x0":[1,2],"s0":[1,2],"d0":[3]}`,
+		"triplet out of range":     `{"kind":"fixed","storage":"csr","m":2,"n":2,"rows":[0,5],"cols":[0,0],"x0":[1,2],"s0":[1,2],"d0":[1,2]}`,
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadProblemJSON(strings.NewReader(body)); err == nil {
+				t.Fatalf("reader accepted malformed input: %s", body)
+			}
+		})
+	}
+}
+
+// TestSparseSolveFromJSON: a CSR problem decoded from the wire solves, and
+// its solution's X carries one entry per stored cell.
+func TestSparseSolveFromJSON(t *testing.T) {
+	p := problems.SparseTable1(12, 3, 4)
+	var buf bytes.Buffer
+	if err := WriteProblemJSON(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadProblemJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := core.DefaultOptions()
+	o.Criterion = core.MaxAbsDelta
+	o.Epsilon = 1e-8
+	sol, err := core.SolveDiagonal(t.Context(), q, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.X) != q.Pattern.Nnz() {
+		t.Fatalf("solution X has length %d, want nnz = %d", len(sol.X), q.Pattern.Nnz())
+	}
+	var out bytes.Buffer
+	if err := WriteSolutionJSON(&out, sol); err != nil {
+		t.Fatal(err)
+	}
+}

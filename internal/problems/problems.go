@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sort"
 
 	"sea/internal/core"
 	"sea/internal/datasets"
@@ -225,6 +226,117 @@ func RandomSAM(n int, seed uint64) *core.DiagonalProblem {
 
 // USDA82E builds the 133-account fully dense SAM instance of Table 3.
 func USDA82E() *core.DiagonalProblem { return RandomSAM(133, 1982) }
+
+// bandPattern builds the wrap-around banded support the sparse generators
+// use: row i stores the band columns {i, i+1, …, i+band−1} mod n, sorted
+// ascending as CSR requires, for a support density of band/n. A cyclic band
+// keeps every row and column at exactly band stored cells, so the
+// transportation polytope over the pattern is never starved of support.
+func bandPattern(m, n, band int) *core.Pattern {
+	if band < 1 {
+		band = 1
+	}
+	if band > n {
+		band = n
+	}
+	rows := make([]int, 0, m*band)
+	cols := make([]int, 0, m*band)
+	buf := make([]int, band)
+	for i := 0; i < m; i++ {
+		for d := range buf {
+			buf[d] = (i%n + d) % n
+		}
+		sort.Ints(buf)
+		for _, c := range buf {
+			rows = append(rows, i)
+			cols = append(cols, c)
+		}
+	}
+	pt, err := core.NewPatternFromTriplets(m, n, rows, cols)
+	if err != nil {
+		panic(fmt.Sprintf("problems: bandPattern(%d,%d,%d): %v", m, n, band, err))
+	}
+	return pt
+}
+
+// SparseBand returns the band width giving roughly 1% support density for an
+// n×n banded instance (floor 4 so tiny CI-scale instances keep a workable
+// support).
+func SparseBand(n int) int {
+	b := n / 100
+	if b < 4 {
+		b = 4
+	}
+	if b > n {
+		b = n
+	}
+	return b
+}
+
+// SparseTable1 builds the CSR counterpart of Table1: an n×n fixed-totals
+// problem whose support is the cyclic band of the given width, prior entries
+// uniform in [.1, 10000] on the stored cells, γ = 1/x⁰, and each row/column
+// total set to twice the corresponding prior sum. Per-cell arrays have length
+// nnz = n·band and are indexed in stored (CSR) order.
+func SparseTable1(n, band int, seed uint64) *core.DiagonalProblem {
+	pt := bandPattern(n, n, band)
+	rng := rand.New(rand.NewPCG(seed, 5))
+	nnz := pt.Nnz()
+	x0 := make([]float64, nnz)
+	gamma := make([]float64, nnz)
+	for k := range x0 {
+		x0[k] = 0.1 + rng.Float64()*9999.9
+		gamma[k] = 1 / x0[k]
+	}
+	s0 := make([]float64, n)
+	d0 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for k := pt.RowPtr[i]; k < pt.RowPtr[i+1]; k++ {
+			s0[i] += 2 * x0[k]
+			d0[pt.ColIdx[k]] += 2 * x0[k]
+		}
+	}
+	p := &core.DiagonalProblem{M: n, N: n, X0: x0, Gamma: gamma, S0: s0, D0: d0, Pattern: pt, Kind: core.FixedTotals}
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("problems: SparseTable1(%d,%d): %v", n, band, err))
+	}
+	return p
+}
+
+// SparseSAM builds a CSR social accounting matrix estimation problem: an n×n
+// Balanced instance on the cyclic band of the given width, transaction priors
+// uniform in [.1, 1000], γ = 1/x⁰, account totals near (±10%) the
+// inconsistent prior row/column sums, and α = 1/s⁰.
+func SparseSAM(n, band int, seed uint64) *core.DiagonalProblem {
+	pt := bandPattern(n, n, band)
+	rng := rand.New(rand.NewPCG(seed, 6))
+	nnz := pt.Nnz()
+	x0 := make([]float64, nnz)
+	gamma := make([]float64, nnz)
+	for k := range x0 {
+		x0[k] = 0.1 + rng.Float64()*999.9
+		gamma[k] = 1 / x0[k]
+	}
+	rowSum := make([]float64, n)
+	colSum := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for k := pt.RowPtr[i]; k < pt.RowPtr[i+1]; k++ {
+			rowSum[i] += x0[k]
+			colSum[pt.ColIdx[k]] += x0[k]
+		}
+	}
+	s0 := make([]float64, n)
+	alpha := make([]float64, n)
+	for i := range s0 {
+		s0[i] = (rowSum[i] + colSum[i]) / 2 * (0.9 + 0.2*rng.Float64())
+		alpha[i] = 1 / s0[i]
+	}
+	p := &core.DiagonalProblem{M: n, N: n, X0: x0, Gamma: gamma, S0: s0, Alpha: alpha, Pattern: pt, Kind: core.Balanced}
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("problems: SparseSAM(%d,%d): %v", n, band, err))
+	}
+	return p
+}
 
 // WeightScheme selects one of the weighting conventions the paper's
 // Section 2 discusses for the diagonal objective (5)/(13).

@@ -123,15 +123,69 @@ type Problem struct {
 	General  *GeneralProblem
 }
 
+// Auto-sparsification thresholds for NewDiagonal: a dense problem is
+// converted to CSR over its support when it is large enough for the layout
+// to matter and sparse enough for the conversion to pay. Small or mostly
+// dense problems keep the dense hot path.
+const (
+	autoSparsifyMinCells   = 1 << 14
+	autoSparsifyMaxDensity = 0.25
+)
+
 // NewDiagonal wraps a diagonal problem for the registry, validating it up
 // front so malformed problems fail at construction rather than inside Solve.
 // The returned error wraps ErrInvalidProblem.
+//
+// Large dense problems whose bounds pin most cells at zero (support density
+// ≤ 25% with at least 2¹⁴ cells) are converted to CSR storage automatically:
+// the solve is bit-identical, but the returned Problem's Diagonal carries a
+// Pattern and Solution.X comes back in stored (support) order with length
+// nnz. Use NewDiagonalDense to opt out, or NewDiagonalCSR to force the
+// conversion regardless of size.
 func NewDiagonal(d *DiagonalProblem) (*Problem, error) {
 	p := &Problem{Diagonal: d}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if d.Pattern == nil && d.Upper != nil && d.M*d.N >= autoSparsifyMinCells &&
+		d.SupportDensity() <= autoSparsifyMaxDensity {
+		sp, err := d.Sparsify()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrInvalidProblem, err)
+		}
+		p.Diagonal = sp
+	}
 	return p, nil
+}
+
+// NewDiagonalDense wraps a diagonal problem for the registry with the dense
+// layout kept as given — the explicit opt-out from NewDiagonal's density
+// auto-detection. A problem that already carries CSR storage is rejected.
+func NewDiagonalDense(d *DiagonalProblem) (*Problem, error) {
+	p := &Problem{Diagonal: d}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Pattern != nil {
+		return nil, fmt.Errorf("%w: NewDiagonalDense requires dense storage; call Densify() first or use NewDiagonal", ErrInvalidProblem)
+	}
+	return p, nil
+}
+
+// NewDiagonalCSR wraps a diagonal problem for the registry in CSR storage: a
+// dense problem is converted over its support (the cells not pinned at zero
+// by an Upper bound of 0), a CSR problem is validated and used as is. The
+// solve is bit-identical to the dense form; Solution.X is in stored order
+// with length Pattern.Nnz().
+func NewDiagonalCSR(d *DiagonalProblem) (*Problem, error) {
+	if d == nil {
+		return nil, fmt.Errorf("%w: nil problem", ErrInvalidProblem)
+	}
+	sp, err := d.Sparsify() // validates; returns d unchanged when already CSR
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidProblem, err)
+	}
+	return &Problem{Diagonal: sp}, nil
 }
 
 // NewGeneral wraps a general (dense-weight) problem for the registry,
@@ -201,14 +255,34 @@ func (p *Problem) asDiagonal(solver string) (*DiagonalProblem, error) {
 	return p.Diagonal, nil
 }
 
+// asDiagonalDense returns the diagonal representation for a solver whose
+// implementation assumes the dense layout, rejecting CSR storage with an
+// actionable error instead of letting the solver index out of bounds.
+func (p *Problem) asDiagonalDense(solver string) (*DiagonalProblem, error) {
+	d, err := p.asDiagonal(solver)
+	if err != nil {
+		return nil, err
+	}
+	if d.Pattern != nil {
+		return nil, fmt.Errorf("%w: solver %q supports dense storage only; use \"sea\" for CSR problems or call Densify() first", ErrInvalidProblem, solver)
+	}
+	return d, nil
+}
+
 // asGeneral returns the general representation, lifting a diagonal problem
 // to its exact general equivalent (diagonal weight matrices) when needed.
+// CSR diagonal problems are rejected: the general form is dense by
+// definition, and silently densifying could allocate m·n cells behind the
+// caller's back.
 func (p *Problem) asGeneral(solver string) (*GeneralProblem, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if p.General != nil {
 		return p.General, nil
+	}
+	if p.Diagonal.Pattern != nil {
+		return nil, fmt.Errorf("%w: solver %q requires the dense general form; use \"sea\" for CSR problems or call Densify() first", ErrInvalidProblem, solver)
 	}
 	return liftDiagonal(p.Diagonal)
 }

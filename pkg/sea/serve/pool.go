@@ -5,12 +5,17 @@ import (
 )
 
 // shapeKey identifies a pool of interchangeable solver arenas: two requests
-// share warmed state exactly when their problems have the same dimensions
-// and representation (the arena's reuse key is the shape; a mismatched
-// checkout would still be correct, just cold).
+// share warmed state exactly when their problems have the same dimensions,
+// representation, and storage class (the arena's reuse key is the shape plus
+// the stored-cell count; a mismatched checkout would still be correct, just
+// cold). csr/nnz keep a CSR and a dense problem of equal (m, n) — whose
+// working buffers differ in both layout and size — from ever aliasing each
+// other's arenas.
 type shapeKey struct {
 	m, n    int
 	general bool
+	csr     bool
+	nnz     int // stored cells for CSR problems, 0 for dense
 }
 
 // entry is one pooled reusable solver: an arena plus the prebuilt Options

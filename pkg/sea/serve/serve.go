@@ -411,7 +411,12 @@ func requestKey(p *sea.Problem) (shapeKey, error) {
 	if m <= 0 || n <= 0 {
 		return shapeKey{}, fmt.Errorf("%w: request has dimensions %d×%d", sea.ErrInvalidProblem, m, n)
 	}
-	return shapeKey{m: m, n: n, general: p.General != nil}, nil
+	key := shapeKey{m: m, n: n, general: p.General != nil}
+	if p.Diagonal != nil && p.Diagonal.Pattern != nil {
+		key.csr = true
+		key.nnz = p.Diagonal.Pattern.Nnz()
+	}
+	return key, nil
 }
 
 func (s *Server) isClosed() bool {

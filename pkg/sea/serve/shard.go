@@ -87,7 +87,7 @@ func (s *ShardedServer) NumShards() int { return len(s.shards) }
 // The mapping is a pure function of the configuration (Shards and
 // VirtualNodes), so routing is reproducible across servers and restarts.
 func (s *ShardedServer) ShardFor(m, n int, general bool) int {
-	return s.ring.route(shapeHash(m, n, general))
+	return s.ring.route(shapeHash(shapeKey{m: m, n: n, general: general}))
 }
 
 // Submit routes the problem to its shape's shard; semantics are those of
@@ -140,7 +140,7 @@ func (s *ShardedServer) submitIntoObserved(ctx context.Context, p *sea.Problem, 
 		}
 		defer s.gate.release(tenant)
 	}
-	shard := s.shards[s.ring.route(shapeHash(key.m, key.n, key.general))]
+	shard := s.shards[s.ring.route(shapeHash(key))]
 	return shard.submit(ctx, p, opts, into, obs)
 }
 
@@ -173,7 +173,7 @@ func (s *ShardedServer) Prewarm(ctx context.Context, p *sea.Problem, n int) erro
 	if s.isClosed() {
 		return ErrClosed
 	}
-	return s.shards[s.ring.route(shapeHash(key.m, key.n, key.general))].Prewarm(ctx, p, n)
+	return s.shards[s.ring.route(shapeHash(key))].Prewarm(ctx, p, n)
 }
 
 // Stats returns the shard-merged snapshot: counters and latency aggregates
@@ -238,19 +238,23 @@ func (s *ShardedServer) Close() {
 	}
 }
 
-// shapeHash hashes a problem shape onto the ring's key space: 64-bit
-// FNV-1a over the dimensions and representation, finished with mix64.
-// Shapes and ring points are both counter-like inputs, and raw FNV leaves
-// them clustered enough that 10k shapes can land 2.6× off a uniform split;
-// the finalizer restores avalanche and brings the spread within ~15% (see
-// TestShardRoutingBalance).
-func shapeHash(m, n int, general bool) uint64 {
-	var buf [17]byte
-	binary.LittleEndian.PutUint64(buf[0:], uint64(m))
-	binary.LittleEndian.PutUint64(buf[8:], uint64(n))
-	if general {
+// shapeHash hashes a shape-pool key onto the ring's key space: 64-bit
+// FNV-1a over the dimensions, representation, and storage class, finished
+// with mix64. Shapes and ring points are both counter-like inputs, and raw
+// FNV leaves them clustered enough that 10k shapes can land 2.6× off a
+// uniform split; the finalizer restores avalanche and brings the spread
+// within ~15% (see TestShardRoutingBalance).
+func shapeHash(key shapeKey) uint64 {
+	var buf [26]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(key.m))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(key.n))
+	if key.general {
 		buf[16] = 1
 	}
+	if key.csr {
+		buf[17] = 1
+	}
+	binary.LittleEndian.PutUint64(buf[18:], uint64(key.nnz))
 	h := fnv.New64a()
 	h.Write(buf[:])
 	return mix64(h.Sum64())

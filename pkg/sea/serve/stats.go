@@ -14,6 +14,10 @@ type ShapeStats struct {
 	// problems; false is the diagonal representation).
 	M, N    int
 	General bool
+	// CSR marks pools serving sparse-storage diagonal problems; Nnz is their
+	// stored-cell count (0 for dense pools).
+	CSR bool
+	Nnz int
 	// Arenas is the pool's live arena count (idle + checked out); Idle the
 	// free-list length.
 	Arenas, Idle int
@@ -94,6 +98,7 @@ func (s *Server) Stats() Stats {
 		pools = append(pools, ranked{
 			stats: ShapeStats{
 				M: sp.key.m, N: sp.key.n, General: sp.key.general,
+				CSR: sp.key.csr, Nnz: sp.key.nnz,
 				Arenas: sp.total, Idle: len(sp.free),
 				Hits: sp.hits, Misses: sp.misses, Evicted: sp.evicted,
 			},

@@ -54,7 +54,7 @@ func init() {
 	MustRegister(NewSolver("dykstra",
 		"Dykstra's alternating projections (independent reference solver)",
 		func(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
-			d, err := p.asDiagonal("dykstra")
+			d, err := p.asDiagonalDense("dykstra")
 			if err != nil {
 				return nil, err
 			}
@@ -75,7 +75,7 @@ func init() {
 	MustRegister(NewSolver("unsigned",
 		"unsigned Stone/Byron estimator (drops x >= 0; direct Cholesky solve)",
 		func(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
-			d, err := p.asDiagonal("unsigned")
+			d, err := p.asDiagonalDense("unsigned")
 			if err != nil {
 				return nil, err
 			}
@@ -95,6 +95,9 @@ func solveRAS(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
 	var x0, s0, d0 []float64
 	var kind Kind
 	if p.Diagonal != nil {
+		if p.Diagonal.Pattern != nil {
+			return nil, fmt.Errorf("%w: solver \"ras\" supports dense storage only; use \"sea\" for CSR problems or call Densify() first", ErrInvalidProblem)
+		}
 		x0, s0, d0, kind = p.Diagonal.X0, p.Diagonal.S0, p.Diagonal.D0, p.Diagonal.Kind
 	} else {
 		x0, s0, d0, kind = p.General.X0, p.General.S0, p.General.D0, p.General.Kind
