@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race serve-race serve-http-race bench bench-check bench-multicore bench-sparse fuzz fmt results check cmds cancel
+.PHONY: all build vet test race serve-race serve-http-race bench bench-check bench-multicore bench-sparse bench-precond fuzz fmt results check cmds cancel
 
 all: check
 
@@ -21,7 +21,7 @@ test:
 # the baselines, the sparse wire codec, and the public facade (whose
 # cancellation suite exercises pool teardown under contention).
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/equilibrate/... ./internal/sortx/... ./internal/baseline/... ./internal/matio/... ./pkg/...
+	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/equilibrate/... ./internal/sortx/... ./internal/scale/... ./internal/baseline/... ./internal/matio/... ./pkg/...
 	$(GO) vet ./...
 
 # Build the commands explicitly (CI smoke for the CLI layer).
@@ -79,6 +79,15 @@ bench-multicore: cmds
 	$(GO) run ./cmd/seabench -table none -benchjson .bench_multicore.json -benchprocs 1,2,4,8 -benchreps 1 -scale 0.2
 	@cat .bench_multicore.json; rm -f .bench_multicore.json
 
+# Preconditioning guards: the exactness, KKT, and iteration-cut properties
+# of the warm-start stage, plus a filtered perf-suite run regenerating just
+# the hard elastic tier's records — the spe250/precond row is where the
+# outer-iteration win is gated (seabench -compare flags any growth).
+bench-precond: cmds
+	$(GO) test -count=1 -run 'TestPrecond|TestScalingSolversTracePerSweep|TestCSRMatchesDenseBitwise' ./internal/core/ ./internal/baseline/ ./internal/scale/
+	$(GO) run ./cmd/seabench -table none -benchjson .bench_precond.json -benchfilter table5/spe250
+	@cat .bench_precond.json; rm -f .bench_precond.json
+
 fuzz:
 	$(GO) test -fuzz=FuzzKernel -fuzztime=30s ./internal/equilibrate/
 
@@ -89,5 +98,5 @@ fmt:
 results:
 	$(GO) run ./cmd/seabench -table all -scale 1 -bkmax 900 | tee results_full.txt
 
-check: build vet test race serve-race serve-http-race cmds cancel bench-check bench-multicore bench-sparse
+check: build vet test race serve-race serve-http-race cmds cancel bench-check bench-multicore bench-sparse bench-precond
 	@test -z "$$(gofmt -l .)" || (echo "gofmt needed:"; gofmt -l .; exit 1)

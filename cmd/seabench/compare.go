@@ -53,7 +53,8 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 		or, ok := oldBy[k]
 		if !ok {
 			rows = append(rows, []string{recordLabel(nr), fmtProcs(nr.Procs, nr.Simulated),
-				"-", fmtNs(nr.NsPerOp), "-", fmtSpeedup(nr.SpeedupVsSerial), "new"})
+				"-", fmtNs(nr.NsPerOp), "-", fmtIterPair(0, nr.OuterIterations),
+				fmtSpeedup(nr.SpeedupVsSerial), "new"})
 			fmt.Fprintf(os.Stderr, "seabench: new record %s procs=%d shards=%d (absent from %s)\n",
 				nr.Name, nr.Procs, nr.Shards, oldPath)
 			continue
@@ -69,12 +70,20 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 		case delta > threshold:
 			verdict = "REGRESSION"
 			regressions++
+		case or.OuterIterations > 0 && nr.OuterIterations > or.OuterIterations:
+			// Outer iterations are deterministic — any growth is a real
+			// convergence regression, judged as strictly as a time one.
+			// Old baselines without the field (OuterIterations 0) are
+			// exempt for back-compatibility.
+			verdict = "ITER REGRESSION"
+			regressions++
 		case delta < -threshold:
 			verdict = "faster"
 		}
 		rows = append(rows, []string{recordLabel(nr), fmtProcs(nr.Procs, nr.Simulated),
 			fmtNs(or.NsPerOp), fmtNs(nr.NsPerOp),
 			fmt.Sprintf("%+.1f%%", 100*delta),
+			fmtIterPair(or.OuterIterations, nr.OuterIterations),
 			fmtSpeedup(or.SpeedupVsSerial) + " -> " + fmtSpeedup(nr.SpeedupVsSerial),
 			verdict})
 	}
@@ -83,7 +92,8 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 		if k := (key{or.Name, or.Procs, or.Shards}); !seen[k] {
 			missing++
 			rows = append(rows, []string{recordLabel(or), fmtProcs(or.Procs, or.Simulated),
-				fmtNs(or.NsPerOp), "-", "-", fmtSpeedup(or.SpeedupVsSerial), "missing"})
+				fmtNs(or.NsPerOp), "-", "-", fmtIterPair(or.OuterIterations, 0),
+				fmtSpeedup(or.SpeedupVsSerial), "missing"})
 			fmt.Fprintf(os.Stderr, "seabench: missing record %s procs=%d shards=%d (present in %s, absent from %s)\n",
 				or.Name, or.Procs, or.Shards, oldPath, newPath)
 		}
@@ -91,7 +101,7 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 
 	report.Render(os.Stdout, fmt.Sprintf("Perf comparison: %s -> %s (threshold %.0f%%)",
 		oldPath, newPath, 100*threshold),
-		[]string{"record", "procs", "old ns/op", "new ns/op", "delta", "speedup", "verdict"}, rows)
+		[]string{"record", "procs", "old ns/op", "new ns/op", "delta", "iters", "speedup", "verdict"}, rows)
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "seabench: %d record(s) regressed beyond %.0f%%\n",
 			regressions, 100*threshold)
@@ -133,6 +143,23 @@ func fmtProcs(procs int, simulated bool) string {
 		return fmt.Sprintf("%d (sim)", procs)
 	}
 	return fmt.Sprint(procs)
+}
+
+// fmtIterPair renders the outer-iteration delta column; zero on either
+// side (old baselines predating the field, or a new/missing record)
+// renders as "-".
+func fmtIterPair(old, new int) string {
+	lhs, rhs := "-", "-"
+	if old > 0 {
+		lhs = fmt.Sprint(old)
+	}
+	if new > 0 {
+		rhs = fmt.Sprint(new)
+	}
+	if lhs == "-" && rhs == "-" {
+		return "-"
+	}
+	return lhs + " -> " + rhs
 }
 
 // fmtSpeedup renders a speedup-vs-serial value; zero (absent in old files)

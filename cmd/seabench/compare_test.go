@@ -112,6 +112,46 @@ func TestCompareNewOnlyRecordsPass(t *testing.T) {
 	}
 }
 
+func recIters(name string, ns int64, iters int) experiments.PerfRecord {
+	r := rec(name, 1, ns, false)
+	r.OuterIterations = iters
+	return r
+}
+
+// TestCompareIterationRegression: outer iterations are deterministic, so any
+// growth on a record both files annotate is a convergence regression even
+// when the wall time stays within the threshold.
+func TestCompareIterationRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", []experiments.PerfRecord{
+		recIters("table5/spe250/precond", 1000, 66),
+	})
+	newPath := writeReport(t, dir, "new.json", []experiments.PerfRecord{
+		recIters("table5/spe250/precond", 1010, 90), // time fine, iters grew
+	})
+	if got := runCompare(oldPath, newPath, 0.10); got != 1 {
+		t.Fatalf("runCompare = %d failures, want 1 (the iteration regression)", got)
+	}
+}
+
+// TestCompareIterationBackCompat: old baselines written before the
+// outer_iterations field must not trip the iteration gate, and equal or
+// improved counts must pass.
+func TestCompareIterationBackCompat(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", []experiments.PerfRecord{
+		rec("a", 1, 1000, false), // no iteration annotation
+		recIters("b", 1000, 50),
+	})
+	newPath := writeReport(t, dir, "new.json", []experiments.PerfRecord{
+		recIters("a", 1000, 999), // old side unannotated: exempt
+		recIters("b", 1000, 50),  // unchanged: ok
+	})
+	if got := runCompare(oldPath, newPath, 0.10); got != 0 {
+		t.Fatalf("runCompare = %d failures, want 0", got)
+	}
+}
+
 func recShards(name string, procs, shards int, ns int64) experiments.PerfRecord {
 	r := rec(name, procs, ns, false)
 	r.Shards = shards

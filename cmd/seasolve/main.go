@@ -47,6 +47,8 @@ func main() {
 		maxIter    = flag.Int("maxiter", 200000, "iteration limit")
 		timeout    = flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
 		traceEvery = flag.Int("trace", 0, "print per-iteration progress every N observed iterations (0 = off)")
+		precond    = flag.String("precondition", "none", "preconditioning stage: none, scale, sinkhorn, or isp")
+		sweeps     = flag.Int("precond-sweeps", 0, "warm-start sweeps for -precondition sinkhorn/isp (0 = default)")
 	)
 	flag.Parse()
 
@@ -81,6 +83,12 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown criterion %q", *criterion))
 	}
+	if pc, err := sea.ParsePrecond(*precond); err != nil {
+		fatal(err)
+	} else {
+		o.Precondition = pc
+	}
+	o.PrecondSweeps = *sweeps
 	if *traceEvery > 0 {
 		o.Trace = sea.NewTraceWriter(os.Stderr, *traceEvery)
 	}
@@ -132,8 +140,12 @@ func main() {
 			fatal(err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "seasolve: %s status=%s converged=%v iterations=%d residual=%g objective=%g wall=%s\n",
+	fmt.Fprintf(os.Stderr, "seasolve: %s status=%s converged=%v iterations=%d residual=%g objective=%g wall=%s",
 		name, sol.Status, sol.Converged, sol.Iterations, sol.Residual, sol.Objective, time.Since(start).Round(time.Millisecond))
+	if sol.PrecondNs > 0 {
+		fmt.Fprintf(os.Stderr, " precond=%s", time.Duration(sol.PrecondNs).Round(time.Microsecond))
+	}
+	fmt.Fprintln(os.Stderr)
 }
 
 // iterations reports how far a failed solve got (0 when no iterate exists).

@@ -43,6 +43,10 @@ type Arena struct {
 	pool      *parallel.Pool
 	poolProcs int
 
+	// pre owns the preconditioning stage's buffers (scaled problem copies,
+	// warm-start scratch); populated on the first preconditioned solve.
+	pre *precondState
+
 	// Solution backing, reused across solves.
 	solX, solS, solD, solLambda, solMu []float64
 	sol                                Solution
@@ -77,7 +81,7 @@ func (a *Arena) release() {
 
 // Reset drops the cached solver state (buffers and kernel warm-start
 // permutations) while keeping the worker pool. The next solve runs cold.
-func (a *Arena) Reset() { a.st = nil }
+func (a *Arena) Reset() { a.st = nil; a.pre = nil }
 
 // Close releases the arena's persistent worker pool, if it created one. The
 // cached buffers need no teardown beyond garbage collection.

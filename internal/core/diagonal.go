@@ -37,12 +37,26 @@ func SolveDiagonal(ctx context.Context, p *DiagonalProblem, opts *Options) (*Sol
 		return nil, err
 	}
 	defer o.Arena.release()
+	var ps *precondState
+	if o.Precondition != PrecondNone {
+		if ar := o.Arena; ar != nil {
+			if ar.pre == nil {
+				ar.pre = &precondState{}
+			}
+			ps = ar.pre
+		} else {
+			ps = &precondState{}
+		}
+		p = ps.apply(p, o)
+	}
 	st := newDiagState(ctx, p, o)
 	defer st.close()
-	if err := st.run(); err != nil {
-		return st.solution(), err
+	err := st.run()
+	sol := st.solution()
+	if ps != nil {
+		ps.unscale(sol)
 	}
-	return st.solution(), nil
+	return sol, err
 }
 
 // diagState carries the working arrays of one diagonal solve.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"sea/internal/metrics"
 	"sea/internal/parallel"
 	"sea/internal/trace"
@@ -29,6 +31,73 @@ func (k Kernel) String() string {
 		return "bisection"
 	default:
 		return "unknown"
+	}
+}
+
+// Precond selects the preconditioning stage run before the diagonal
+// solver's SEA sweeps (Options.Precondition).
+type Precond int
+
+const (
+	// PrecondNone disables preconditioning (the default).
+	PrecondNone Precond = iota
+	// PrecondScale rescales the problem by global power-of-two mass and
+	// weight factors (σ, τ) chosen from the data's magnitude, solves the
+	// scaled problem, and unscales the solution. Because the factors are
+	// powers of two and the scaled KKT system is an exact relabeling of the
+	// original, the unscaled solution is bit-for-bit identical to the
+	// unpreconditioned one under KernelExact — this mode exists to tame
+	// overflow/underflow on badly ranged data, not to cut iterations.
+	PrecondScale
+	// PrecondSinkhorn additionally warm-starts the dual from a
+	// Sinkhorn–Knopp balancing of the (positive-floored) prior: the
+	// multiplicative factors are converted to additive column multipliers
+	// μ⁰. Falls back to PrecondScale when the prior's structure rules
+	// balancing out (zero rows/columns with positive targets).
+	PrecondSinkhorn
+	// PrecondISP warm-starts the dual with the iterative scaling procedure:
+	// clamped additive Gauss–Seidel sweeps on the exact KKT system
+	// (internal/scale.System), the cheap O(nnz)-per-sweep analogue of a SEA
+	// iteration. This is the recommended mode for the elastic tiers, where
+	// it cuts outer iterations severalfold (see docs/PERFORMANCE.md).
+	PrecondISP
+)
+
+// DefaultPrecondSweeps is the warm-start sweep budget used when
+// Options.PrecondSweeps is zero. The value is tuned on the paper tiers:
+// past ~this many ISP sweeps the dual estimate's marginal iteration
+// savings no longer repay the O(nnz) sweep cost — on the elastic spe250
+// tier the wall-clock minimum sits near 150 sweeps (see EXPERIMENTS.md).
+const DefaultPrecondSweeps = 150
+
+func (p Precond) String() string {
+	switch p {
+	case PrecondNone:
+		return "none"
+	case PrecondScale:
+		return "scale"
+	case PrecondSinkhorn:
+		return "sinkhorn"
+	case PrecondISP:
+		return "isp"
+	default:
+		return "unknown"
+	}
+}
+
+// ParsePrecond maps the flag/query spellings to a Precond value.
+func ParsePrecond(s string) (Precond, error) {
+	switch s {
+	case "", "none":
+		return PrecondNone, nil
+	case "scale":
+		return PrecondScale, nil
+	case "sinkhorn":
+		return PrecondSinkhorn, nil
+	case "isp":
+		return PrecondISP, nil
+	default:
+		return PrecondNone, fmt.Errorf("unknown precondition %q (want none, scale, sinkhorn or isp)", s)
 	}
 }
 
@@ -101,6 +170,18 @@ type Options struct {
 	// Mu0, if non-nil, warm-starts the column multipliers (length N).
 	// Otherwise μ¹ = 0 per the paper's initialization step.
 	Mu0 []float64
+	// Precondition selects a preconditioning stage run before the SEA
+	// sweeps: the solver rescales the problem data by exact power-of-two
+	// factors (and, for PrecondSinkhorn/PrecondISP, computes a dual warm
+	// start on the scaled data), solves, and unscales the solution so that
+	// it satisfies the ORIGINAL problem's KKT system. Time spent here is
+	// reported in Solution.PrecondNs. Applies to the diagonal solver only;
+	// the general solver's inner diagonal solves never precondition.
+	Precondition Precond
+	// PrecondSweeps caps the warm-start procedure's sweeps for
+	// PrecondSinkhorn/PrecondISP. 0 selects the tuned default
+	// (DefaultPrecondSweeps).
+	PrecondSweeps int
 	// Counters, if non-nil, accumulates instrumentation.
 	Counters *metrics.Counters
 	// Trace, if non-nil, receives one trace.Event per outer iteration:
@@ -210,6 +291,9 @@ func (o *Options) withDefaults() *Options {
 	}
 	if out.KernelTol <= 0 {
 		out.KernelTol = out.Epsilon * 1e-4
+	}
+	if out.PrecondSweeps <= 0 {
+		out.PrecondSweeps = DefaultPrecondSweeps
 	}
 	// An iteration observer subsumes the counters: events report the
 	// per-iteration counter deltas, so a solve with a Trace always keeps

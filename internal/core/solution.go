@@ -65,6 +65,10 @@ type Solution struct {
 	// DualValue is ζ_l(λ, μ); at the optimum it equals Objective (strong
 	// duality), so Objective − DualValue is a computable optimality gap.
 	DualValue float64
+	// PrecondNs is the wall-clock nanoseconds spent in the preconditioning
+	// stage (scaling plus dual warm start); zero when Options.Precondition
+	// is PrecondNone.
+	PrecondNs int64
 }
 
 // Gap returns the duality gap Objective − DualValue (nonnegative up to
@@ -112,4 +116,5 @@ func (s *Solution) CopyInto(dst *Solution) {
 	dst.Residual = s.Residual
 	dst.Objective = s.Objective
 	dst.DualValue = s.DualValue
+	dst.PrecondNs = s.PrecondNs
 }

@@ -77,6 +77,15 @@ type PerfRecord struct {
 	// solver state, arena, kernel scratch). For CSR instances it is the
 	// resident-footprint figure that must stay proportional to nnz.
 	BytesPerOp uint64 `json:"bytes_per_op,omitempty"`
+	// OuterIterations is the solver's outer (dual block-ascent) iteration
+	// count, written explicitly so seabench -compare can gate
+	// iteration-count regressions. It equals Iterations on solve records;
+	// older baselines without the field are exempt from the gate.
+	OuterIterations int `json:"outer_iterations,omitempty"`
+	// PrecondNs, set on the "/precond" records, is the preconditioning
+	// stage's wall time in nanoseconds — the upfront cost the cut in
+	// outer iterations has to repay for a net wall-clock win.
+	PrecondNs int64 `json:"precond_ns,omitempty"`
 	// Simulated marks records whose Procs exceeds the machine's physical
 	// core count: the speedup comes from replaying the solve's recorded
 	// per-task cost trace on parsim's simulated N-processor machine
@@ -195,6 +204,15 @@ func PerfSuite(ctx context.Context, cfg Config) (PerfReport, error) {
 		}, core.RelBalance, 0.001},
 	}
 
+	// precondTiers picks which instances also emit a "/precond" record:
+	// the hard elastic tier plus the two tiers that converge in a couple
+	// of outer iterations anyway, bracketing where the warm start pays.
+	precondTiers := map[string]bool{
+		"table5/spe250":       true,
+		"table1/diagonal1000": true,
+		"sparse/diagonal10k":  true,
+	}
+
 	// matches applies cfg.BenchFilter (seabench -benchfilter): an empty
 	// filter keeps everything, so unfiltered runs always emit the full suite
 	// that the strict-missing -compare gate expects.
@@ -272,6 +290,7 @@ func PerfSuite(ctx context.Context, cfg Config) (PerfReport, error) {
 					NsPerOp:         simNs,
 					AllocsPerOp:     serialAllocs,
 					Iterations:      steadyIters,
+					OuterIterations: steadyIters,
 					SpeedupVsSerial: speedup,
 					Nnz:             nnz,
 					NsPerIter:       perIter(simNs, steadyIters),
@@ -324,6 +343,7 @@ func PerfSuite(ctx context.Context, cfg Config) (PerfReport, error) {
 				NsPerOp:         nsPerOp,
 				AllocsPerOp:     allocs,
 				Iterations:      sol.Iterations,
+				OuterIterations: sol.Iterations,
 				SpeedupVsSerial: speedup,
 				Nnz:             nnz,
 				NsPerIter:       perIter(nsPerOp, sol.Iterations),
@@ -352,11 +372,54 @@ func PerfSuite(ctx context.Context, cfg Config) (PerfReport, error) {
 			NsPerOp:           warmNs,
 			AllocsPerOp:       warmAllocs,
 			Iterations:        steadyIters,
+			OuterIterations:   steadyIters,
 			SpeedupVsSerial:   float64(serialNs) / float64(warmNs),
 			WarmstartAblation: float64(nowarmNs) / float64(warmNs),
 			Nnz:               nnz,
 			NsPerIter:         perIter(warmNs, steadyIters),
 		})
+
+		// Preconditioned record: the same serial solve behind the ISP
+		// warm-start stage (Options.Precondition). Measured on the tiers
+		// that bracket the tradeoff — the elastic spe250 tier where the
+		// warm start pays severalfold, and two fast-converging tiers where
+		// it is pure overhead (the crossover documented in
+		// docs/PERFORMANCE.md). SpeedupVsSerial against the plain Procs = 1
+		// record is the net wall-clock verdict.
+		if precondTiers[inst.name] {
+			popts := func() *core.Options {
+				o := baseOpts()
+				o.Precondition = core.PrecondISP
+				return o
+			}
+			sol, err := core.SolveDiagonal(ctx, p, popts())
+			if err != nil {
+				return report, fmt.Errorf("perf %s precond: %w", inst.name, err)
+			}
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
+			for rep := 0; rep < reps; rep++ {
+				if _, err := core.SolveDiagonal(ctx, p, popts()); err != nil {
+					return report, fmt.Errorf("perf %s precond rep %d: %w", inst.name, rep, err)
+				}
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&ms1)
+			nsPerOp := elapsed.Nanoseconds() / int64(reps)
+			report.Records = append(report.Records, PerfRecord{
+				Name:            inst.name + "/precond",
+				Procs:           1,
+				NsPerOp:         nsPerOp,
+				AllocsPerOp:     (ms1.Mallocs - ms0.Mallocs) / uint64(reps),
+				Iterations:      sol.Iterations,
+				OuterIterations: sol.Iterations,
+				PrecondNs:       sol.PrecondNs,
+				SpeedupVsSerial: float64(serialNs) / float64(nsPerOp),
+				Nnz:             nnz,
+				NsPerIter:       perIter(nsPerOp, sol.Iterations),
+			})
+		}
 	}
 
 	// Serving-layer record: sustained mixed-shape throughput through

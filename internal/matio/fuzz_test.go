@@ -73,6 +73,16 @@ func FuzzReadProblem(f *testing.F) {
 		`{"kind":"fixed","storage":"csr","m":2,"n":2,"rows":[0,0],"cols":[1,1],"x0":[1,2],"s0":[1,2],"d0":[1,2]}`,
 		`{"kind":"fixed","storage":"coo","m":1,"n":1,"x0":[1],"s0":[1],"d0":[1]}`,
 		`{"kind":"fixed","m":1,"n":1,"rows":[0],"cols":[0],"x0":[1],"s0":[1],"d0":[1]}`,
+		// Extreme dynamic range: the inputs the preconditioning layer exists
+		// for. Cells and totals spanning ~30 orders of magnitude, subnormal
+		// priors, near-overflow magnitudes, and mixed-scale weight vectors —
+		// all finite, so the reader must accept them and round-trip exactly.
+		`{"kind":"fixed","m":2,"n":2,"x0":[1e-30,1e30,1e30,1e-30],"s0":[1e30,1e30],"d0":[1e30,1e30]}`,
+		`{"kind":"fixed","m":2,"n":2,"x0":[5e-324,1,1,1.7e308],"s0":[1,1.7e308],"d0":[1,1.7e308]}`,
+		`{"kind":"elastic","m":2,"n":2,"x0":[1e-200,1e200,1,1],"s0":[1e200,2],"d0":[1e200,2],"alpha":[1e-12,1e12],"beta":[1e12,1e-12]}`,
+		`{"kind":"balanced","m":2,"n":2,"x0":[1e-15,1e15,1e15,1e-15],"alpha":[1e-9,1e9]}`,
+		`{"m":2,"n":2,"x0":[1e-100,1e100,1e100,1e-100],"gamma":[1e-150,1e150,1e150,1e-150],"s0":[1e100,1e100],"d0":[1e100,1e100]}`,
+		`{"kind":"fixed","storage":"csr","m":3,"n":3,"rows":[0,1,2],"cols":[0,1,2],"x0":[1e-290,1,1e290],"s0":[1e-290,1,1e290],"d0":[1e-290,1,1e290]}`,
 	} {
 		f.Add([]byte(s))
 	}

@@ -243,6 +243,9 @@ type Solution struct {
 	Status    string  `json:"status"`
 	Residual  float64 `json:"residual"`
 	Objective float64 `json:"objective"`
+	// PrecondNs is the preconditioning stage's wall time in nanoseconds;
+	// zero (and omitted) when the solve did not precondition.
+	PrecondNs int64 `json:"precond_ns,omitempty"`
 }
 
 // SolutionFromCore converts a solve result to its JSON container — the
@@ -256,6 +259,7 @@ func SolutionFromCore(sol *core.Solution) *Solution {
 		Status:     sol.Status.String(),
 		Residual:   sol.Residual,
 		Objective:  sol.Objective,
+		PrecondNs:  sol.PrecondNs,
 	}
 }
 

@@ -1,0 +1,68 @@
+package scale
+
+import "math"
+
+// MaxNorm computes Ruiz-style ∞-norm equilibration factors u (length M)
+// and v (length N) such that every row and column of diag(u)·|A|·diag(v)
+// has maximum absolute entry near 1. Each pass divides the running factors
+// by the square root of the current row/column max-norms; iters passes
+// (≤ 0 selects the customary 10) converge geometrically.
+//
+// Every factor is rounded to the nearest power of two (Pow2Near), so
+// applying and removing the scaling is exact in floating point — the
+// property the preconditioning stage's bit-for-bit unscaling contract
+// rests on. Zero rows and columns keep factor 1.
+//
+// u and v supply the factor storage (nil to allocate); the scaled matrix
+// is never materialized — callers combine the factors with their own data.
+func MaxNorm(a Matrix, u, v []float64, iters int) ([]float64, []float64, error) {
+	if err := a.Validate(); err != nil {
+		return u, v, err
+	}
+	if iters <= 0 {
+		iters = 10
+	}
+	u = resize(u, a.M)
+	v = resize(v, a.N)
+	for i := range u {
+		u[i] = 1
+	}
+	for j := range v {
+		v[j] = 1
+	}
+	colMax := make([]float64, a.N)
+	for t := 0; t < iters; t++ {
+		// Row pass: u_i ← u_i / pow2(√(max_j |u_i a_ij v_j|)).
+		for i := 0; i < a.M; i++ {
+			lo, hi := a.Row(i)
+			var mx float64
+			for k := lo; k < hi; k++ {
+				if x := math.Abs(u[i] * a.Val[k] * v[a.Col(i, k)]); x > mx {
+					mx = x
+				}
+			}
+			if mx > 0 {
+				u[i] /= Pow2Near(math.Sqrt(mx))
+			}
+		}
+		// Column pass, accumulated row-major.
+		for j := range colMax {
+			colMax[j] = 0
+		}
+		for i := 0; i < a.M; i++ {
+			lo, hi := a.Row(i)
+			for k := lo; k < hi; k++ {
+				j := a.Col(i, k)
+				if x := math.Abs(u[i] * a.Val[k] * v[j]); x > colMax[j] {
+					colMax[j] = x
+				}
+			}
+		}
+		for j := 0; j < a.N; j++ {
+			if colMax[j] > 0 {
+				v[j] /= Pow2Near(math.Sqrt(colMax[j]))
+			}
+		}
+	}
+	return u, v, nil
+}

@@ -58,6 +58,9 @@ type (
 	Kind = core.Kind
 	// Status classifies a solve's outcome (see Solution.Status).
 	Status = core.Status
+	// Precond selects the preconditioning stage run before the diagonal
+	// solver's SEA sweeps (Options.Precondition).
+	Precond = core.Precond
 	// Trace is the pluggable per-iteration observer (Options.Trace).
 	Trace = trace.Observer
 	// TraceEvent is one observed iteration's progress report.
@@ -82,6 +85,18 @@ const (
 	RelBalance   = core.RelBalance
 	DualGradient = core.DualGradient
 )
+
+// Preconditioning modes (Options.Precondition); see core.Precond.
+const (
+	PrecondNone     = core.PrecondNone
+	PrecondScale    = core.PrecondScale
+	PrecondSinkhorn = core.PrecondSinkhorn
+	PrecondISP      = core.PrecondISP
+)
+
+// ParsePrecond maps the flag/query spellings ("none", "scale", "sinkhorn",
+// "isp") to a Precond value.
+var ParsePrecond = core.ParsePrecond
 
 // Solve outcome statuses; see Solution.Status and the Status type.
 const (

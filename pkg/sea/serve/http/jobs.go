@@ -206,6 +206,11 @@ func (h *Handler) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	opts, err := h.requestOptions(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	ctx, cancel, err := requestContext(h.baseCtx, r)
 	if err != nil {
 		writeError(w, err)
@@ -227,7 +232,7 @@ func (h *Handler) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	go func() {
 		defer release()
 		defer cancel()
-		sol, err := h.backend.SubmitTraced(ctx, p, j)
+		sol, err := h.backend.SubmitTraced(ctx, p, opts, j)
 		j.finish(sol, err)
 	}()
 	writeJSON(w, http.StatusAccepted, jobRef{

@@ -49,9 +49,14 @@ import (
 // backend.
 type Backend interface {
 	Submit(ctx context.Context, p *sea.Problem, opts *sea.Options) (*sea.Solution, error)
-	// SubmitTraced solves with the backend's configured options plus a
-	// per-request trace observer — the streamed-trace job path.
-	SubmitTraced(ctx context.Context, p *sea.Problem, obs sea.Trace) (*sea.Solution, error)
+	// SubmitTraced solves with per-request options (nil = the backend's
+	// configured template) plus a trace observer — the streamed-trace job
+	// path.
+	SubmitTraced(ctx context.Context, p *sea.Problem, opts *sea.Options, obs sea.Trace) (*sea.Solution, error)
+	// RequestOptions resolves a per-request preconditioning override against
+	// the backend's configured template; nil means the template already
+	// matches and the warm zero-alloc submit path applies.
+	RequestOptions(precond sea.Precond) *sea.Options
 	Stats() serve.Stats
 }
 
@@ -208,11 +213,31 @@ func requestContext(ctx context.Context, r *http.Request) (context.Context, cont
 	return ctx, func() {}, nil
 }
 
+// requestOptions resolves the ?precondition= query parameter against the
+// backend's option template: absent or matching values return nil (the
+// warm zero-alloc submit path), anything else a one-request option clone.
+func (h *Handler) requestOptions(r *http.Request) (*sea.Options, error) {
+	v := r.URL.Query().Get("precondition")
+	if v == "" {
+		return nil, nil
+	}
+	pc, err := sea.ParsePrecond(v)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	return h.backend.RequestOptions(pc), nil
+}
+
 // handleSolve is the synchronous path: decode, submit, encode. It is the
 // hot endpoint the load generator drives; everything per-request lives on
 // the stack or in the decoder.
 func (h *Handler) handleSolve(w http.ResponseWriter, r *http.Request) {
 	p, err := h.readProblem(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	opts, err := h.requestOptions(r)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -223,7 +248,7 @@ func (h *Handler) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	sol, err := h.backend.Submit(ctx, p, nil)
+	sol, err := h.backend.Submit(ctx, p, opts)
 	// Iteration-limit exhaustion still carries the best iterate: per the
 	// facade contract that is a result, not a transport failure.
 	if err != nil && !(errors.Is(err, sea.ErrNotConverged) && sol != nil) {

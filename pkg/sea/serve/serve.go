@@ -182,17 +182,41 @@ func (s *Server) Submit(ctx context.Context, p *sea.Problem, opts *sea.Options) 
 }
 
 // SubmitTraced is Submit with a per-request trace observer layered onto the
-// server's configured options: the request solves exactly as a plain Submit
-// (same template, arena, runner), and obs additionally receives its
-// iteration events. The transport's streamed-trace jobs ride this path. obs
-// is synchronized by the server; a nil obs degrades to Submit.
-func (s *Server) SubmitTraced(ctx context.Context, p *sea.Problem, obs sea.Trace) (*sea.Solution, error) {
+// request's options: the request solves exactly as a plain Submit with the
+// same opts (nil = the server's template, arena, runner), and obs
+// additionally receives its iteration events. The transport's streamed-trace
+// jobs ride this path. obs is synchronized by the server; a nil obs degrades
+// to Submit.
+func (s *Server) SubmitTraced(ctx context.Context, p *sea.Problem, opts *sea.Options, obs sea.Trace) (*sea.Solution, error) {
 	var out sea.Solution
-	filled, err := s.submit(ctx, p, nil, &out, obs)
+	filled, err := s.submit(ctx, p, opts, &out, obs)
 	if !filled {
 		return nil, err
 	}
 	return &out, err
+}
+
+// RequestOptions resolves a per-request preconditioning override into the
+// opts argument of the Submit variants: it returns nil when precond matches
+// the server's configured template (the zero-overhead path — the request
+// solves on the prebuilt per-arena options), and otherwise a detached clone
+// of the template with Precondition replaced. The clone's Arena, Runner,
+// Trace and Counters are zeroed: submit re-fills all four per request, and
+// handing back the template's already-synchronized Trace would double-wrap
+// it. The returned options are the caller's to further adjust before
+// submitting.
+func (s *Server) RequestOptions(precond sea.Precond) *sea.Options {
+	if precond == s.base.Precondition {
+		return nil
+	}
+	o := s.base
+	o.Precondition = precond
+	o.Arena = nil
+	o.Runner = nil
+	o.Trace = nil
+	o.Counters = nil
+	o.Mu0 = nil
+	return &o
 }
 
 // SubmitInto is Submit draining the result into caller-owned memory: into's

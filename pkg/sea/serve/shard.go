@@ -102,14 +102,22 @@ func (s *ShardedServer) Submit(ctx context.Context, p *sea.Problem, opts *sea.Op
 }
 
 // SubmitTraced is Submit with a per-request trace observer layered onto the
-// shard's configured options (see Server.SubmitTraced).
-func (s *ShardedServer) SubmitTraced(ctx context.Context, p *sea.Problem, obs sea.Trace) (*sea.Solution, error) {
+// request's options (see Server.SubmitTraced).
+func (s *ShardedServer) SubmitTraced(ctx context.Context, p *sea.Problem, opts *sea.Options, obs sea.Trace) (*sea.Solution, error) {
 	var out sea.Solution
-	filled, err := s.submitIntoObserved(ctx, p, nil, &out, obs)
+	filled, err := s.submitIntoObserved(ctx, p, opts, &out, obs)
 	if !filled {
 		return nil, err
 	}
 	return &out, err
+}
+
+// RequestOptions resolves a per-request preconditioning override against
+// the shards' shared template (see Server.RequestOptions). Every shard is
+// built from the same Config, so the first shard's template answers for
+// all.
+func (s *ShardedServer) RequestOptions(precond sea.Precond) *sea.Options {
+	return s.shards[0].RequestOptions(precond)
 }
 
 // SubmitInto routes the problem to its shape's shard; semantics are those

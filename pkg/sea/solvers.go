@@ -72,6 +72,12 @@ func init() {
 	MustRegister(NewSolver("ras",
 		"RAS biproportional scaling of Deming and Stephan (1940)",
 		solveRAS))
+	MustRegister(NewSolver("sinkhorn",
+		"Sinkhorn-Knopp biproportional balancing (CSR-native RAS with exact-termination detection)",
+		solveSinkhorn))
+	MustRegister(NewSolver("isp",
+		"iterative scaling procedure: clamped additive Gauss-Seidel on the SEA dual",
+		solveISP))
 	MustRegister(NewSolver("unsigned",
 		"unsigned Stone/Byron estimator (drops x >= 0; direct Cholesky solve)",
 		func(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
@@ -128,4 +134,33 @@ func solveRAS(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
 		return sol, fmt.Errorf("%w: RAS after %d sweeps (residual %g)", ErrNotConverged, sol.Iterations, sol.Residual)
 	}
 	return sol, nil
+}
+
+// solveSinkhorn adapts the Sinkhorn–Knopp balancing baseline. Like "ras" it
+// requires fixed totals and a nonnegative prior, but it runs natively on
+// CSR storage and streams per-sweep residuals through the trace observer.
+func solveSinkhorn(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
+	d, err := p.asDiagonal("sinkhorn")
+	if err != nil {
+		return nil, err
+	}
+	if d.Kind != FixedTotals {
+		return nil, fmt.Errorf("%w: solver \"sinkhorn\" supports fixed totals only, got %v", ErrInvalidProblem, d.Kind)
+	}
+	return baseline.SolveSinkhorn(ctx, d, o)
+}
+
+// solveISP adapts the iterative scaling procedure: the additive analogue of
+// biproportional scaling that solves the paper's actual quadratic program
+// (fixed, elastic or balanced totals; dense or CSR). Interval totals are
+// not modeled by the additive system.
+func solveISP(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
+	d, err := p.asDiagonal("isp")
+	if err != nil {
+		return nil, err
+	}
+	if d.Kind == IntervalTotals {
+		return nil, fmt.Errorf("%w: solver \"isp\" does not support interval totals; use \"sea\"", ErrInvalidProblem)
+	}
+	return baseline.SolveISP(ctx, d, o)
 }
