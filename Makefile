@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race serve-race serve-http-race bench bench-check bench-multicore bench-sparse bench-precond fuzz fmt results check cmds cancel
+.PHONY: all build vet test race serve-race serve-http-race bench bench-check bench-multicore bench-sparse bench-precond bench-sequence fuzz fmt results check cmds cancel
 
 all: check
 
@@ -21,7 +21,7 @@ test:
 # the baselines, the sparse wire codec, and the public facade (whose
 # cancellation suite exercises pool teardown under contention).
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/equilibrate/... ./internal/sortx/... ./internal/scale/... ./internal/baseline/... ./internal/matio/... ./pkg/...
+	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/equilibrate/... ./internal/sortx/... ./internal/scale/... ./internal/entropy/... ./internal/baseline/... ./internal/matio/... ./pkg/...
 	$(GO) vet ./...
 
 # Build the commands explicitly (CI smoke for the CLI layer).
@@ -88,6 +88,14 @@ bench-precond: cmds
 	$(GO) run ./cmd/seabench -table none -benchjson .bench_precond.json -benchfilter table5/spe250
 	@cat .bench_precond.json; rm -f .bench_precond.json
 
+# Temporal-sequence guard: the session-layer property tests (bit-identity
+# without warm duals, iteration savings with them) plus the cold-vs-chained
+# sweep at reduced scale. The committed BENCH_sea.json carries the full-scale
+# sequence/ records; -compare gates any chained-iteration growth.
+bench-sequence: cmds
+	$(GO) test -count=1 -run 'TestSession|TestServerSession|TestSequence' ./pkg/sea/ ./pkg/sea/serve/ ./pkg/sea/serve/http/
+	$(GO) run ./cmd/seabench -sequence -scale 0.5
+
 fuzz:
 	$(GO) test -fuzz=FuzzKernel -fuzztime=30s ./internal/equilibrate/
 
@@ -98,5 +106,5 @@ fmt:
 results:
 	$(GO) run ./cmd/seabench -table all -scale 1 -bkmax 900 | tee results_full.txt
 
-check: build vet test race serve-race serve-http-race cmds cancel bench-check bench-multicore bench-sparse bench-precond
+check: build vet test race serve-race serve-http-race cmds cancel bench-check bench-multicore bench-sparse bench-precond bench-sequence
 	@test -z "$$(gofmt -l .)" || (echo "gofmt needed:"; gofmt -l .; exit 1)

@@ -128,10 +128,14 @@ func loadReport(path string) (experiments.PerfReport, error) {
 }
 
 // recordLabel renders a record's name, tagging the shard count for the
-// sharded serving records so each (name, shards) pair reads as its own row.
+// sharded serving records (so each (name, shards) pair reads as its own row)
+// and the period count for the temporal "sequence/" records.
 func recordLabel(r experiments.PerfRecord) string {
 	if r.Shards > 0 {
 		return fmt.Sprintf("%s[shards=%d]", r.Name, r.Shards)
+	}
+	if r.Periods > 0 {
+		return fmt.Sprintf("%s[periods=%d]", r.Name, r.Periods)
 	}
 	return r.Name
 }

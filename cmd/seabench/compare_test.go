@@ -179,6 +179,37 @@ func TestCompareKeysByShards(t *testing.T) {
 	}
 }
 
+func recSequence(name string, periods int, ns int64, iters int) experiments.PerfRecord {
+	r := recIters(name, ns, iters)
+	r.Periods = periods
+	return r
+}
+
+// TestCompareSequenceRecords: the temporal "sequence/" records ride the same
+// gate — chained iteration growth is a convergence regression, and a chained
+// record that vanishes (e.g. the sweep silently dropped a spec) is a failure.
+func TestCompareSequenceRecords(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", []experiments.PerfRecord{
+		recSequence("sequence/monthly-40x30/cold", 12, 9000, 600),
+		recSequence("sequence/monthly-40x30/chained", 12, 5000, 280),
+	})
+	newPath := writeReport(t, dir, "new.json", []experiments.PerfRecord{
+		recSequence("sequence/monthly-40x30/cold", 12, 9100, 600),
+		recSequence("sequence/monthly-40x30/chained", 12, 5050, 420), // warm start decayed
+	})
+	if got := runCompare(oldPath, newPath, 0.10); got != 1 {
+		t.Fatalf("runCompare = %d failures, want 1 (the chained iteration regression)", got)
+	}
+
+	missingPath := writeReport(t, dir, "missing.json", []experiments.PerfRecord{
+		recSequence("sequence/monthly-40x30/cold", 12, 9000, 600),
+	})
+	if got := runCompare(oldPath, missingPath, 0.10); got != 1 {
+		t.Fatalf("runCompare = %d failures, want 1 (the vanished chained record)", got)
+	}
+}
+
 func TestParseProcsList(t *testing.T) {
 	got, err := parseProcsList("1, 2,4,8")
 	if err != nil {

@@ -15,11 +15,19 @@
 //	seabench -solver rc -size 60            # time one registry solver
 //	seabench -serve -scale 0.5              # sustained-throughput serving run
 //	seabench -serve -http -shards 1,2,4     # HTTP front-end load run per shard count
+//	seabench -sequence -scale 0.5           # temporal sequences: cold vs chained sessions
 //
 // -serve drives the pkg/sea/serve layer at a sustained concurrent load of
 // mixed problem shapes (Table 1-style instances of order 100, 250, and 500
 // at -scale) and reports throughput, per-request allocations, the
 // shape-pool hit rate, and the per-shape pool statistics.
+//
+// -sequence runs the temporal-sequence suite (internal/problems.Temporal):
+// each drifting monthly series is solved cold (every period from scratch)
+// and chained (a session carrying one arena plus the previous period's
+// converged duals), reporting per-period wall time, total outer iterations,
+// and the chained speedup. These are the "sequence/" records of -benchjson
+// output.
 //
 // -serve -http instead stands up the full network stack — a sharded
 // serve.ShardedServer behind the pkg/sea/serve/http transport on a loopback
@@ -70,6 +78,7 @@ func main() {
 		bkmax      = flag.Int("bkmax", 900, "largest G order on which to run the B-K baseline (Table 7)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of formatted tables")
 		serveMode  = flag.Bool("serve", false, "run the sustained-throughput serving benchmark (pkg/sea/serve, mixed shapes, concurrent submitters) instead of the tables")
+		seqMode    = flag.Bool("sequence", false, "run the temporal-sequence benchmark (cold vs chained sessions over drifting monthly series) instead of the tables")
 		serveHTTP  = flag.Bool("http", false, "with -serve: drive the HTTP front end (pkg/sea/serve/http) on a loopback listener instead of the in-process layer; closed-loop throughput plus an open-loop overload probe per shard count")
 		httpShards = flag.String("shards", "", "with -serve -http: comma-separated shard counts to sweep (default 1,2,4)")
 		httpReqs   = flag.Int("requests", 0, "with -serve -http: closed-loop requests per shard count (0 = 100000 scaled by -scale, floor 2000)")
@@ -185,6 +194,16 @@ func main() {
 		return
 	}
 
+	if *seqMode {
+		if err := runSequence(ctx, cfg, *csv); err != nil {
+			cleanup()
+			fmt.Fprintf(os.Stderr, "seabench: -sequence: %v\n", err)
+			os.Exit(1)
+		}
+		cleanup()
+		return
+	}
+
 	if *solver != "" {
 		p := problems.Table1(*size, 1)
 		o := sea.DefaultOptions()
@@ -194,8 +213,14 @@ func main() {
 		if *eps > 0 {
 			o.Epsilon = *eps
 		}
+		wrapped, err := sea.NewDiagonal(p)
+		if err != nil {
+			cleanup()
+			fmt.Fprintf(os.Stderr, "seabench: solver %s on %dx%d: %v\n", *solver, *size, *size, err)
+			os.Exit(1)
+		}
 		start := time.Now()
-		sol, err := sea.Solve(ctx, *solver, sea.WrapDiagonal(p), o)
+		sol, err := sea.Solve(ctx, *solver, wrapped, o)
 		wall := time.Since(start)
 		if err != nil {
 			cleanup()
@@ -460,6 +485,37 @@ func main() {
 		emit("Complexity check: measured operations vs the paper's model N = T*n^2*(9+ln n)",
 			[]string{"n", "iterations", "measured ops", "model ops", "ratio"}, rr)
 	}
+}
+
+// runSequence runs the temporal-sequence suite and prints the cold-vs-chained
+// comparison: per-period wall time, total outer iterations, the fraction of
+// iterations the chaining removed, and the wall-clock speedup.
+func runSequence(ctx context.Context, cfg experiments.Config, csv bool) error {
+	rows, err := experiments.SequenceSweep(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	headers := []string{"sequence", "shape", "periods",
+		"cold ns/period", "chained ns/period", "cold iters", "chained iters", "iters saved", "speedup"}
+	var rr [][]string
+	for _, r := range rows {
+		rr = append(rr, []string{
+			r.Name,
+			fmt.Sprintf("%dx%d", r.M, r.N),
+			report.D(r.Periods),
+			report.D64(r.ColdNs), report.D64(r.ChainedNs),
+			report.D(r.ColdIters), report.D(r.ChainedIters),
+			report.Pct(r.IterSavedPct() / 100),
+			report.F(r.Speedup(), 2),
+		})
+	}
+	if csv {
+		report.RenderCSV(os.Stdout, headers, rr)
+	} else {
+		report.Render(os.Stdout, "Temporal sequences: cold solves vs chained sessions (arena + dual warm start)", headers, rr)
+	}
+	fmt.Println()
+	return nil
 }
 
 // renderSpeedupFigure draws the speedup-vs-N chart for a speedup table.

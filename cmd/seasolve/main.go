@@ -49,6 +49,7 @@ func main() {
 		traceEvery = flag.Int("trace", 0, "print per-iteration progress every N observed iterations (0 = off)")
 		precond    = flag.String("precondition", "none", "preconditioning stage: none, scale, sinkhorn, or isp")
 		sweeps     = flag.Int("precond-sweeps", 0, "warm-start sweeps for -precondition sinkhorn/isp (0 = default)")
+		objective  = flag.String("objective", "", "objective family: quadratic or entropy (default: the problem file's objective field, else quadratic)")
 	)
 	flag.Parse()
 
@@ -64,12 +65,20 @@ func main() {
 		name = *algorithm
 	}
 
-	p, err := loadProblem(*in, *matrix, *growth)
+	p, fileObjective, err := loadProblem(*in, *matrix, *growth)
 	if err != nil {
 		fatal(err)
 	}
 
 	o := sea.DefaultOptions()
+	o.Objective = fileObjective
+	if *objective != "" {
+		obj, err := sea.ParseObjective(*objective)
+		if err != nil {
+			fatal(err)
+		}
+		o.Objective = obj
+	}
 	o.Epsilon = *eps
 	o.Procs = *procs
 	o.MaxIterations = *maxIter
@@ -100,8 +109,13 @@ func main() {
 		defer cancel()
 	}
 
+	wrapped, err := sea.NewDiagonal(p)
+	if err != nil {
+		fatal(err)
+	}
+
 	start := time.Now()
-	sol, err := sea.Solve(ctx, name, sea.WrapDiagonal(p), o)
+	sol, err := sea.Solve(ctx, name, wrapped, o)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -156,25 +170,35 @@ func iterations(sol *sea.Solution) int {
 	return sol.Iterations
 }
 
-// loadProblem builds the problem from either a JSON file or a CSV prior.
-func loadProblem(in, matrix string, growth float64) (*core.DiagonalProblem, error) {
+// loadProblem builds the problem from either a JSON file or a CSV prior,
+// also reporting the objective family the JSON container requested.
+func loadProblem(in, matrix string, growth float64) (*core.DiagonalProblem, core.Objective, error) {
 	switch {
 	case in != "":
 		f, err := os.Open(in)
 		if err != nil {
-			return nil, err
+			return nil, core.ObjectiveQuadratic, err
 		}
 		defer f.Close()
-		return matio.ReadProblemJSON(f)
+		j, err := matio.DecodeProblem(f)
+		if err != nil {
+			return nil, core.ObjectiveQuadratic, err
+		}
+		obj, err := j.ObjectiveKind()
+		if err != nil {
+			return nil, core.ObjectiveQuadratic, err
+		}
+		p, err := j.ToCore()
+		return p, obj, err
 	case matrix != "":
 		f, err := os.Open(matrix)
 		if err != nil {
-			return nil, err
+			return nil, core.ObjectiveQuadratic, err
 		}
 		defer f.Close()
 		m, n, x0, err := matio.ReadMatrixCSV(f)
 		if err != nil {
-			return nil, err
+			return nil, core.ObjectiveQuadratic, err
 		}
 		s0 := make([]float64, m)
 		d0 := make([]float64, n)
@@ -185,9 +209,10 @@ func loadProblem(in, matrix string, growth float64) (*core.DiagonalProblem, erro
 			}
 		}
 		j := matio.Problem{Kind: "fixed", M: m, N: n, X0: x0, S0: s0, D0: d0}
-		return j.ToCore()
+		p, err := j.ToCore()
+		return p, core.ObjectiveQuadratic, err
 	default:
-		return nil, fmt.Errorf("one of -in or -matrix is required")
+		return nil, core.ObjectiveQuadratic, fmt.Errorf("one of -in or -matrix is required")
 	}
 }
 

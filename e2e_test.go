@@ -256,6 +256,16 @@ func httpSolveOptions() *seaapi.Options {
 	return o
 }
 
+// wrapDiagonal wraps a known-valid diagonal problem for a reference solve.
+func wrapDiagonal(t *testing.T, d *core.DiagonalProblem) *seaapi.Problem {
+	t.Helper()
+	p, err := seaapi.NewDiagonal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 // encodeProblem renders p as the wire JSON the HTTP endpoints accept.
 func encodeProblem(t *testing.T, p *core.DiagonalProblem) []byte {
 	t.Helper()
@@ -302,7 +312,7 @@ func TestE2EHTTPBitIdenticalAcrossShards(t *testing.T) {
 	refs := make([]*seaapi.Solution, len(mix))
 	for i, d := range mix {
 		bodies[i] = encodeProblem(t, d)
-		ref, err := seaapi.Solve(context.Background(), "sea", seaapi.WrapDiagonal(d), httpSolveOptions())
+		ref, err := seaapi.Solve(context.Background(), "sea", wrapDiagonal(t, d), httpSolveOptions())
 		if err != nil {
 			t.Fatalf("reference solve %d: %v", i, err)
 		}
@@ -540,7 +550,7 @@ func TestE2EHTTPJobLifecycle(t *testing.T) {
 	}, seahttp.Config{MaxJobs: 1})
 
 	d := problems.Table1(16, 11)
-	ref, err := seaapi.Solve(context.Background(), "sea", seaapi.WrapDiagonal(d), httpSolveOptions())
+	ref, err := seaapi.Solve(context.Background(), "sea", wrapDiagonal(t, d), httpSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

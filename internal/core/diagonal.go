@@ -30,6 +30,9 @@ import (
 // solves; see Arena for the aliasing and concurrency contract.
 func SolveDiagonal(ctx context.Context, p *DiagonalProblem, opts *Options) (*Solution, error) {
 	o := opts.withDefaults()
+	if o.Objective != ObjectiveQuadratic {
+		return nil, fmt.Errorf("core: SolveDiagonal minimizes the quadratic objective only; route Objective=%v through the facade's \"entropy\" solver", o.Objective)
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}

@@ -252,6 +252,9 @@ func quadForm(w mat.Weight, v, v0 []float64) float64 {
 // ctx.Err(). A nil ctx means context.Background.
 func SolveGeneral(ctx context.Context, p *GeneralProblem, opts *Options) (*Solution, error) {
 	o := opts.withDefaults()
+	if o.Objective != ObjectiveQuadratic {
+		return nil, fmt.Errorf("core: SolveGeneral minimizes the quadratic objective only; route Objective=%v through the facade's \"entropy\" solver", o.Objective)
+	}
 	if err := p.Validate(o.SkipDominanceCheck); err != nil {
 		return nil, err
 	}

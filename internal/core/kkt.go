@@ -49,8 +49,20 @@ func (r KKTReport) Satisfied(tol float64) bool { return r.Max() <= tol }
 // the complementary-slackness classification.
 const activeTol = 1e-9
 
-// CheckKKT evaluates the KKT conditions of sol for problem p.
+// CheckKKT evaluates the KKT conditions of sol for problem p under the
+// quadratic objective.
 func CheckKKT(p *DiagonalProblem, sol *Solution) KKTReport {
+	return CheckKKTObjective(p, sol, ObjectiveQuadratic)
+}
+
+// CheckKKTObjective evaluates the KKT conditions of sol for problem p under
+// the given objective family. Feasibility and the totals stationarity are
+// family-independent (the elastic penalties are quadratic in both families);
+// only the x stationarity gradient changes: 2γ(x−x⁰) − λ − μ for the
+// quadratic family, γ·ln(x/x⁰) − λ − μ for the entropy family. Entropy-KKT
+// over a zero prior cell has no finite gradient — the KL term pins the cell
+// at zero, so the check there is simply x = 0.
+func CheckKKTObjective(p *DiagonalProblem, sol *Solution, obj Objective) KKTReport {
 	m, n := p.M, p.N
 	var r KKTReport
 
@@ -90,8 +102,31 @@ func CheckKKT(p *DiagonalProblem, sol *Solution) KKTReport {
 	// of a CSR problem are pinned in [0,0] — both bounds active, so every
 	// gradient sign is admissible and they impose no condition to check.
 	statAt := func(i, j, k int) {
-		grad := 2*p.Gamma[k]*(sol.X[k]-p.X0[k]) - sol.Lambda[i] - sol.Mu[j]
 		scale := 1 + math.Abs(sol.Lambda[i]) + math.Abs(sol.Mu[j]) + 2*p.Gamma[k]*math.Abs(p.X0[k])
+		var grad float64
+		if obj == ObjectiveEntropy {
+			if p.X0[k] == 0 {
+				// The KL term pins the cell: any positive value is a
+				// violation, and no multiplier condition applies.
+				if v := math.Abs(sol.X[k]); v > r.MaxStationarity {
+					r.MaxStationarity = v
+				}
+				return
+			}
+			if sol.X[k] <= 0 {
+				// Over a positive prior the entropy gradient at zero is −∞:
+				// the optimum never touches zero, so a zero entry only
+				// appears when the dual pushed x below the underflow floor.
+				// Its primal value (how far the true stationary point could
+				// sit above zero) is bounded by the row residual, which
+				// feasibility already measures; no multiplier condition
+				// remains here.
+				return
+			}
+			grad = p.Gamma[k]*math.Log(sol.X[k]/p.X0[k]) - sol.Lambda[i] - sol.Mu[j]
+		} else {
+			grad = 2*p.Gamma[k]*(sol.X[k]-p.X0[k]) - sol.Lambda[i] - sol.Mu[j]
+		}
 		var viol float64
 		switch {
 		case sol.X[k] <= lowerOf(k)+activeTol*scale:

@@ -101,6 +101,50 @@ func ParsePrecond(s string) (Precond, error) {
 	}
 }
 
+// Objective selects the objective family a solve minimizes. The problem
+// data (prior, weights, totals, bounds) is shared between the families; only
+// the distance-to-prior measure changes.
+type Objective int
+
+const (
+	// ObjectiveQuadratic is the paper's weighted least-squares objective
+	// Σ γ_ij (x_ij−x⁰_ij)² (+ the elastic totals terms) — the default, and
+	// what every solver except "entropy" minimizes.
+	ObjectiveQuadratic Objective = iota
+	// ObjectiveEntropy is the weighted generalized Kullback–Leibler
+	// divergence to the prior, Σ γ_ij (x_ij·ln(x_ij/x⁰_ij) − x_ij + x⁰_ij),
+	// with the same quadratic penalties on elastic totals. It requires a
+	// nonnegative prior; cells with x⁰_ij = 0 are pinned at zero (the KL
+	// term is +∞ for any positive value there). This is Oikonomou's
+	// "most likely matrix" model; with fixed totals and a positive prior it
+	// is the biproportional (RAS/Sinkhorn) limit. Solved by the "entropy"
+	// registry solver (internal/entropy).
+	ObjectiveEntropy
+)
+
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveQuadratic:
+		return "quadratic"
+	case ObjectiveEntropy:
+		return "entropy"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseObjective maps the flag/query/wire spellings to an Objective value.
+func ParseObjective(s string) (Objective, error) {
+	switch s {
+	case "", "quadratic":
+		return ObjectiveQuadratic, nil
+	case "entropy", "kl":
+		return ObjectiveEntropy, nil
+	default:
+		return ObjectiveQuadratic, fmt.Errorf("unknown objective %q (want quadratic or entropy)", s)
+	}
+}
+
 // Criterion selects the convergence test used by the diagonal solver.
 type Criterion int
 
@@ -138,6 +182,12 @@ type Options struct {
 	Epsilon float64
 	// Criterion selects the convergence test.
 	Criterion Criterion
+	// Objective selects the objective family (quadratic by default). The
+	// core SEA solvers minimize the quadratic objective only; the pkg/sea
+	// facade routes ObjectiveEntropy to the "entropy" solver, and handing
+	// an entropy objective directly to SolveDiagonal/SolveGeneral is an
+	// error rather than a silent wrong answer.
+	Objective Objective
 	// CheckEvery verifies convergence only every k-th iteration. The paper
 	// checks every iteration for the fixed examples and every other
 	// iteration for the elastic ones, noting the check is a serial phase.

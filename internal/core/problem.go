@@ -378,6 +378,57 @@ func (p *DiagonalProblem) Objective(x, s, d []float64) float64 {
 	return obj
 }
 
+// KLObjective evaluates the entropy-family objective at (x, s, d): the
+// weighted generalized Kullback–Leibler divergence of x from the prior,
+//
+//	Σ_ij γ_ij (x_ij·ln(x_ij/x⁰_ij) − x_ij + x⁰_ij)
+//
+// plus the same quadratic penalties on elastic totals as the quadratic
+// family (so the elastic dual relations s = s⁰ − λ/(2α) carry over
+// unchanged). The divergence is +∞ outside its domain: negative entries, or
+// a positive entry over a zero prior cell.
+func (p *DiagonalProblem) KLObjective(x, s, d []float64) float64 {
+	var obj float64
+	for k, v := range x {
+		x0 := p.X0[k]
+		switch {
+		case v < 0 || x0 < 0:
+			return math.Inf(1)
+		case v == 0:
+			obj += p.Gamma[k] * x0
+		case x0 == 0:
+			return math.Inf(1)
+		default:
+			obj += p.Gamma[k] * (v*math.Log(v/x0) - v + x0)
+		}
+	}
+	switch p.Kind {
+	case ElasticTotals:
+		for i, v := range s {
+			dev := v - p.S0[i]
+			obj += p.Alpha[i] * dev * dev
+		}
+		for j, v := range d {
+			dev := v - p.D0[j]
+			obj += p.Beta[j] * dev * dev
+		}
+	case Balanced:
+		for i, v := range s {
+			dev := v - p.S0[i]
+			obj += p.Alpha[i] * dev * dev
+		}
+	}
+	return obj
+}
+
+// ObjectiveFor evaluates the objective of the given family at (x, s, d).
+func (p *DiagonalProblem) ObjectiveFor(obj Objective, x, s, d []float64) float64 {
+	if obj == ObjectiveEntropy {
+		return p.KLObjective(x, s, d)
+	}
+	return p.Objective(x, s, d)
+}
+
 // clampEntry applies entry k's box constraints to a stationary value.
 func (p *DiagonalProblem) clampEntry(k int, v float64) float64 {
 	lo := 0.0

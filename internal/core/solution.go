@@ -60,8 +60,13 @@ type Solution struct {
 	Status Status
 	// Residual is the final value of the convergence measure.
 	Residual float64
-	// Objective is the objective value at X (and S, D).
+	// Objective is the objective value at X (and S, D), evaluated under the
+	// ObjectiveKind family.
 	Objective float64
+	// ObjectiveKind is the objective family Objective was evaluated under:
+	// ObjectiveQuadratic for every solver except "entropy" (and the scaling
+	// baselines when an entropy objective was requested).
+	ObjectiveKind Objective
 	// DualValue is ζ_l(λ, μ); at the optimum it equals Objective (strong
 	// duality), so Objective − DualValue is a computable optimality gap.
 	DualValue float64
@@ -115,6 +120,7 @@ func (s *Solution) CopyInto(dst *Solution) {
 	dst.Status = s.Status
 	dst.Residual = s.Residual
 	dst.Objective = s.Objective
+	dst.ObjectiveKind = s.ObjectiveKind
 	dst.DualValue = s.DualValue
 	dst.PrecondNs = s.PrecondNs
 }

@@ -231,6 +231,32 @@ func TestOpsModelSmall(t *testing.T) {
 	}
 }
 
+// TestSequenceSweepSmall: the temporal sweep produces one row per standard
+// spec, and the chained pass must spend strictly fewer total iterations than
+// the cold pass — the property the sequence/ perf records gate.
+func TestSequenceSweepSmall(t *testing.T) {
+	cfg := Config{Scale: 0.2, Procs: 1}
+	rows, err := SequenceSweep(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("got %d rows, want at least 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Periods <= 0 || r.ColdNs <= 0 || r.ChainedNs <= 0 {
+			t.Fatalf("bad row: %+v", r)
+		}
+		if r.ChainedIters >= r.ColdIters {
+			t.Fatalf("%s: chained pass saved nothing (%d chained vs %d cold iterations)",
+				r.Name, r.ChainedIters, r.ColdIters)
+		}
+		if r.IterSavedPct() <= 0 || r.IterSavedPct() >= 100 {
+			t.Fatalf("%s: IterSavedPct = %g", r.Name, r.IterSavedPct())
+		}
+	}
+}
+
 func TestConfigHelpers(t *testing.T) {
 	c := Config{Scale: 0.5}
 	if c.dim(100) != 50 {

@@ -86,6 +86,12 @@ type PerfRecord struct {
 	// stage's wall time in nanoseconds — the upfront cost the cut in
 	// outer iterations has to repay for a net wall-clock win.
 	PrecondNs int64 `json:"precond_ns,omitempty"`
+	// Periods, set on the "sequence/" records, is the temporal sequence's
+	// length: NsPerOp is mean wall per period, Iterations the total over the
+	// sequence, and the "/chained" record's SpeedupVsSerial is the cold
+	// per-period wall divided by the chained one (see
+	// experiments.SequenceSweep).
+	Periods int `json:"periods,omitempty"`
 	// Simulated marks records whose Procs exceeds the machine's physical
 	// core count: the speedup comes from replaying the solve's recorded
 	// per-task cost trace on parsim's simulated N-processor machine
@@ -418,6 +424,40 @@ func PerfSuite(ctx context.Context, cfg Config) (PerfReport, error) {
 				SpeedupVsSerial: float64(serialNs) / float64(nsPerOp),
 				Nnz:             nnz,
 				NsPerIter:       perIter(nsPerOp, sol.Iterations),
+			})
+		}
+	}
+
+	// Temporal-sequence records: each standard drifting series measured
+	// cold and chained (see SequenceSweep). The chained record's
+	// SpeedupVsSerial is the serving payoff of the sequence-session layer;
+	// its OuterIterations are deterministic, so -compare gates them like any
+	// solve record.
+	if matches("sequence/") {
+		rows, err := SequenceSweep(ctx, cfg)
+		if err != nil {
+			return report, fmt.Errorf("perf sequence: %w", err)
+		}
+		for _, r := range rows {
+			report.Records = append(report.Records, PerfRecord{
+				Name:            "sequence/" + r.Name + "/cold",
+				Procs:           1,
+				NsPerOp:         r.ColdNs,
+				Iterations:      r.ColdIters,
+				OuterIterations: r.ColdIters,
+				SpeedupVsSerial: 1,
+				Periods:         r.Periods,
+				NsPerIter:       perIter(r.ColdNs*int64(r.Periods), r.ColdIters),
+			})
+			report.Records = append(report.Records, PerfRecord{
+				Name:            "sequence/" + r.Name + "/chained",
+				Procs:           1,
+				NsPerOp:         r.ChainedNs,
+				Iterations:      r.ChainedIters,
+				OuterIterations: r.ChainedIters,
+				SpeedupVsSerial: r.Speedup(),
+				Periods:         r.Periods,
+				NsPerIter:       perIter(r.ChainedNs*int64(r.Periods), r.ChainedIters),
 			})
 		}
 	}

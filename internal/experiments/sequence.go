@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sea/internal/core"
+	"sea/internal/parallel"
+	"sea/internal/problems"
+)
+
+// SequenceRow is one temporal-sequence measurement: the same drifting
+// monthly series solved cold (every period from scratch) and chained (one
+// session: shared arena plus the previous period's converged duals seeding
+// Mu0). The iteration saving is deterministic; the wall-clock ratio is the
+// serving payoff the sequence-session layer exists for.
+type SequenceRow struct {
+	// Name is the temporal family (problems.TemporalSpec.Name).
+	Name string
+	// M, N is the per-period table shape, Periods the sequence length.
+	M, N, Periods int
+	// ColdNs / ChainedNs are mean wall nanoseconds per period.
+	ColdNs, ChainedNs int64
+	// ColdIters / ChainedIters are total outer iterations over the sequence.
+	ColdIters, ChainedIters int
+}
+
+// Speedup is the cold-over-chained wall ratio per period.
+func (r SequenceRow) Speedup() float64 {
+	if r.ChainedNs <= 0 {
+		return 0
+	}
+	return float64(r.ColdNs) / float64(r.ChainedNs)
+}
+
+// IterSavedPct is the fraction of outer iterations the chaining removed.
+func (r SequenceRow) IterSavedPct() float64 {
+	if r.ColdIters <= 0 {
+		return 0
+	}
+	return 100 * float64(r.ColdIters-r.ChainedIters) / float64(r.ColdIters)
+}
+
+// SequenceSweep measures the standard temporal specs cold vs chained. All
+// solves are serial (Procs = 1): the chained savings are an algorithmic
+// effect (fewer iterations), and serial timing keeps the iteration counts
+// deterministic for the -compare gate.
+func SequenceSweep(ctx context.Context, cfg Config) ([]SequenceRow, error) {
+	var out []SequenceRow
+	for _, spec := range problems.StandardTemporalSpecs() {
+		spec.M = cfg.dim(spec.M)
+		spec.N = cfg.dim(spec.N)
+		periods := problems.Temporal(spec)
+		row := SequenceRow{Name: spec.Name, M: spec.M, N: spec.N, Periods: spec.Periods}
+
+		pool := parallel.NewPool(1)
+		opts := func() *core.Options {
+			o := core.DefaultOptions()
+			o.Epsilon = cfg.eps(1e-8)
+			o.MaxIterations = 500000
+			o.Runner = pool
+			return o
+		}
+
+		// Cold: each period solved from scratch, nothing shared.
+		coldStart := time.Now()
+		for i, p := range periods {
+			sol, err := core.SolveDiagonal(ctx, p, opts())
+			if err != nil {
+				pool.Close()
+				return out, fmt.Errorf("sequence %s cold period %d: %w", spec.Name, i, err)
+			}
+			row.ColdIters += sol.Iterations
+		}
+		row.ColdNs = time.Since(coldStart).Nanoseconds() / int64(spec.Periods)
+
+		// Chained: one arena and the previous period's duals carried forward
+		// — the core-level equivalent of sea.Session with WithDualWarmStart.
+		arena := core.NewArena()
+		var prevMu []float64
+		chainStart := time.Now()
+		for i, p := range periods {
+			o := opts()
+			o.Arena = arena
+			o.Mu0 = prevMu
+			sol, err := core.SolveDiagonal(ctx, p, o)
+			if err != nil {
+				arena.Close()
+				pool.Close()
+				return out, fmt.Errorf("sequence %s chained period %d: %w", spec.Name, i, err)
+			}
+			row.ChainedIters += sol.Iterations
+			prevMu = append(prevMu[:0], sol.Mu...)
+		}
+		row.ChainedNs = time.Since(chainStart).Nanoseconds() / int64(spec.Periods)
+		arena.Close()
+		pool.Close()
+		out = append(out, row)
+	}
+	return out, nil
+}

@@ -83,6 +83,15 @@ func FuzzReadProblem(f *testing.F) {
 		`{"kind":"balanced","m":2,"n":2,"x0":[1e-15,1e15,1e15,1e-15],"alpha":[1e-9,1e9]}`,
 		`{"m":2,"n":2,"x0":[1e-100,1e100,1e100,1e-100],"gamma":[1e-150,1e150,1e150,1e-150],"s0":[1e100,1e100],"d0":[1e100,1e100]}`,
 		`{"kind":"fixed","storage":"csr","m":3,"n":3,"rows":[0,1,2],"cols":[0,1,2],"x0":[1e-290,1,1e290],"s0":[1e-290,1,1e290],"d0":[1e-290,1,1e290]}`,
+		// The objective attribute: the canonical spellings, the "kl" alias,
+		// and an unknown family. The parser accepts all of them — the field
+		// is solver routing, validated by ObjectiveKind at the request layer
+		// — and the core conversion drops it, so round-trips stay exact.
+		`{"kind":"fixed","m":2,"n":2,"x0":[1,2,3,4],"s0":[3,7],"d0":[4,6],"objective":"entropy"}`,
+		`{"kind":"fixed","m":2,"n":2,"x0":[1,2,3,4],"s0":[3,7],"d0":[4,6],"objective":"quadratic"}`,
+		`{"kind":"elastic","m":2,"n":2,"x0":[1,2,3,4],"s0":[3,7],"d0":[4,6],"alpha":[1,1],"beta":[1,1],"objective":"kl"}`,
+		`{"kind":"fixed","m":1,"n":1,"x0":[1],"s0":[1],"d0":[1],"objective":"huber"}`,
+		`{"kind":"fixed","storage":"csr","m":2,"n":2,"rows":[0,1],"cols":[0,1],"x0":[1,2],"s0":[1,2],"d0":[1,2],"objective":"entropy"}`,
 	} {
 		f.Add([]byte(s))
 	}

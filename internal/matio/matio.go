@@ -74,8 +74,13 @@ func WriteMatrixCSV(w io.Writer, m, n int, data []float64) error {
 // the reader rejects any other, so read→write→read is a fixed point.
 type Problem struct {
 	Kind string `json:"kind"` // "fixed", "elastic", "balanced" or "interval"
-	M    int    `json:"m"`
-	N    int    `json:"n"`
+	// Objective selects the objective family to minimize: "" or "quadratic"
+	// for the paper's weighted least squares, "entropy" (or "kl") for the
+	// KL divergence to the prior. It is a solve request attribute rather
+	// than problem data — ToCore ignores it; use ObjectiveKind.
+	Objective string `json:"objective,omitempty"`
+	M         int    `json:"m"`
+	N         int    `json:"n"`
 	// Storage selects the per-cell layout: "" or "dense" for row-major m×n
 	// arrays, "csr" for support-only arrays indexed by rows/cols triplets.
 	Storage string    `json:"storage,omitempty"`
@@ -205,6 +210,16 @@ func (j *Problem) ToCore() (*core.DiagonalProblem, error) {
 	return p, nil
 }
 
+// ObjectiveKind parses the container's objective field ("" defaults to
+// quadratic; "kl" is accepted as an alias for entropy).
+func (j *Problem) ObjectiveKind() (core.Objective, error) {
+	obj, err := core.ParseObjective(j.Objective)
+	if err != nil {
+		return core.ObjectiveQuadratic, fmt.Errorf("matio: %w", err)
+	}
+	return obj, nil
+}
+
 func ones(n int) []float64 {
 	v := make([]float64, n)
 	for i := range v {
@@ -213,11 +228,22 @@ func ones(n int) []float64 {
 	return v
 }
 
-// ReadProblemJSON decodes and validates a problem.
-func ReadProblemJSON(r io.Reader) (*core.DiagonalProblem, error) {
+// DecodeProblem decodes the raw JSON container without converting it to a
+// core problem, for callers that need request attributes (the objective
+// family) alongside the problem data. Call ToCore to validate.
+func DecodeProblem(r io.Reader) (*Problem, error) {
 	var j Problem
 	if err := json.NewDecoder(r).Decode(&j); err != nil {
 		return nil, fmt.Errorf("matio: %w", err)
+	}
+	return &j, nil
+}
+
+// ReadProblemJSON decodes and validates a problem.
+func ReadProblemJSON(r io.Reader) (*core.DiagonalProblem, error) {
+	j, err := DecodeProblem(r)
+	if err != nil {
+		return nil, err
 	}
 	return j.ToCore()
 }
@@ -243,6 +269,9 @@ type Solution struct {
 	Status    string  `json:"status"`
 	Residual  float64 `json:"residual"`
 	Objective float64 `json:"objective"`
+	// ObjectiveKind names the objective family the reported Objective value
+	// belongs to: "quadratic" or "entropy".
+	ObjectiveKind string `json:"objective_kind"`
 	// PrecondNs is the preconditioning stage's wall time in nanoseconds;
 	// zero (and omitted) when the solve did not precondition.
 	PrecondNs int64 `json:"precond_ns,omitempty"`
@@ -254,12 +283,13 @@ func SolutionFromCore(sol *core.Solution) *Solution {
 	return &Solution{
 		X: sol.X, S: sol.S, D: sol.D,
 		Lambda: sol.Lambda, Mu: sol.Mu,
-		Iterations: sol.Iterations,
-		Converged:  sol.Converged,
-		Status:     sol.Status.String(),
-		Residual:   sol.Residual,
-		Objective:  sol.Objective,
-		PrecondNs:  sol.PrecondNs,
+		Iterations:    sol.Iterations,
+		Converged:     sol.Converged,
+		Status:        sol.Status.String(),
+		Residual:      sol.Residual,
+		Objective:     sol.Objective,
+		ObjectiveKind: sol.ObjectiveKind.String(),
+		PrecondNs:     sol.PrecondNs,
 	}
 }
 

@@ -258,6 +258,62 @@ func TestMigrationVariantDifficulty(t *testing.T) {
 	}
 }
 
+func TestTemporalSequence(t *testing.T) {
+	spec := TemporalSpec{Name: "t", M: 12, N: 10, Periods: 5, Drift: 0.02, Seed: 17}
+	periods := Temporal(spec)
+	if len(periods) != spec.Periods {
+		t.Fatalf("got %d periods, want %d", len(periods), spec.Periods)
+	}
+	for p, prob := range periods {
+		if prob.M != spec.M || prob.N != spec.N {
+			t.Fatalf("period %d is %dx%d, want %dx%d", p, prob.M, prob.N, spec.M, spec.N)
+		}
+		if err := prob.Validate(); err != nil {
+			t.Fatalf("period %d: %v", p, err)
+		}
+		if math.Abs(mat.Sum(prob.S0)-mat.Sum(prob.D0)) > 1e-6*mat.Sum(prob.S0) {
+			t.Fatalf("period %d: totals inconsistent", p)
+		}
+	}
+	// Consecutive periods drift but stay close: the prior moves by roughly
+	// Drift per period, which is what makes dual warm starts pay off.
+	for p := 1; p < len(periods); p++ {
+		prev, cur := periods[p-1], periods[p]
+		var maxRel float64
+		for k := range cur.X0 {
+			rel := math.Abs(cur.X0[k]-prev.X0[k]) / prev.X0[k]
+			if rel > maxRel {
+				maxRel = rel
+			}
+		}
+		if maxRel == 0 {
+			t.Fatalf("period %d identical to period %d; no drift", p, p-1)
+		}
+		if maxRel > 10*spec.Drift {
+			t.Fatalf("period %d drifted %.1f%% from its predecessor; not a slow series", p, 100*maxRel)
+		}
+	}
+	// Determinism.
+	again := Temporal(spec)
+	for k := range again[2].X0 {
+		if again[2].X0[k] != periods[2].X0[k] {
+			t.Fatal("Temporal not deterministic")
+		}
+	}
+	// Standard specs are valid and distinct.
+	specs := StandardTemporalSpecs()
+	if len(specs) < 2 {
+		t.Fatalf("got %d standard temporal specs", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Fatalf("duplicate temporal spec %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
 func TestDenseDominant(t *testing.T) {
 	g := DenseDominant(60, 13, 500, 800)
 	if m := mat.DominanceMargin(g); m <= 0 {

@@ -1,0 +1,90 @@
+package problems
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"sea/internal/core"
+)
+
+// TemporalSpec describes a temporal sequence instance: an ordered stream of
+// same-shape fixed-totals tables whose priors drift slowly period to period
+// — the monthly trade/migration workload the sequence-session layer serves.
+// The per-row and per-column growth factors are drawn once for the whole
+// sequence, so the dual solution drifts as slowly as the prior does; that is
+// the structure that makes chaining one period's converged duals into the
+// next profitable.
+type TemporalSpec struct {
+	// Name keys the benchmark records (sequence/<Name>/...).
+	Name string
+	// M, N is the table shape shared by every period.
+	M, N int
+	// Periods is the sequence length.
+	Periods int
+	// Drift is the per-period relative prior perturbation (0.02 = each
+	// period's cells move ~2% per period index from the base table).
+	Drift float64
+	// Seed makes the sequence reproducible.
+	Seed uint64
+}
+
+// StandardTemporalSpecs returns the sequence suite the benchmarks run: a
+// small smoke-size series plus a serving-scale one.
+func StandardTemporalSpecs() []TemporalSpec {
+	return []TemporalSpec{
+		{Name: "monthly-40x30", M: 40, N: 30, Periods: 12, Drift: 0.02, Seed: 11},
+		{Name: "monthly-120x90", M: 120, N: 90, Periods: 12, Drift: 0.02, Seed: 12},
+	}
+}
+
+// Temporal builds the spec's sequence. Every period is a valid fixed-totals
+// problem: non-proportional targets (per-row/column growth factors,
+// rebalanced to a common mass) over a drifting prior with reciprocal
+// weights.
+func Temporal(spec TemporalSpec) []*core.DiagonalProblem {
+	m, n := spec.M, spec.N
+	rng := rand.New(rand.NewPCG(spec.Seed, 7))
+	base := make([]float64, m*n)
+	for k := range base {
+		base[k] = 1 + rng.Float64()*10
+	}
+	rowGrowth := make([]float64, m)
+	colGrowth := make([]float64, n)
+	for i := range rowGrowth {
+		rowGrowth[i] = 1.05 + 0.4*rng.Float64()
+	}
+	for j := range colGrowth {
+		colGrowth[j] = 1.05 + 0.4*rng.Float64()
+	}
+	out := make([]*core.DiagonalProblem, spec.Periods)
+	for p := 0; p < spec.Periods; p++ {
+		cur := make([]float64, m*n)
+		for k := range cur {
+			cur[k] = base[k] * (1 + spec.Drift*float64(p)*(0.5+rng.Float64()))
+		}
+		s0 := make([]float64, m)
+		d0 := make([]float64, n)
+		var totS, totD float64
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				s0[i] += rowGrowth[i] * cur[i*n+j]
+				d0[j] += colGrowth[j] * cur[i*n+j]
+			}
+		}
+		for _, v := range s0 {
+			totS += v
+		}
+		for _, v := range d0 {
+			totD += v
+		}
+		for j := range d0 {
+			d0[j] *= totS / totD
+		}
+		prob, err := core.NewFixed(m, n, cur, reciprocalWeights(cur), s0, d0)
+		if err != nil {
+			panic(fmt.Sprintf("problems: Temporal(%s) period %d: %v", spec.Name, p, err))
+		}
+		out[p] = prob
+	}
+	return out
+}

@@ -48,7 +48,7 @@ func TestCancelMidSolveDiagonal(t *testing.T) {
 		}
 	})
 
-	sol, err := Solve(ctx, "sea", WrapDiagonal(p), o)
+	sol, err := Solve(ctx, "sea", mustDiagonal(t, p), o)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -78,7 +78,7 @@ func TestCancelPropagatesToEverySolver(t *testing.T) {
 			// the factorization, so use a pre-cancelled context.
 			ctx, cancel := context.WithCancel(context.Background())
 			cancel()
-			if _, err := Solve(ctx, name, WrapDiagonal(p), nil); !errors.Is(err, context.Canceled) {
+			if _, err := Solve(ctx, name, mustDiagonal(t, p), nil); !errors.Is(err, context.Canceled) {
 				t.Errorf("%s: err = %v, want context.Canceled", name, err)
 			}
 			continue
@@ -93,7 +93,7 @@ func TestCancelPropagatesToEverySolver(t *testing.T) {
 		// solve that cannot converge (projgrad's Dykstra projections).
 		o.Trace = TraceFunc(func(ev TraceEvent) { cancel() })
 		timer := time.AfterFunc(15*time.Millisecond, cancel)
-		_, err := Solve(ctx, name, WrapDiagonal(p), o)
+		_, err := Solve(ctx, name, mustDiagonal(t, p), o)
 		timer.Stop()
 		cancel()
 		if !errors.Is(err, context.Canceled) {
@@ -112,7 +112,7 @@ func TestDeadlineExceeded(t *testing.T) {
 	o := DefaultOptions()
 	o.Epsilon = 1e-300
 	o.MaxIterations = 1 << 30
-	if _, err := Solve(ctx, "sea", WrapDiagonal(p), o); !errors.Is(err, context.DeadlineExceeded) {
+	if _, err := Solve(ctx, "sea", mustDiagonal(t, p), o); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}
 }
@@ -133,7 +133,7 @@ func TestCancelWithSharedPool(t *testing.T) {
 			cancel()
 		}
 	})
-	if _, err := Solve(ctx, "sea", WrapDiagonal(p), o); !errors.Is(err, context.Canceled) {
+	if _, err := Solve(ctx, "sea", mustDiagonal(t, p), o); !errors.Is(err, context.Canceled) {
 		t.Fatalf("first solve: err = %v, want context.Canceled", err)
 	}
 	cancel()
@@ -144,7 +144,7 @@ func TestCancelWithSharedPool(t *testing.T) {
 	o2.Criterion = DualGradient
 	o2.MaxIterations = 500000
 	o2.Procs = 4
-	sol, err := Solve(context.Background(), "sea", WrapDiagonal(p), o2)
+	sol, err := Solve(context.Background(), "sea", mustDiagonal(t, p), o2)
 	if err != nil {
 		t.Fatalf("solve after cancellation: %v", err)
 	}

@@ -37,6 +37,8 @@ var (
 	// admission control rejects a request: the in-flight limit is reached
 	// and the waiting queue is full.
 	ErrSaturated = errors.New("sea: server saturated")
+	// ErrSessionClosed is returned by Session.Solve after Close.
+	ErrSessionClosed = errors.New("sea: session closed")
 
 	// ErrNotConverged is returned (wrapped, alongside the best iterate) when
 	// the iteration limit is exhausted before the criterion is met.

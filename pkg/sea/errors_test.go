@@ -14,7 +14,7 @@ func TestUnknownSolverSentinel(t *testing.T) {
 	if _, err := Get("nope"); !errors.Is(err, ErrUnknownSolver) {
 		t.Fatalf("Get: err = %v, want ErrUnknownSolver", err)
 	}
-	_, err := Solve(context.Background(), "nope", WrapDiagonal(testFixed(t, 3, 3, 1)), nil)
+	_, err := Solve(context.Background(), "nope", mustDiagonal(t, testFixed(t, 3, 3, 1)), nil)
 	if !errors.Is(err, ErrUnknownSolver) {
 		t.Fatalf("Solve: err = %v, want ErrUnknownSolver", err)
 	}
@@ -49,7 +49,7 @@ func TestInvalidProblemSentinel(t *testing.T) {
 			if err != nil {
 				return err
 			}
-			_, err = Solve(context.Background(), "sea", WrapGeneral(g), nil)
+			_, err = Solve(context.Background(), "sea", mustGeneral(t, g), nil)
 			return err
 		}},
 		{"ras on a non-fixed kind", func() error {
@@ -57,7 +57,7 @@ func TestInvalidProblemSentinel(t *testing.T) {
 			elastic.Kind = ElasticTotals
 			elastic.Alpha = []float64{1, 1, 1}
 			elastic.Beta = []float64{1, 1, 1}
-			_, err := Solve(context.Background(), "ras", WrapDiagonal(&elastic), nil)
+			_, err := Solve(context.Background(), "ras", mustDiagonal(t, &elastic), nil)
 			return err
 		}},
 		{"invalid representation via NewDiagonal", func() error {

@@ -1,0 +1,173 @@
+package sea
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"testing"
+
+	"sea/internal/matio"
+)
+
+// TestObjectiveRoutingThroughSea: Solve(ctx, "sea", p, o) with an entropy
+// objective must delegate to the "entropy" solver — same result, and the
+// solution is stamped with the entropy family.
+func TestObjectiveRoutingThroughSea(t *testing.T) {
+	p := mustDiagonal(t, testFixed(t, 6, 5, 1.3))
+	o := DefaultOptions()
+	o.Epsilon = 1e-9
+	o.MaxIterations = 200000
+	o.Objective = ObjectiveEntropy
+	viaSea, err := Solve(context.Background(), "sea", p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Solve(context.Background(), "entropy", p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaSea.ObjectiveKind != ObjectiveEntropy || direct.ObjectiveKind != ObjectiveEntropy {
+		t.Fatalf("ObjectiveKind: via sea %v, direct %v, want entropy", viaSea.ObjectiveKind, direct.ObjectiveKind)
+	}
+	for k := range viaSea.X {
+		if viaSea.X[k] != direct.X[k] {
+			t.Fatalf("routing changed the solution at %d: %v vs %v", k, viaSea.X[k], direct.X[k])
+		}
+	}
+	rep := CheckKKTObjective(p.Diagonal, viaSea, ObjectiveEntropy)
+	if !rep.Satisfied(1e-6) {
+		t.Fatalf("entropy KKT violated through the facade: %+v", rep)
+	}
+}
+
+// TestQuadraticOnlySolversRejectEntropy: every solver whose algorithm
+// minimizes the quadratic family must reject an entropy objective with
+// ErrInvalidProblem instead of silently minimizing the wrong function.
+func TestQuadraticOnlySolversRejectEntropy(t *testing.T) {
+	p := mustDiagonal(t, testFixed(t, 4, 4, 1.2))
+	o := DefaultOptions()
+	o.Objective = ObjectiveEntropy
+	for _, name := range []string{"sea-general", "rc", "bk", "dykstra", "projgrad", "unsigned", "isp"} {
+		if _, err := Solve(context.Background(), name, p, o); !errors.Is(err, ErrInvalidProblem) {
+			t.Errorf("%s with entropy objective: err = %v, want ErrInvalidProblem", name, err)
+		}
+	}
+}
+
+// TestScalingBaselinesReportRequestedFamily: "ras" and "sinkhorn" are entropy
+// solvers by construction; with an entropy objective they must report the KL
+// objective value and family instead of the cross-family quadratic default.
+func TestScalingBaselinesReportRequestedFamily(t *testing.T) {
+	d := testFixed(t, 5, 5, 1.2)
+	p := mustDiagonal(t, d)
+	for _, name := range []string{"ras", "sinkhorn"} {
+		o := DefaultOptions()
+		o.Epsilon = 1e-10
+		o.MaxIterations = 500000
+		o.Objective = ObjectiveEntropy
+		sol, err := Solve(context.Background(), name, p, o)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sol.ObjectiveKind != ObjectiveEntropy {
+			t.Errorf("%s: ObjectiveKind = %v, want entropy", name, sol.ObjectiveKind)
+		}
+		want := d.KLObjective(sol.X, sol.S, sol.D)
+		if math.Abs(sol.Objective-want) > 1e-12*(1+math.Abs(want)) {
+			t.Errorf("%s: Objective = %g, want the KL value %g", name, sol.Objective, want)
+		}
+	}
+}
+
+// TestParseObjective pins the wire spellings.
+func TestParseObjective(t *testing.T) {
+	for s, want := range map[string]Objective{
+		"":          ObjectiveQuadratic,
+		"quadratic": ObjectiveQuadratic,
+		"entropy":   ObjectiveEntropy,
+		"kl":        ObjectiveEntropy,
+	} {
+		got, err := ParseObjective(s)
+		if err != nil || got != want {
+			t.Errorf("ParseObjective(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseObjective("huber"); err == nil {
+		t.Error("ParseObjective accepted an unknown family")
+	}
+	if ObjectiveQuadratic.String() != "quadratic" || ObjectiveEntropy.String() != "entropy" {
+		t.Error("Objective.String() wire spellings changed")
+	}
+}
+
+// TestObjectiveDivergenceFixture solves the committed fixture under both
+// families and pins the documented divergence: each solution matches its
+// golden matrix, certifies under its own objective's KKT conditions, and the
+// two optima genuinely differ (they answer different questions).
+func TestObjectiveDivergenceFixture(t *testing.T) {
+	f, err := os.Open("testdata/objective_divergence.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var fx struct {
+		Problem            *matio.Problem `json:"problem"`
+		QuadraticX         []float64      `json:"quadratic_x"`
+		QuadraticObjective float64        `json:"quadratic_objective"`
+		EntropyX           []float64      `json:"entropy_x"`
+		EntropyObjective   float64        `json:"entropy_objective"`
+	}
+	if err := json.NewDecoder(f).Decode(&fx); err != nil {
+		t.Fatal(err)
+	}
+	d, err := fx.Problem.ToCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mustDiagonal(t, d)
+
+	oq := DefaultOptions()
+	oq.Epsilon = 1e-10
+	oq.Criterion = DualGradient
+	oq.MaxIterations = 500000
+	quad, err := Solve(context.Background(), "sea", p, oq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oe := DefaultOptions()
+	oe.Epsilon = 1e-10
+	oe.MaxIterations = 500000
+	oe.Objective = ObjectiveEntropy
+	ent, err := Solve(context.Background(), "sea", p, oe)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, got, golden []float64) {
+		t.Helper()
+		for k := range golden {
+			if math.Abs(got[k]-golden[k]) > 1e-6*(1+math.Abs(golden[k])) {
+				t.Fatalf("%s: X[%d] = %g, golden %g", name, k, got[k], golden[k])
+			}
+		}
+	}
+	check("quadratic", quad.X, fx.QuadraticX)
+	check("entropy", ent.X, fx.EntropyX)
+	if !CheckKKT(d, quad).Satisfied(1e-6) {
+		t.Fatal("quadratic solution fails its own KKT conditions")
+	}
+	if !CheckKKTObjective(d, ent, ObjectiveEntropy).Satisfied(1e-6) {
+		t.Fatal("entropy solution fails its own KKT conditions")
+	}
+	var maxRel float64
+	for k := range quad.X {
+		if r := math.Abs(quad.X[k]-ent.X[k]) / (1 + math.Abs(quad.X[k])); r > maxRel {
+			maxRel = r
+		}
+	}
+	if maxRel < 1e-3 {
+		t.Fatalf("families coincide (max rel diff %g); the fixture should document a real divergence", maxRel)
+	}
+}

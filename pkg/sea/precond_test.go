@@ -17,7 +17,9 @@ func TestScalingSolversRejectNonFinitePrior(t *testing.T) {
 		x0[4] = bad
 		p.X0 = x0
 		for _, solver := range []string{"sea", "sinkhorn", "isp", "ras"} {
-			_, err := Solve(context.Background(), solver, WrapDiagonal(p), nil)
+			// Deliberately-invalid data: skip the validating constructor and
+			// let Solve's own validation surface the sentinel.
+			_, err := Solve(context.Background(), solver, &Problem{Diagonal: p}, nil)
 			if !errors.Is(err, ErrInvalidProblem) {
 				t.Errorf("%s with X0 cell %v: err = %v, want ErrInvalidProblem", solver, bad, err)
 			}

@@ -61,6 +61,13 @@ type (
 	// Precond selects the preconditioning stage run before the diagonal
 	// solver's SEA sweeps (Options.Precondition).
 	Precond = core.Precond
+	// Objective selects the objective family a solve minimizes
+	// (Options.Objective): the paper's weighted least squares, or the
+	// KL/entropy divergence to the prior.
+	Objective = core.Objective
+	// KKTReport quantifies KKT satisfaction of a candidate solution (see
+	// CheckKKT in the core); re-exported for callers verifying solutions.
+	KKTReport = core.KKTReport
 	// Trace is the pluggable per-iteration observer (Options.Trace).
 	Trace = trace.Observer
 	// TraceEvent is one observed iteration's progress report.
@@ -97,6 +104,31 @@ const (
 // ParsePrecond maps the flag/query spellings ("none", "scale", "sinkhorn",
 // "isp") to a Precond value.
 var ParsePrecond = core.ParsePrecond
+
+// Objective families (Options.Objective); see core.Objective. The facade
+// routes: Solve(ctx, "sea", p, opts) with ObjectiveEntropy delegates to the
+// "entropy" solver, while the remaining quadratic-only solvers reject the
+// entropy objective with ErrInvalidProblem rather than silently minimizing
+// the wrong function. The scaling baselines "ras" and "sinkhorn" accept
+// both (they are entropy solvers by construction) and report the requested
+// family's objective value.
+const (
+	ObjectiveQuadratic = core.ObjectiveQuadratic
+	ObjectiveEntropy   = core.ObjectiveEntropy
+)
+
+// ParseObjective maps the flag/query/wire spellings ("quadratic", "entropy",
+// "kl") to an Objective value.
+var ParseObjective = core.ParseObjective
+
+// CheckKKT evaluates the KKT conditions of sol for the diagonal problem p
+// under the quadratic objective; CheckKKTObjective selects the family —
+// convexity makes KKT satisfaction a certificate of global optimality, so
+// these are the solver-independent verification hooks.
+var (
+	CheckKKT          = core.CheckKKT
+	CheckKKTObjective = core.CheckKKTObjective
+)
 
 // Solve outcome statuses; see Solution.Status and the Status type.
 const (
@@ -212,16 +244,6 @@ func NewGeneral(g *GeneralProblem) (*Problem, error) {
 	}
 	return p, nil
 }
-
-// WrapDiagonal wraps a diagonal problem for the registry without validating.
-//
-// Deprecated: use NewDiagonal, which validates at construction.
-func WrapDiagonal(p *DiagonalProblem) *Problem { return &Problem{Diagonal: p} }
-
-// WrapGeneral wraps a general problem for the registry without validating.
-//
-// Deprecated: use NewGeneral, which validates at construction.
-func WrapGeneral(p *GeneralProblem) *Problem { return &Problem{General: p} }
 
 // Validate checks that exactly one representation is present and valid.
 // Every failure wraps ErrInvalidProblem (infeasibilities additionally wrap

@@ -34,6 +34,27 @@ func testFixed(t testing.TB, m, n int, growth float64) *DiagonalProblem {
 	return p
 }
 
+// mustDiagonal wraps a valid diagonal representation through the validated
+// constructor, failing the test on rejection.
+func mustDiagonal(t testing.TB, d *DiagonalProblem) *Problem {
+	t.Helper()
+	p, err := NewDiagonal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// mustGeneral is mustDiagonal for the general representation.
+func mustGeneral(t testing.TB, g *GeneralProblem) *Problem {
+	t.Helper()
+	p, err := NewGeneral(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 // TestRegistryListsAllSolvers pins the built-in registry contents.
 func TestRegistryListsAllSolvers(t *testing.T) {
 	want := []string{"bk", "dykstra", "projgrad", "ras", "rc", "sea", "sea-general", "unsigned"}
@@ -66,7 +87,7 @@ func TestEverySolverSolvesFixedTotals(t *testing.T) {
 		o.Epsilon = 1e-8
 		o.Criterion = DualGradient
 		o.MaxIterations = 500000
-		sol, err := Solve(context.Background(), name, WrapDiagonal(p), o)
+		sol, err := Solve(context.Background(), name, mustDiagonal(t, p), o)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -95,12 +116,12 @@ func TestQuadraticSolversAgree(t *testing.T) {
 	o.Epsilon = 1e-9
 	o.Criterion = DualGradient
 	o.MaxIterations = 500000
-	ref, err := Solve(context.Background(), "sea", WrapDiagonal(p), o)
+	ref, err := Solve(context.Background(), "sea", mustDiagonal(t, p), o)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"sea-general", "rc", "bk", "dykstra", "projgrad"} {
-		sol, err := Solve(context.Background(), name, WrapDiagonal(p), o)
+		sol, err := Solve(context.Background(), name, mustDiagonal(t, p), o)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -111,7 +132,7 @@ func TestQuadraticSolversAgree(t *testing.T) {
 }
 
 func TestUnknownSolverErrorListsRegistry(t *testing.T) {
-	_, err := Solve(context.Background(), "no-such-solver", WrapDiagonal(testFixed(t, 2, 2, 1)), nil)
+	_, err := Solve(context.Background(), "no-such-solver", mustDiagonal(t, testFixed(t, 2, 2, 1)), nil)
 	if err == nil {
 		t.Fatal("unknown solver accepted")
 	}
@@ -142,7 +163,7 @@ func TestProblemValidation(t *testing.T) {
 		t.Error("ambiguous problem validated")
 	}
 	// A general problem handed to a diagonal-only solver must error clearly.
-	if _, err := Solve(context.Background(), "sea", WrapGeneral(g), nil); err == nil {
+	if _, err := Solve(context.Background(), "sea", mustGeneral(t, g), nil); err == nil {
 		t.Error("diagonal-only solver accepted a general problem")
 	}
 }
@@ -155,7 +176,7 @@ func TestDiagonalLiftIsExact(t *testing.T) {
 	o.Epsilon = 1e-9
 	o.Criterion = DualGradient
 	o.MaxIterations = 500000
-	diag, err := Solve(context.Background(), "sea", WrapDiagonal(d), o)
+	diag, err := Solve(context.Background(), "sea", mustDiagonal(t, d), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +184,7 @@ func TestDiagonalLiftIsExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gen, err := Solve(context.Background(), "sea-general", WrapGeneral(g), o)
+	gen, err := Solve(context.Background(), "sea-general", mustGeneral(t, g), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +205,7 @@ func TestTraceObserverReceivesEvents(t *testing.T) {
 	o.Criterion = DualGradient
 	o.MaxIterations = 100000
 	o.Trace = &col
-	sol, err := Solve(context.Background(), "sea", WrapDiagonal(p), o)
+	sol, err := Solve(context.Background(), "sea", mustDiagonal(t, p), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +218,7 @@ func TestTraceObserverReceivesEvents(t *testing.T) {
 	o2.Criterion = DualGradient
 	o2.MaxIterations = 100000
 	o2.Trace = MultiTrace(nil, NewTraceWriter(&sb, 1))
-	if _, err := Solve(context.Background(), "sea", WrapDiagonal(p), o2); err != nil {
+	if _, err := Solve(context.Background(), "sea", mustDiagonal(t, p), o2); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "sea: iter=1") {

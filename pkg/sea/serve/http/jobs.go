@@ -201,12 +201,12 @@ type jobView struct {
 // a poll), then the solve runs on the handler's base context — detached
 // from the HTTP request, cancelled by DELETE or Close.
 func (h *Handler) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
-	p, err := h.readProblem(w, r)
+	p, bodyObj, hasBodyObj, err := h.readProblem(w, r)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	opts, err := h.requestOptions(r)
+	opts, err := h.requestOptions(r, bodyObj, hasBodyObj)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -53,10 +53,15 @@ type Backend interface {
 	// configured template) plus a trace observer — the streamed-trace job
 	// path.
 	SubmitTraced(ctx context.Context, p *sea.Problem, opts *sea.Options, obs sea.Trace) (*sea.Solution, error)
-	// RequestOptions resolves a per-request preconditioning override against
-	// the backend's configured template; nil means the template already
-	// matches and the warm zero-alloc submit path applies.
-	RequestOptions(precond sea.Precond) *sea.Options
+	// RequestOptions resolves per-request overrides (preconditioning,
+	// objective family) against the backend's configured template; nil means
+	// the template already matches and the warm zero-alloc submit path
+	// applies.
+	RequestOptions(overrides ...serve.Override) *sea.Options
+	// NewSession opens a temporal-sequence session: an ordered stream of
+	// same-shape problems chaining warm state period to period. The /v1
+	// sequences endpoints ride this.
+	NewSession(cfg serve.SessionConfig) (*serve.Session, error)
 	Stats() serve.Stats
 }
 
@@ -83,6 +88,9 @@ type Config struct {
 	// subscribers that attach mid-solve (default 1024). Older events are
 	// dropped oldest-first and reported in the stream's closing summary.
 	TraceBuffer int
+	// MaxSequences caps concurrently open sequence sessions (default 64).
+	// Beyond it, POST /v1/sequences answers 429.
+	MaxSequences int
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +106,9 @@ func (c Config) withDefaults() Config {
 	if c.TraceBuffer <= 0 {
 		c.TraceBuffer = 1024
 	}
+	if c.MaxSequences <= 0 {
+		c.MaxSequences = 64
+	}
 	return c
 }
 
@@ -108,6 +119,7 @@ type Handler struct {
 	cfg     Config
 	mux     *http.ServeMux
 	jobs    *jobStore
+	seqs    *sequenceStore
 
 	// baseCtx parents every asynchronous job's context, so Close cancels
 	// all running jobs at once.
@@ -128,11 +140,16 @@ func New(b Backend, cfg Config) *Handler {
 	}
 	h.baseCtx, h.cancel = context.WithCancel(context.Background())
 	h.jobs = newJobStore(h.cfg.MaxJobs, h.cfg.JobTTL)
+	h.seqs = newSequenceStore(h.cfg.MaxSequences)
 	h.mux.HandleFunc("POST /v1/solve", h.handleSolve)
 	h.mux.HandleFunc("POST /v1/jobs", h.handleSubmitJob)
 	h.mux.HandleFunc("GET /v1/jobs/{id}", h.handlePollJob)
 	h.mux.HandleFunc("DELETE /v1/jobs/{id}", h.handleCancelJob)
 	h.mux.HandleFunc("GET /v1/jobs/{id}/trace", h.handleTraceStream)
+	h.mux.HandleFunc("POST /v1/sequences", h.handleCreateSequence)
+	h.mux.HandleFunc("POST /v1/sequences/{id}/solve", h.handleSequenceSolve)
+	h.mux.HandleFunc("GET /v1/sequences/{id}", h.handleSequenceStats)
+	h.mux.HandleFunc("DELETE /v1/sequences/{id}", h.handleCloseSequence)
 	h.mux.HandleFunc("GET /v1/stats", h.handleStats)
 	h.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -162,6 +179,9 @@ func (h *Handler) Close() {
 	h.mu.Unlock()
 	h.cancel()
 	h.wg.Wait()
+	// Sequence sessions close after the drain barrier: a session Solve in
+	// flight holds the session's serialization token, and Close waits on it.
+	h.seqs.closeAll()
 }
 
 func (h *Handler) isClosed() bool {
@@ -182,18 +202,29 @@ func (h *Handler) track() (release func(), ok bool) {
 	return h.wg.Done, true
 }
 
-// readProblem decodes and validates the request body's problem JSON.
-func (h *Handler) readProblem(w http.ResponseWriter, r *http.Request) (*sea.Problem, error) {
+// readProblem decodes and validates the request body's problem JSON. The
+// body's optional "objective" attribute is returned alongside (hasObj
+// reports whether it was present); an unknown family fails here with 400.
+func (h *Handler) readProblem(w http.ResponseWriter, r *http.Request) (p *sea.Problem, obj sea.Objective, hasObj bool, err error) {
 	body := http.MaxBytesReader(w, r.Body, h.cfg.MaxBodyBytes)
-	d, err := matio.ReadProblemJSON(body)
+	jp, err := matio.DecodeProblem(body)
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			return nil, fmt.Errorf("%w: body exceeds %d bytes", errBodyTooLarge, tooLarge.Limit)
+			return nil, 0, false, fmt.Errorf("%w: body exceeds %d bytes", errBodyTooLarge, tooLarge.Limit)
 		}
-		return nil, fmt.Errorf("%w: %w", sea.ErrInvalidProblem, err)
+		return nil, 0, false, fmt.Errorf("%w: %w", sea.ErrInvalidProblem, err)
 	}
-	return sea.NewDiagonal(d)
+	obj, err = jp.ObjectiveKind()
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("%w: %w", sea.ErrInvalidProblem, err)
+	}
+	d, err := jp.ToCore()
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("%w: %w", sea.ErrInvalidProblem, err)
+	}
+	p, err = sea.NewDiagonal(d)
+	return p, obj, jp.Objective != "", err
 }
 
 // requestContext derives the solve context: the caller's tenant header and
@@ -213,31 +244,55 @@ func requestContext(ctx context.Context, r *http.Request) (context.Context, cont
 	return ctx, func() {}, nil
 }
 
-// requestOptions resolves the ?precondition= query parameter against the
+// requestOverrides parses the per-request override parameters —
+// ?precondition= and ?objective= — into serve overrides. The body's
+// objective attribute participates too; the query parameter wins when both
+// are present. Bad values fail with 400 before the backend is consulted.
+func requestOverrides(r *http.Request, bodyObj sea.Objective, hasBodyObj bool) ([]serve.Override, error) {
+	var overrides []serve.Override
+	if v := r.URL.Query().Get("precondition"); v != "" {
+		pc, err := sea.ParsePrecond(v)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+		}
+		overrides = append(overrides, serve.WithPrecond(pc))
+	}
+	if v := r.URL.Query().Get("objective"); v != "" {
+		obj, err := sea.ParseObjective(v)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+		}
+		overrides = append(overrides, serve.WithObjective(obj))
+	} else if hasBodyObj {
+		overrides = append(overrides, serve.WithObjective(bodyObj))
+	}
+	return overrides, nil
+}
+
+// requestOptions resolves the request's override parameters against the
 // backend's option template: absent or matching values return nil (the
 // warm zero-alloc submit path), anything else a one-request option clone.
-func (h *Handler) requestOptions(r *http.Request) (*sea.Options, error) {
-	v := r.URL.Query().Get("precondition")
-	if v == "" {
+func (h *Handler) requestOptions(r *http.Request, bodyObj sea.Objective, hasBodyObj bool) (*sea.Options, error) {
+	overrides, err := requestOverrides(r, bodyObj, hasBodyObj)
+	if err != nil {
+		return nil, err
+	}
+	if len(overrides) == 0 {
 		return nil, nil
 	}
-	pc, err := sea.ParsePrecond(v)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
-	}
-	return h.backend.RequestOptions(pc), nil
+	return h.backend.RequestOptions(overrides...), nil
 }
 
 // handleSolve is the synchronous path: decode, submit, encode. It is the
 // hot endpoint the load generator drives; everything per-request lives on
 // the stack or in the decoder.
 func (h *Handler) handleSolve(w http.ResponseWriter, r *http.Request) {
-	p, err := h.readProblem(w, r)
+	p, bodyObj, hasBodyObj, err := h.readProblem(w, r)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	opts, err := h.requestOptions(r)
+	opts, err := h.requestOptions(r, bodyObj, hasBodyObj)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -275,5 +330,6 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.Jobs = h.jobs.counts()
+	resp.Sequences = h.seqs.count()
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,284 @@
+package seahttp
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"sea/internal/matio"
+	"sea/internal/problems"
+	"sea/pkg/sea"
+	"sea/pkg/sea/serve"
+)
+
+// postJSON posts v (already-encoded JSON) and decodes the response into out.
+func postJSON(t *testing.T, url string, body []byte, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decode: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestSolveObjectiveQueryParam: ?objective=entropy on /v1/solve must solve
+// the entropy family (objective_kind on the wire), and an unknown family
+// must fail with 400 before any solve.
+func TestSolveObjectiveQueryParam(t *testing.T) {
+	base, _, _, _ := newStack(t, serve.Config{MaxInFlight: 2}, Config{})
+	body := problemBody(t, problems.RandomSAM(20, 4))
+
+	var sol matio.Solution
+	if code := postJSON(t, base+"/v1/solve?objective=entropy", body, &sol); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if sol.ObjectiveKind != "entropy" {
+		t.Fatalf("objective_kind = %q, want entropy", sol.ObjectiveKind)
+	}
+
+	var plain matio.Solution
+	if code := postJSON(t, base+"/v1/solve", body, &plain); code != http.StatusOK {
+		t.Fatalf("plain status %d", code)
+	}
+	if plain.ObjectiveKind != "quadratic" {
+		t.Fatalf("default objective_kind = %q, want quadratic", plain.ObjectiveKind)
+	}
+
+	var e errorBody
+	if code := postJSON(t, base+"/v1/solve?objective=huber", body, &e); code != http.StatusBadRequest {
+		t.Fatalf("unknown objective: status %d, want 400", code)
+	}
+	if e.Code != "bad-request" {
+		t.Fatalf("unknown objective: code %q", e.Code)
+	}
+}
+
+// TestSolveObjectiveBodyField: the problem body's own "objective" attribute
+// selects the family, the query parameter wins over it, and an unknown body
+// value is a 400 invalid-problem.
+func TestSolveObjectiveBodyField(t *testing.T) {
+	base, _, _, _ := newStack(t, serve.Config{MaxInFlight: 2}, Config{})
+
+	withObjective := func(obj string) []byte {
+		t.Helper()
+		var doc map[string]any
+		if err := json.Unmarshal(problemBody(t, problems.RandomSAM(16, 9)), &doc); err != nil {
+			t.Fatal(err)
+		}
+		doc["objective"] = obj
+		out, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	var sol matio.Solution
+	if code := postJSON(t, base+"/v1/solve", withObjective("kl"), &sol); code != http.StatusOK {
+		t.Fatalf("body objective: status %d", code)
+	}
+	if sol.ObjectiveKind != "entropy" {
+		t.Fatalf("body objective: objective_kind = %q", sol.ObjectiveKind)
+	}
+
+	// The query parameter overrides the body attribute.
+	if code := postJSON(t, base+"/v1/solve?objective=quadratic", withObjective("entropy"), &sol); code != http.StatusOK {
+		t.Fatalf("override: status %d", code)
+	}
+	if sol.ObjectiveKind != "quadratic" {
+		t.Fatalf("override: objective_kind = %q", sol.ObjectiveKind)
+	}
+
+	var e errorBody
+	if code := postJSON(t, base+"/v1/solve", withObjective("huber"), &e); code != http.StatusBadRequest {
+		t.Fatalf("bad body objective: status %d, want 400", code)
+	}
+	if e.Code != "invalid-problem" {
+		t.Fatalf("bad body objective: code %q", e.Code)
+	}
+}
+
+// TestJobObjectiveQueryParam: the asynchronous path honors ?objective= too.
+func TestJobObjectiveQueryParam(t *testing.T) {
+	base, _, _, _ := newStack(t, serve.Config{MaxInFlight: 2}, Config{})
+	body := problemBody(t, problems.RandomSAM(16, 6))
+
+	var e errorBody
+	if code := postJSON(t, base+"/v1/jobs?objective=bogus", body, &e); code != http.StatusBadRequest {
+		t.Fatalf("unknown objective: status %d, want 400", code)
+	}
+
+	var ref jobRef
+	if code := postJSON(t, base+"/v1/jobs?objective=entropy", body, &ref); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	for {
+		resp, err := http.Get(base + ref.Poll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var view jobView
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if view.State == jobFailed {
+			t.Fatalf("job failed: %+v", view)
+		}
+		if view.State == jobDone {
+			if view.Solution == nil || view.Solution.ObjectiveKind != "entropy" {
+				t.Fatalf("job solution = %+v, want objective_kind entropy", view.Solution)
+			}
+			return
+		}
+	}
+}
+
+// TestSequenceLifecycle drives the sequences API end to end: create with an
+// entropy objective and warm duals, solve a drifting series period by
+// period, watch the stats accumulate, close, and get 404/409 afterwards.
+func TestSequenceLifecycle(t *testing.T) {
+	base, _, _, _ := newStack(t, serve.Config{MaxInFlight: 2}, Config{})
+	spec := problems.TemporalSpec{Name: "t", M: 10, N: 8, Periods: 4, Drift: 0.02, Seed: 21}
+	periods := problems.Temporal(spec)
+
+	var view sequenceView
+	req, _ := json.Marshal(sequenceRequest{Objective: "entropy", WarmDuals: true})
+	if code := postJSON(t, base+"/v1/sequences", req, &view); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	if view.Objective != "entropy" || !view.WarmDuals || view.Solve == "" {
+		t.Fatalf("create: view = %+v", view)
+	}
+
+	for i, d := range periods {
+		var sol matio.Solution
+		if code := postJSON(t, base+view.Solve, problemBody(t, d), &sol); code != http.StatusOK {
+			t.Fatalf("period %d: status %d", i, code)
+		}
+		if sol.Status != "converged" || sol.ObjectiveKind != "entropy" {
+			t.Fatalf("period %d: status %q objective_kind %q", i, sol.Status, sol.ObjectiveKind)
+		}
+	}
+
+	// A mismatched shape is rejected without disturbing the sequence.
+	var e errorBody
+	if code := postJSON(t, base+view.Solve, problemBody(t, problems.RandomSAM(7, 3)), &e); code != http.StatusBadRequest {
+		t.Fatalf("shape mismatch: status %d, want 400", code)
+	}
+
+	resp, err := http.Get(base + "/v1/sequences/" + view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got sequenceView
+	err = json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Periods != spec.Periods || got.Iterations <= 0 || got.M != spec.M || got.N != spec.N {
+		t.Fatalf("stats view = %+v", got)
+	}
+
+	del, err := http.NewRequest(http.MethodDelete, base+"/v1/sequences/"+view.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", dresp.StatusCode)
+	}
+	if code := postJSON(t, base+view.Solve, problemBody(t, periods[0]), &e); code != http.StatusNotFound {
+		t.Fatalf("solve after delete: status %d, want 404", code)
+	}
+}
+
+// TestSequenceWarmDualsSaveIterationsOverHTTP: the wire-level chained
+// sequence must spend fewer iterations than solving every period through
+// /v1/solve — the serving-layer payoff the benchmark records.
+func TestSequenceWarmDualsSaveIterationsOverHTTP(t *testing.T) {
+	o := sea.DefaultOptions()
+	o.Epsilon = 1e-9
+	o.MaxIterations = 500000
+	base, _, _, _ := newStack(t, serve.Config{MaxInFlight: 2, Options: o}, Config{})
+	spec := problems.TemporalSpec{Name: "t", M: 14, N: 12, Periods: 6, Drift: 0.02, Seed: 31}
+	periods := problems.Temporal(spec)
+
+	var coldIters int
+	for i, d := range periods {
+		var sol matio.Solution
+		if code := postJSON(t, base+"/v1/solve", problemBody(t, d), &sol); code != http.StatusOK {
+			t.Fatalf("cold period %d: status %d", i, code)
+		}
+		coldIters += sol.Iterations
+	}
+
+	var view sequenceView
+	req, _ := json.Marshal(sequenceRequest{WarmDuals: true})
+	if code := postJSON(t, base+"/v1/sequences", req, &view); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	var warmIters int
+	for i, d := range periods {
+		var sol matio.Solution
+		if code := postJSON(t, base+view.Solve, problemBody(t, d), &sol); code != http.StatusOK {
+			t.Fatalf("chained period %d: status %d", i, code)
+		}
+		warmIters += sol.Iterations
+	}
+	if warmIters >= coldIters {
+		t.Fatalf("chained sequence saved nothing over HTTP: %d warm vs %d cold iterations", warmIters, coldIters)
+	}
+}
+
+// TestSequenceCapAndBadCreate: the sequence store enforces MaxSequences
+// with 429, and bad creation parameters fail with 400.
+func TestSequenceCapAndBadCreate(t *testing.T) {
+	base, _, _, _ := newStack(t, serve.Config{MaxInFlight: 1}, Config{MaxSequences: 2})
+
+	var e errorBody
+	if code := postJSON(t, base+"/v1/sequences", []byte(`{"objective":"huber"}`), &e); code != http.StatusBadRequest {
+		t.Fatalf("bad objective: status %d, want 400", code)
+	}
+	if code := postJSON(t, base+"/v1/sequences", []byte(`{"precondition":"bogus"}`), &e); code != http.StatusBadRequest {
+		t.Fatalf("bad precondition: status %d, want 400", code)
+	}
+
+	for i := 0; i < 2; i++ {
+		var v sequenceView
+		if code := postJSON(t, base+"/v1/sequences", nil, &v); code != http.StatusCreated {
+			t.Fatalf("create %d: status %d", i, code)
+		}
+	}
+	if code := postJSON(t, base+"/v1/sequences", nil, &e); code != http.StatusTooManyRequests {
+		t.Fatalf("over cap: status %d, want 429", code)
+	}
+
+	// /v1/stats reports the open-sequence gauge.
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsResponse
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sequences != 2 {
+		t.Fatalf("stats sequences = %d, want 2", stats.Sequences)
+	}
+}

@@ -42,6 +42,8 @@ func errorStatus(err error) (int, string) {
 		return http.StatusTooManyRequests, "tenant-quota"
 	case errors.Is(err, sea.ErrSaturated):
 		return http.StatusTooManyRequests, "saturated"
+	case errors.Is(err, sea.ErrSessionClosed):
+		return http.StatusConflict, "sequence-closed"
 	case errors.Is(err, sea.ErrInfeasible):
 		return http.StatusUnprocessableEntity, "infeasible"
 	case errors.Is(err, sea.ErrInvalidProblem):
@@ -117,9 +119,10 @@ type statsJSON struct {
 
 // statsResponse is the GET /v1/stats document.
 type statsResponse struct {
-	Stats  statsJSON   `json:"stats"`
-	Shards []statsJSON `json:"shards,omitempty"`
-	Jobs   jobCounts   `json:"jobs"`
+	Stats     statsJSON   `json:"stats"`
+	Shards    []statsJSON `json:"shards,omitempty"`
+	Jobs      jobCounts   `json:"jobs"`
+	Sequences int         `json:"sequences"`
 }
 
 func wireStats(st serve.Stats) statsJSON {

@@ -19,10 +19,13 @@ func TestRequestOptionsContract(t *testing.T) {
 	}
 	defer s.Close()
 
-	if o := s.RequestOptions(sea.PrecondNone); o != nil {
+	if o := s.RequestOptions(); o != nil {
+		t.Fatalf("RequestOptions() = %+v, want nil", o)
+	}
+	if o := s.RequestOptions(WithPrecond(sea.PrecondNone)); o != nil {
 		t.Fatalf("RequestOptions(template mode) = %+v, want nil", o)
 	}
-	o := s.RequestOptions(sea.PrecondScale)
+	o := s.RequestOptions(WithPrecond(sea.PrecondScale))
 	if o == nil {
 		t.Fatal("RequestOptions(override) = nil")
 	}
@@ -41,11 +44,19 @@ func TestRequestOptionsContract(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ps.Close()
-	if o := ps.RequestOptions(sea.PrecondScale); o != nil {
+	if o := ps.RequestOptions(WithPrecond(sea.PrecondScale)); o != nil {
 		t.Fatalf("preconditioned template: RequestOptions(scale) = %+v, want nil", o)
 	}
-	if o := ps.RequestOptions(sea.PrecondNone); o == nil || o.Precondition != sea.PrecondNone {
+	if o := ps.RequestOptions(WithPrecond(sea.PrecondNone)); o == nil || o.Precondition != sea.PrecondNone {
 		t.Fatalf("preconditioned template: RequestOptions(none) = %+v", o)
+	}
+
+	// The objective override follows the same contract.
+	if o := s.RequestOptions(WithObjective(sea.ObjectiveQuadratic)); o != nil {
+		t.Fatalf("RequestOptions(template objective) = %+v, want nil", o)
+	}
+	if o := s.RequestOptions(WithObjective(sea.ObjectiveEntropy)); o == nil || o.Objective != sea.ObjectiveEntropy {
+		t.Fatalf("RequestOptions(entropy) = %+v", o)
 	}
 }
 
@@ -76,9 +87,9 @@ func TestPrecondRequestSolves(t *testing.T) {
 	}
 	for name, backend := range map[string]interface {
 		Submit(context.Context, *sea.Problem, *sea.Options) (*sea.Solution, error)
-		RequestOptions(sea.Precond) *sea.Options
+		RequestOptions(...Override) *sea.Options
 	}{"server": s, "sharded": sh} {
-		pre, err := backend.Submit(ctx, p, backend.RequestOptions(sea.PrecondISP))
+		pre, err := backend.Submit(ctx, p, backend.RequestOptions(WithPrecond(sea.PrecondISP)))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

@@ -110,10 +110,11 @@ type Server struct {
 	done  chan struct{} // closed by Close; unblocks queued waiters
 	pools *parallel.PoolSet
 
-	mu     sync.Mutex
-	shapes map[shapeKey]*shapePool
-	tick   uint64
-	closed bool
+	mu       sync.Mutex
+	shapes   map[shapeKey]*shapePool
+	sessions map[*Session]struct{} // live sequence sessions, for Close
+	tick     uint64
+	closed   bool
 
 	submitted atomic.Uint64
 	completed atomic.Uint64 // finished with err == nil
@@ -146,6 +147,7 @@ func NewServer(cfg Config) (*Server, error) {
 		pools:  parallel.NewPoolSet(cfg.MaxInFlight, cfg.Procs),
 		shapes: make(map[shapeKey]*shapePool),
 	}
+	s.sessions = make(map[*Session]struct{})
 	if cfg.Options != nil {
 		s.base = *cfg.Options
 	} else {
@@ -196,21 +198,45 @@ func (s *Server) SubmitTraced(ctx context.Context, p *sea.Problem, opts *sea.Opt
 	return &out, err
 }
 
-// RequestOptions resolves a per-request preconditioning override into the
-// opts argument of the Submit variants: it returns nil when precond matches
-// the server's configured template (the zero-overhead path — the request
-// solves on the prebuilt per-arena options), and otherwise a detached clone
-// of the template with Precondition replaced. The clone's Arena, Runner,
+// An Override replaces one field of the server's option template for a
+// single request. Transports build the list from whichever request
+// parameters are actually present, so an absent parameter never perturbs
+// the template.
+type Override func(*sea.Options)
+
+// WithPrecond overrides the preconditioning stage for one request.
+func WithPrecond(pc sea.Precond) Override {
+	return func(o *sea.Options) { o.Precondition = pc }
+}
+
+// WithObjective overrides the objective family for one request — the
+// serving-layer face of sea.Options.Objective.
+func WithObjective(obj sea.Objective) Override {
+	return func(o *sea.Options) { o.Objective = obj }
+}
+
+// RequestOptions resolves per-request overrides into the opts argument of
+// the Submit variants: it returns nil when every override matches the
+// server's configured template (the zero-overhead path — the request solves
+// on the prebuilt per-arena options), and otherwise a detached clone of the
+// template with the overridden fields replaced. The clone's Arena, Runner,
 // Trace and Counters are zeroed: submit re-fills all four per request, and
 // handing back the template's already-synchronized Trace would double-wrap
 // it. The returned options are the caller's to further adjust before
 // submitting.
-func (s *Server) RequestOptions(precond sea.Precond) *sea.Options {
-	if precond == s.base.Precondition {
+func (s *Server) RequestOptions(overrides ...Override) *sea.Options {
+	if len(overrides) == 0 {
 		return nil
 	}
 	o := s.base
-	o.Precondition = precond
+	for _, ov := range overrides {
+		if ov != nil {
+			ov(&o)
+		}
+	}
+	if o.Precondition == s.base.Precondition && o.Objective == s.base.Objective {
+		return nil
+	}
 	o.Arena = nil
 	o.Runner = nil
 	o.Trace = nil
@@ -281,6 +307,49 @@ func resultStatus(sol *sea.Solution, err error) sea.Status {
 	}
 }
 
+// admit passes the server's admission control: an in-flight slot
+// immediately, or a bounded wait in the queue. The queue bound is enforced
+// optimistically (increment, test, undo), so a burst at the boundary is
+// rejected conservatively. On success the caller holds an in-flight slot
+// and must call release exactly once; on failure the rejection is already
+// counted.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		if q := s.queued.Inc(); q > int64(s.cfg.MaxQueue) {
+			s.queued.Dec()
+			s.rejected.Add(1)
+			return nil, fmt.Errorf("%w: %d solves in flight, %d queued (limits %d/%d)",
+				sea.ErrSaturated, s.inFlight.Level(), q-1, s.cfg.MaxInFlight, s.cfg.MaxQueue)
+		}
+		waitStart := time.Now()
+		select {
+		case s.slots <- struct{}{}:
+			s.queued.Dec()
+			s.waitLat.Observe(time.Since(waitStart))
+		case <-ctx.Done():
+			s.queued.Dec()
+			s.rejected.Add(1)
+			return nil, ctx.Err()
+		case <-s.done:
+			s.queued.Dec()
+			s.rejected.Add(1)
+			return nil, ErrClosed
+		}
+	}
+	if s.isClosed() {
+		<-s.slots
+		s.rejected.Add(1)
+		return nil, ErrClosed
+	}
+	s.inFlight.Inc()
+	return func() {
+		s.inFlight.Dec()
+		<-s.slots
+	}, nil
+}
+
 // submit is the request path: admission, checkout, solve, copy-out,
 // checkin. obs, when non-nil, is an extra per-request trace observer
 // layered onto whichever options the request resolves to.
@@ -294,41 +363,11 @@ func (s *Server) submit(ctx context.Context, p *sea.Problem, opts *sea.Options, 
 	}
 	s.submitted.Add(1)
 
-	// Admission: an in-flight slot immediately, or a bounded wait in the
-	// queue. The queue bound is enforced optimistically (increment, test,
-	// undo), so a burst at the boundary is rejected conservatively.
-	select {
-	case s.slots <- struct{}{}:
-	default:
-		if q := s.queued.Inc(); q > int64(s.cfg.MaxQueue) {
-			s.queued.Dec()
-			s.rejected.Add(1)
-			return false, fmt.Errorf("%w: %d solves in flight, %d queued (limits %d/%d)",
-				sea.ErrSaturated, s.inFlight.Level(), q-1, s.cfg.MaxInFlight, s.cfg.MaxQueue)
-		}
-		waitStart := time.Now()
-		select {
-		case s.slots <- struct{}{}:
-			s.queued.Dec()
-			s.waitLat.Observe(time.Since(waitStart))
-		case <-ctx.Done():
-			s.queued.Dec()
-			s.rejected.Add(1)
-			return false, ctx.Err()
-		case <-s.done:
-			s.queued.Dec()
-			s.rejected.Add(1)
-			return false, ErrClosed
-		}
+	release, err := s.admit(ctx)
+	if err != nil {
+		return false, err
 	}
-	defer func() { <-s.slots }()
-	if s.isClosed() {
-		s.rejected.Add(1)
-		return false, ErrClosed
-	}
-
-	s.inFlight.Inc()
-	defer s.inFlight.Dec()
+	defer release()
 
 	if s.cfg.RequestTimeout > 0 {
 		var cancel context.CancelFunc
@@ -477,6 +516,15 @@ func (s *Server) Close() {
 		sp.free = nil
 		delete(s.shapes, key)
 	}
+	sessions := make([]*Session, 0, len(s.sessions))
+	for ses := range s.sessions {
+		sessions = append(sessions, ses)
+	}
 	s.mu.Unlock()
+	// With every slot held no session solve is in flight, so closing their
+	// chained arenas here cannot race a solve.
+	for _, ses := range sessions {
+		ses.Close()
+	}
 	s.pools.Close()
 }

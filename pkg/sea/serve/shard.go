@@ -7,6 +7,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"sea/pkg/sea"
 )
@@ -49,6 +50,7 @@ type ShardedServer struct {
 	shards []*Server
 	ring   hashRing
 	gate   *tenantGate // nil when tenant quotas are disabled
+	sesSeq atomic.Uint64
 
 	mu     sync.Mutex
 	closed bool
@@ -112,12 +114,23 @@ func (s *ShardedServer) SubmitTraced(ctx context.Context, p *sea.Problem, opts *
 	return &out, err
 }
 
-// RequestOptions resolves a per-request preconditioning override against
-// the shards' shared template (see Server.RequestOptions). Every shard is
-// built from the same Config, so the first shard's template answers for
-// all.
-func (s *ShardedServer) RequestOptions(precond sea.Precond) *sea.Options {
-	return s.shards[0].RequestOptions(precond)
+// RequestOptions resolves per-request overrides against the shards' shared
+// template (see Server.RequestOptions). Every shard is built from the same
+// Config, so the first shard's template answers for all.
+func (s *ShardedServer) RequestOptions(overrides ...Override) *sea.Options {
+	return s.shards[0].RequestOptions(overrides...)
+}
+
+// NewSession opens a sequence session (see Server.NewSession) on one of the
+// shards, assigned round-robin. A session owns a dedicated arena rather than
+// a pooled one, so shape-affinity routing buys it nothing; round-robin
+// spreads the sessions' admission load evenly instead.
+func (s *ShardedServer) NewSession(cfg SessionConfig) (*Session, error) {
+	if s.isClosed() {
+		return nil, ErrClosed
+	}
+	shard := int(s.sesSeq.Add(1)-1) % len(s.shards)
+	return s.shards[shard].NewSession(cfg)
 }
 
 // SubmitInto routes the problem to its shape's shard; semantics are those

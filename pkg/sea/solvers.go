@@ -2,11 +2,13 @@ package sea
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"sea/internal/baseline"
 	"sea/internal/core"
+	"sea/internal/entropy"
 	"sea/internal/mat"
 )
 
@@ -18,6 +20,13 @@ func init() {
 	MustRegister(NewSolver("sea",
 		"splitting equilibration algorithm (diagonal problems; the paper's main method)",
 		func(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
+			// The objective-aware front door: SEA's equilibration kernels
+			// minimize the quadratic family, so an entropy objective routes
+			// to the generalized-scaling solver — same problem, same
+			// constraint machinery, exponential instead of affine response.
+			if o != nil && o.Objective == ObjectiveEntropy {
+				return solveEntropy(ctx, p, o)
+			}
 			d, err := p.asDiagonal("sea")
 			if err != nil {
 				return nil, err
@@ -27,6 +36,9 @@ func init() {
 	MustRegister(NewSolver("sea-general",
 		"SEA inside the Dafermos projection method (dense weight matrices)",
 		func(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
+			if err := requireQuadratic("sea-general", o); err != nil {
+				return nil, err
+			}
 			g, err := p.asGeneral("sea-general")
 			if err != nil {
 				return nil, err
@@ -36,6 +48,9 @@ func init() {
 	MustRegister(NewSolver("rc",
 		"RC equilibration algorithm of Nagurney, Kim and Robinson (1990)",
 		func(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
+			if err := requireQuadratic("rc", o); err != nil {
+				return nil, err
+			}
 			g, err := p.asGeneral("rc")
 			if err != nil {
 				return nil, err
@@ -45,6 +60,9 @@ func init() {
 	MustRegister(NewSolver("bk",
 		"Bachem-Korte (1978) primal cycle method over the transportation polytope",
 		func(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
+			if err := requireQuadratic("bk", o); err != nil {
+				return nil, err
+			}
 			g, err := p.asGeneral("bk")
 			if err != nil {
 				return nil, err
@@ -54,6 +72,9 @@ func init() {
 	MustRegister(NewSolver("dykstra",
 		"Dykstra's alternating projections (independent reference solver)",
 		func(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
+			if err := requireQuadratic("dykstra", o); err != nil {
+				return nil, err
+			}
 			d, err := p.asDiagonalDense("dykstra")
 			if err != nil {
 				return nil, err
@@ -63,12 +84,18 @@ func init() {
 	MustRegister(NewSolver("projgrad",
 		"projected gradient with Dykstra inner projections (general problems)",
 		func(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
+			if err := requireQuadratic("projgrad", o); err != nil {
+				return nil, err
+			}
 			g, err := p.asGeneral("projgrad")
 			if err != nil {
 				return nil, err
 			}
 			return baseline.SolveProjGrad(ctx, g, o)
 		}))
+	MustRegister(NewSolver("entropy",
+		"KL/entropy projection onto the totals constraints (generalized iterative scaling)",
+		solveEntropy))
 	MustRegister(NewSolver("ras",
 		"RAS biproportional scaling of Deming and Stephan (1940)",
 		solveRAS))
@@ -81,12 +108,43 @@ func init() {
 	MustRegister(NewSolver("unsigned",
 		"unsigned Stone/Byron estimator (drops x >= 0; direct Cholesky solve)",
 		func(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
+			if err := requireQuadratic("unsigned", o); err != nil {
+				return nil, err
+			}
 			d, err := p.asDiagonalDense("unsigned")
 			if err != nil {
 				return nil, err
 			}
 			return baseline.SolveUnsigned(ctx, d)
 		}))
+}
+
+// requireQuadratic rejects an entropy objective handed to a solver whose
+// algorithm minimizes the quadratic family only — an explicit error instead
+// of a silently wrong answer. "sea" routes instead of rejecting, and the
+// scaling baselines accept both families.
+func requireQuadratic(solver string, o *Options) error {
+	if o != nil && o.Objective != ObjectiveQuadratic {
+		return fmt.Errorf("%w: solver %q minimizes the quadratic objective only; use Objective=quadratic, or the \"entropy\" solver (\"sea\" routes automatically)", ErrInvalidProblem, solver)
+	}
+	return nil
+}
+
+// solveEntropy adapts the generalized iterative scaling solver for the
+// KL/entropy objective family (internal/entropy): fixed, elastic, balanced
+// and interval totals over dense or CSR storage, with per-sweep residual
+// tracing and Mu0 dual warm starts. Domain errors (negative prior entries,
+// a positive lower bound over a zero prior cell) wrap ErrInvalidProblem.
+func solveEntropy(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
+	d, err := p.asDiagonal("entropy")
+	if err != nil {
+		return nil, err
+	}
+	sol, err := entropy.Solve(ctx, d, o)
+	if err != nil && errors.Is(err, entropy.ErrDomain) {
+		return sol, fmt.Errorf("%w: %w", ErrInvalidProblem, err)
+	}
+	return sol, err
 }
 
 // solveRAS adapts the RAS sweep result to the unified Solution. RAS solves
@@ -123,7 +181,12 @@ func solveRAS(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
 		DualValue:  math.NaN(),
 	}
 	if p.Diagonal != nil {
-		sol.Objective = p.Diagonal.Objective(sol.X, sol.S, sol.D)
+		obj := ObjectiveQuadratic
+		if o != nil {
+			obj = o.Objective
+		}
+		sol.Objective = p.Diagonal.ObjectiveFor(obj, sol.X, sol.S, sol.D)
+		sol.ObjectiveKind = obj
 	} else {
 		sol.Objective = p.General.Objective(sol.X, sol.S, sol.D)
 	}
@@ -147,7 +210,15 @@ func solveSinkhorn(ctx context.Context, p *Problem, o *Options) (*Solution, erro
 	if d.Kind != FixedTotals {
 		return nil, fmt.Errorf("%w: solver \"sinkhorn\" supports fixed totals only, got %v", ErrInvalidProblem, d.Kind)
 	}
-	return baseline.SolveSinkhorn(ctx, d, o)
+	sol, err := baseline.SolveSinkhorn(ctx, d, o)
+	// Sinkhorn is an entropy solver by construction; when the caller asked
+	// for the entropy family, report the KL objective value instead of the
+	// default cross-family quadratic comparison value.
+	if sol != nil && o != nil && o.Objective == ObjectiveEntropy {
+		sol.Objective = d.KLObjective(sol.X, sol.S, sol.D)
+		sol.ObjectiveKind = ObjectiveEntropy
+	}
+	return sol, err
 }
 
 // solveISP adapts the iterative scaling procedure: the additive analogue of
@@ -155,6 +226,9 @@ func solveSinkhorn(ctx context.Context, p *Problem, o *Options) (*Solution, erro
 // (fixed, elastic or balanced totals; dense or CSR). Interval totals are
 // not modeled by the additive system.
 func solveISP(ctx context.Context, p *Problem, o *Options) (*Solution, error) {
+	if err := requireQuadratic("isp", o); err != nil {
+		return nil, err
+	}
 	d, err := p.asDiagonal("isp")
 	if err != nil {
 		return nil, err
